@@ -1,0 +1,299 @@
+// Command benchtables regenerates the paper's tables and figures from the
+// simulation platform: Table I (model inventory), Table II (compression
+// efficiency), Table III (compression on top of int8 quantization),
+// Fig. 2 (LeNet-5 per-layer breakdown), Fig. 3 (weight entropy), Fig. 9
+// (layer sensitivity) and Fig. 10 (accuracy vs latency vs energy).
+//
+// Usage:
+//
+//	benchtables -experiment all|table1|table2|table3|fig2|fig3|fig9|fig10 \
+//	            [-models LeNet-5,AlexNet,...] [-probes 8] [-seed 2020] \
+//	            [-epochs 10] [-samples 2000] [-fast]
+//
+// The large models (VGG-16, Inception-v3, ResNet50) take minutes and
+// hundreds of megabytes each; use -models to restrict a run.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// csvDir, when set by -csv, receives one machine-readable file per
+// experiment alongside the human-readable tables on stdout.
+var csvDir string
+
+// writeCSV stores rows under csvDir (no-op when -csv is unset).
+func writeCSV(name string, header []string, rows [][]string) error {
+	if csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which table/figure to regenerate")
+		modelsFlag = flag.String("models", "", "comma-separated model filter (default: the paper's set)")
+		probes     = flag.Int("probes", 8, "probe inputs for the top-5 fidelity metric")
+		seed       = flag.Int64("seed", 2020, "deterministic seed")
+		epochs     = flag.Int("epochs", 10, "LeNet-5 training epochs")
+		samples    = flag.Int("samples", 2000, "LeNet-5 training samples")
+		fast       = flag.Bool("fast", false, "LeNet-scale smoke run")
+		csvOut     = flag.String("csv", "", "also write machine-readable CSVs to this directory")
+	)
+	flag.Parse()
+	csvDir = *csvOut
+
+	opts := experiments.DefaultOptions()
+	opts.Seed = *seed
+	opts.Probes = *probes
+	opts.TrainEpochs = *epochs
+	opts.TrainSamples = *samples
+	opts.Fast = *fast
+	if *fast {
+		opts = experiments.FastOptions()
+		opts.Seed = *seed
+	}
+	if *modelsFlag != "" {
+		opts.Models = strings.Split(*modelsFlag, ",")
+	}
+
+	runners := map[string]func(experiments.Options) error{
+		"table1": runTable1,
+		"table2": runTable2,
+		"table3": runTable3,
+		"fig2":   runFig2,
+		"fig3":   runFig3,
+		"fig9":   runFig9,
+		"fig10":  runFig10,
+	}
+	order := []string{"table1", "table2", "fig2", "fig3", "fig9", "fig10", "table3"}
+
+	if *experiment == "all" {
+		for _, name := range order {
+			if err := runners[name](opts); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	run, ok := runners[*experiment]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q (want all, %s)", *experiment, strings.Join(order, ", ")))
+	}
+	if err := run(opts); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtables:", err)
+	os.Exit(1)
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func runTable1(opts experiments.Options) error {
+	rows, err := experiments.Table1(opts)
+	if err != nil {
+		return err
+	}
+	header("Table I: selected layers (measured vs paper)")
+	fmt.Printf("%-14s %12s %10s %-12s %-5s %9s %7s\n",
+		"model", "params", "paper(k)", "layer", "type", "fraction", "paper")
+	var recs [][]string
+	for _, r := range rows {
+		fmt.Printf("%-14s %12d %10d %-12s %-5s %8.1f%% %6.0f%%\n",
+			r.Model, r.Params, r.PaperParamsK, r.Layer, r.Kind,
+			100*r.Fraction, 100*r.PaperFraction)
+		recs = append(recs, []string{r.Model, strconv.Itoa(r.Params), r.Layer, r.Kind,
+			ftoa(r.Fraction), ftoa(r.PaperFraction)})
+	}
+	return writeCSV("table1", []string{"model", "params", "layer", "kind", "fraction", "paper_fraction"}, recs)
+}
+
+// paperTable2 holds the published CR columns for side-by-side printing.
+var paperTable2 = map[string]map[float64][2]float64{ // model -> delta -> {CR, weightedCR}
+	"LeNet-5":      {0: {1.21, 1.17}, 5: {1.38, 1.30}, 10: {1.74, 1.58}, 15: {2.50, 2.17}, 20: {4.02, 3.36}},
+	"AlexNet":      {0: {1.21, 1.15}, 5: {1.51, 1.35}, 10: {2.38, 1.97}, 15: {4.77, 3.63}, 20: {11.44, 8.28}},
+	"VGG-16":       {0: {1.21, 1.16}, 2: {1.43, 1.32}, 4: {1.94, 1.70}, 6: {3.04, 2.51}, 8: {5.28, 4.18}},
+	"MobileNet":    {0: {1.21, 1.05}, 2: {1.42, 1.10}, 4: {1.87, 1.21}, 6: {2.74, 1.42}, 8: {4.31, 1.80}},
+	"Inception-v3": {0: {1.22, 1.02}, 5: {1.65, 1.06}, 10: {2.82, 1.16}, 15: {5.46, 1.38}, 20: {11.42, 1.89}},
+	"ResNet50":     {0: {1.21, 1.02}, 2: {1.76, 1.06}, 4: {3.31, 1.18}, 6: {6.57, 1.45}, 8: {12.79, 1.94}},
+}
+
+func runTable2(opts experiments.Options) error {
+	rows, err := experiments.Table2(opts)
+	if err != nil {
+		return err
+	}
+	header("Table II: compression efficiency (measured vs paper)")
+	fmt.Printf("%-14s %6s %8s %8s %8s %8s %8s %10s\n",
+		"model", "delta", "CR", "paper", "wCR", "paper", "memfp", "MSE")
+	var recs [][]string
+	for _, r := range rows {
+		p := paperTable2[r.Model][r.DeltaPct]
+		fmt.Printf("%-14s %5.0f%% %8.2f %8.2f %8.2f %8.2f %7.0f%% %10.2e\n",
+			r.Model, r.DeltaPct, r.CR, p[0], r.WeightedCR, p[1],
+			100*r.MemFpReduction, r.MSE)
+		recs = append(recs, []string{r.Model, ftoa(r.DeltaPct), ftoa(r.CR), ftoa(p[0]),
+			ftoa(r.WeightedCR), ftoa(p[1]), ftoa(r.MemFpReduction), ftoa(r.MSE)})
+	}
+	return writeCSV("table2", []string{"model", "delta_pct", "cr", "paper_cr", "wcr", "paper_wcr", "memfp_reduction", "mse"}, recs)
+}
+
+func runTable3(opts experiments.Options) error {
+	rows, err := experiments.Table3(opts)
+	if err != nil {
+		return err
+	}
+	header("Table III: compression on top of int8 quantization")
+	fmt.Printf("%-14s %8s %8s %6s %8s %9s\n",
+		"model", "QT wCR", "QT acc", "delta", "wCR", "accuracy")
+	var recs [][]string
+	for _, r := range rows {
+		fmt.Printf("%-14s %8.2f %8.4f %5.0f%% %8.2f %9.4f\n",
+			r.Model, r.QTCR, r.QTAccuracy, r.DeltaPct, r.WeightedCR, r.Accuracy)
+		recs = append(recs, []string{r.Model, ftoa(r.QTCR), ftoa(r.QTAccuracy),
+			ftoa(r.DeltaPct), ftoa(r.WeightedCR), ftoa(r.Accuracy)})
+	}
+	return writeCSV("table3", []string{"model", "qt_wcr", "qt_accuracy", "delta_pct", "wcr", "accuracy"}, recs)
+}
+
+func runFig2(opts experiments.Options) error {
+	rows, err := experiments.Fig2(opts)
+	if err != nil {
+		return err
+	}
+	header("Fig. 2: LeNet-5 per-layer latency and energy breakdown")
+	var maxCyc uint64
+	var maxE float64
+	for _, r := range rows {
+		if r.Cycles > maxCyc {
+			maxCyc = r.Cycles
+		}
+		if e := r.Energy.Total(); e > maxE {
+			maxE = e
+		}
+	}
+	fmt.Printf("%-10s %8s | %-30s | %-42s\n", "layer", "norm", "latency breakdown", "energy breakdown (dyn+leak)")
+	for _, r := range rows {
+		lt := r.Latency
+		total := float64(lt.Total())
+		e := r.Energy
+		et := e.Total()
+		fmt.Printf("%-10s %8.3f | mem %4.0f%% comm %4.0f%% comp %4.0f%% | comm %4.1f%% compute %4.1f%% local %4.1f%% main %5.1f%% (Enorm %.3f)\n",
+			r.Layer, float64(r.Cycles)/float64(maxCyc),
+			100*float64(lt.Memory)/total,
+			100*float64(lt.Communication)/total,
+			100*float64(lt.Computation)/total,
+			100*(e.CommDyn+e.CommLeak)/et,
+			100*(e.CompDyn+e.CompLeak)/et,
+			100*(e.LocalDyn+e.LocalLeak)/et,
+			100*(e.MainDyn+e.MainLeak)/et,
+			et/maxE)
+	}
+	var recs [][]string
+	for _, r := range rows {
+		e := r.Energy
+		recs = append(recs, []string{r.Layer, r.Kind, strconv.FormatUint(r.Cycles, 10),
+			strconv.FormatUint(r.Latency.Memory, 10),
+			strconv.FormatUint(r.Latency.Communication, 10),
+			strconv.FormatUint(r.Latency.Computation, 10),
+			ftoa(e.CommDyn), ftoa(e.CommLeak), ftoa(e.CompDyn), ftoa(e.CompLeak),
+			ftoa(e.LocalDyn), ftoa(e.LocalLeak), ftoa(e.MainDyn), ftoa(e.MainLeak)})
+	}
+	return writeCSV("fig2", []string{"layer", "kind", "cycles", "lat_mem", "lat_comm", "lat_comp",
+		"e_comm_dyn", "e_comm_leak", "e_comp_dyn", "e_comp_leak",
+		"e_local_dyn", "e_local_leak", "e_main_dyn", "e_main_leak"}, recs)
+}
+
+func runFig3(opts experiments.Options) error {
+	rows, err := experiments.Fig3(opts)
+	if err != nil {
+		return err
+	}
+	header("Fig. 3: entropy of weight streams vs random and text (bits/byte)")
+	var recs [][]string
+	for _, r := range rows {
+		bar := strings.Repeat("#", int(r.EntropyBits*6))
+		fmt.Printf("%-14s %6.3f  %s\n", r.Corpus, r.EntropyBits, bar)
+		recs = append(recs, []string{r.Corpus, strconv.Itoa(r.Bytes), ftoa(r.EntropyBits)})
+	}
+	return writeCSV("fig3", []string{"corpus", "bytes", "entropy_bits_per_byte"}, recs)
+}
+
+func runFig9(opts experiments.Options) error {
+	rows, err := experiments.Fig9(opts)
+	if err != nil {
+		return err
+	}
+	header("Fig. 9: per-layer sensitivity (absolute | per-parameter density)")
+	var recs [][]string
+	for _, r := range rows {
+		bar := strings.Repeat("#", int(r.PerParam*40))
+		fmt.Printf("%-14s %-14s abs %6.3f  density %6.3f  %s\n",
+			r.Model, r.Layer, r.Sensitivity, r.PerParam, bar)
+		recs = append(recs, []string{r.Model, r.Layer, r.Kind,
+			strconv.Itoa(r.Params), ftoa(r.Sensitivity), ftoa(r.PerParam)})
+	}
+	return writeCSV("fig9", []string{"model", "layer", "kind", "params", "sensitivity", "sensitivity_per_param"}, recs)
+}
+
+func runFig10(opts experiments.Options) error {
+	pts, err := experiments.Fig10(opts)
+	if err != nil {
+		return err
+	}
+	header("Fig. 10: accuracy vs inference latency vs inference energy")
+	fmt.Printf("%-14s %-7s %9s %9s %9s | %-26s\n",
+		"model", "config", "accuracy", "latency", "energy", "energy split main/comm/comp/local")
+	for _, p := range pts {
+		e := p.Energy
+		et := e.Total()
+		fmt.Printf("%-14s %-7s %9.4f %9.3f %9.3f | %5.1f%% %5.1f%% %5.1f%% %5.1f%%\n",
+			p.Model, p.Config, p.Accuracy, p.LatencyNorm, p.EnergyNorm,
+			100*(e.MainDyn+e.MainLeak)/et,
+			100*(e.CommDyn+e.CommLeak)/et,
+			100*(e.CompDyn+e.CompLeak)/et,
+			100*(e.LocalDyn+e.LocalLeak)/et)
+	}
+	var recs [][]string
+	for _, p := range pts {
+		e := p.Energy
+		recs = append(recs, []string{p.Model, p.Config, ftoa(p.DeltaPct), ftoa(p.Accuracy),
+			strconv.FormatUint(p.Cycles, 10), ftoa(p.LatencyNorm), ftoa(p.EnergyNorm),
+			ftoa(e.MainDyn + e.MainLeak), ftoa(e.CommDyn + e.CommLeak),
+			ftoa(e.CompDyn + e.CompLeak), ftoa(e.LocalDyn + e.LocalLeak)})
+	}
+	return writeCSV("fig10", []string{"model", "config", "delta_pct", "accuracy", "cycles",
+		"latency_norm", "energy_norm", "e_main", "e_comm", "e_comp", "e_local"}, recs)
+}

@@ -1,0 +1,155 @@
+// Command compress applies the paper's lossy compression to a weight
+// stream and reports the Table II metrics. The stream comes either from a
+// model layer (built in-process with synthetic trained-like weights) or
+// from a raw little-endian float32 file.
+//
+// Usage:
+//
+//	compress -model LeNet-5 [-layer dense_1] [-delta 15] [-o out.ncwc]
+//	compress -model LeNet-5 -weights lenet.nnwt  # trained weights (cmd/trainer)
+//	compress -in weights.f32 [-delta 15] [-o out.ncwc]
+//	compress -decompress in.ncwc [-o out.f32]
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+func main() {
+	var (
+		modelName  = flag.String("model", "", "model to take weights from (e.g. LeNet-5)")
+		layer      = flag.String("layer", "", "layer name (default: the model's selected layer)")
+		inFile     = flag.String("in", "", "raw little-endian float32 weight file")
+		delta      = flag.Float64("delta", 15, "tolerance threshold, percent of amplitude")
+		outFile    = flag.String("o", "", "output file (compressed stream, or floats with -decompress)")
+		decompress = flag.String("decompress", "", "decompress this .ncwc file instead")
+		seed       = flag.Int64("seed", 2020, "model weight seed")
+		weights    = flag.String("weights", "", "load trained weights (.nnwt from cmd/trainer) into the model")
+		storage    = flag.String("storage", "paper", "storage accounting: paper (2x32b) or realistic (+16b length)")
+	)
+	flag.Parse()
+
+	if *decompress != "" {
+		if err := runDecompress(*decompress, *outFile); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	w, src, err := loadWeights(*modelName, *layer, *inFile, *weights, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	sm := core.DefaultStorage
+	if *storage == "realistic" {
+		sm = core.RealisticStorage
+	}
+	rep, c, err := core.Assess(w, *delta, len(w), sm)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("source:           %s (%d parameters)\n", src, len(w))
+	fmt.Printf("delta:            %.3g%% of amplitude (|delta| = %.4g)\n", rep.DeltaPct, rep.Delta)
+	fmt.Printf("segments:         %d (avg run length %.2f)\n", rep.Segments, rep.AvgRunLen)
+	fmt.Printf("compression:      %.3fx (%d -> %d bits)\n", rep.CR, c.OriginalBits(), c.CompressedBits(sm))
+	fmt.Printf("mse:              %.3e (max err %.3e)\n", rep.MSE, rep.MaxErr)
+	fmt.Printf("decompression:    %d cycles at one weight/cycle\n", core.DecompressionCycles(c))
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if _, err := c.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote:            %s\n", *outFile)
+	}
+}
+
+func loadWeights(modelName, layer, inFile, weightFile string, seed int64) ([]float64, string, error) {
+	switch {
+	case inFile != "":
+		data, err := os.ReadFile(inFile)
+		if err != nil {
+			return nil, "", err
+		}
+		if len(data)%4 != 0 {
+			return nil, "", fmt.Errorf("%s: size %d not a multiple of 4", inFile, len(data))
+		}
+		w := make([]float64, len(data)/4)
+		for i := range w {
+			w[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:])))
+		}
+		return w, inFile, nil
+	case modelName != "":
+		b, err := models.ByName(modelName)
+		if err != nil {
+			return nil, "", err
+		}
+		m, err := b.Build(seed)
+		if err != nil {
+			return nil, "", err
+		}
+		if weightFile != "" {
+			f, err := os.Open(weightFile)
+			if err != nil {
+				return nil, "", err
+			}
+			defer f.Close()
+			if err := nn.LoadWeights(f, m.Graph); err != nil {
+				return nil, "", fmt.Errorf("loading %s: %w", weightFile, err)
+			}
+		}
+		if layer == "" {
+			layer = m.SelectedLayer
+		}
+		w, err := m.LayerWeights(layer)
+		if err != nil {
+			return nil, "", err
+		}
+		return w, fmt.Sprintf("%s/%s", modelName, layer), nil
+	default:
+		return nil, "", fmt.Errorf("need -model or -in (see -h)")
+	}
+}
+
+func runDecompress(in, out string) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	c, err := core.ReadCompressed(f)
+	if err != nil {
+		return err
+	}
+	w := c.Decompress()
+	fmt.Printf("decompressed %d parameters from %d segments (delta was %.4g)\n",
+		len(w), len(c.Segments), c.Delta)
+	if out == "" {
+		return nil
+	}
+	buf := make([]byte, 4*len(w))
+	for i, v := range w {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(float32(v)))
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compress:", err)
+	os.Exit(1)
+}

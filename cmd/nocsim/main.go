@@ -1,0 +1,107 @@
+// Command nocsim runs one model inference on the NoC-based accelerator
+// simulator and prints the latency and energy breakdowns, optionally with
+// the selected layer compressed at a given delta.
+//
+// Usage:
+//
+//	nocsim -model LeNet-5                 # original network
+//	nocsim -model LeNet-5 -delta 15       # compressed selected layer
+//	nocsim -model AlexNet -delta 20 -layers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "LeNet-5", "model to simulate")
+		delta     = flag.Float64("delta", -1, "compress the selected layer at this delta %% (negative = original)")
+		seed      = flag.Int64("seed", 2020, "model weight seed")
+		weights   = flag.String("weights", "", "load trained weights (.nnwt from cmd/trainer)")
+		perLayer  = flag.Bool("layers", false, "print per-layer results")
+	)
+	flag.Parse()
+
+	b, err := models.ByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := b.Build(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *weights != "" {
+		f, err := os.Open(*weights)
+		if err != nil {
+			fatal(err)
+		}
+		if err := nn.LoadWeights(f, m.Graph); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+	}
+	var compressed map[string]*core.Compressed
+	if *delta >= 0 {
+		w, err := m.SelectedWeights()
+		if err != nil {
+			fatal(err)
+		}
+		c, err := core.CompressPct(w, *delta)
+		if err != nil {
+			fatal(err)
+		}
+		compressed = map[string]*core.Compressed{m.SelectedLayer: c}
+		fmt.Printf("compressed %s at delta %.3g%%: CR %.2f\n",
+			m.SelectedLayer, *delta, c.CompressionRatio(core.DefaultStorage))
+	}
+	specs, err := accel.SpecsFromModel(m, compressed, core.DefaultStorage)
+	if err != nil {
+		fatal(err)
+	}
+	sim, err := accel.NewSimulator(accel.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.SimulateModel(m.Name, specs)
+	if err != nil {
+		fatal(err)
+	}
+	clock := sim.Config().Energy.ClockHz
+	fmt.Printf("\n%s inference on 4x4 mesh @ %.0f MHz\n", m.Name, clock/1e6)
+	fmt.Printf("latency: %d cycles (%.3f ms)\n", res.Cycles, res.Seconds(clock)*1e3)
+	lt := res.Latency
+	fmt.Printf("  memory %.1f%%  communication %.1f%%  computation %.1f%%\n",
+		100*float64(lt.Memory)/float64(lt.Total()),
+		100*float64(lt.Communication)/float64(lt.Total()),
+		100*float64(lt.Computation)/float64(lt.Total()))
+	e := res.Energy
+	fmt.Printf("energy: %.3f uJ\n", e.Total()/1e6)
+	fmt.Printf("  comm   dyn %8.3f uJ  leak %8.3f uJ\n", e.CommDyn/1e6, e.CommLeak/1e6)
+	fmt.Printf("  comp   dyn %8.3f uJ  leak %8.3f uJ\n", e.CompDyn/1e6, e.CompLeak/1e6)
+	fmt.Printf("  local  dyn %8.3f uJ  leak %8.3f uJ\n", e.LocalDyn/1e6, e.LocalLeak/1e6)
+	fmt.Printf("  main   dyn %8.3f uJ  leak %8.3f uJ\n", e.MainDyn/1e6, e.MainLeak/1e6)
+	fmt.Printf("traffic: DRAM %d+%d words, %d flits, %d flit-hops\n",
+		res.Traffic.DRAMReadWords, res.Traffic.DRAMWriteWords,
+		res.Traffic.NoCFlits, res.Traffic.FlitHops)
+	if *perLayer {
+		fmt.Printf("\n%-16s %-6s %-5s %12s %8s %10s\n", "layer", "kind", "flow", "cycles", "rounds", "energy(uJ)")
+		for _, l := range res.Layers {
+			fmt.Printf("%-16s %-6s %-5s %12d %4d/%-4d %10.3f\n",
+				l.Name, l.Kind, l.Flow, l.Cycles, l.SimRounds, l.Rounds, l.Energy.Total()/1e6)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocsim:", err)
+	os.Exit(1)
+}

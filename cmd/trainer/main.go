@@ -1,0 +1,81 @@
+// Command trainer trains LeNet-5 for real on the procedural digit dataset
+// and saves the trained weights, which cmd/compress and cmd/nocsim can
+// then load — the "Training" stage of the paper's evaluation flow
+// (Fig. 8) as a standalone step.
+//
+// Usage:
+//
+//	trainer [-samples 2000] [-epochs 10] [-seed 42] -o lenet.nnwt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/train"
+)
+
+func main() {
+	var (
+		samples = flag.Int("samples", 2000, "training samples")
+		epochs  = flag.Int("epochs", 10, "training epochs")
+		seed    = flag.Int64("seed", 42, "dataset and initialization seed")
+		lr      = flag.Float64("lr", 0.05, "learning rate")
+		out     = flag.String("o", "lenet.nnwt", "output weight file")
+	)
+	flag.Parse()
+
+	m, err := models.LeNet5(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	all, err := dataset.Digits(*samples, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	trainSet, testSet, err := dataset.Split(all, 0.25)
+	if err != nil {
+		fatal(err)
+	}
+	opt, err := train.NewSGD(*lr, 0.9)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := train.NewTrainer(m.Graph, opt, 16)
+	if err != nil {
+		fatal(err)
+	}
+	tr.LRDecay = 0.85
+	fmt.Printf("training LeNet-5 on %d samples for %d epochs...\n", len(trainSet), *epochs)
+	losses, err := tr.Fit(trainSet, *epochs)
+	if err != nil {
+		fatal(err)
+	}
+	for e, l := range losses {
+		fmt.Printf("  epoch %2d: loss %.4f\n", e+1, l)
+	}
+	acc, err := train.Accuracy(m.Graph, testSet)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("test top-1 accuracy: %.4f\n", acc)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := nn.SaveWeights(f, m.Graph); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("saved trained weights to %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trainer:", err)
+	os.Exit(1)
+}

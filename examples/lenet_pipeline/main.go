@@ -1,0 +1,116 @@
+// lenet_pipeline runs the paper's full evaluation flow (Fig. 8) on
+// LeNet-5 end to end, with everything real: train the network on the
+// synthetic digit dataset, sweep the tolerance threshold delta over the
+// selected layer (dense_1), and for each point report genuine top-1
+// accuracy plus the simulated inference latency and energy on the
+// NoC-based accelerator — a miniature of Figs. 10a/10b.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/train"
+)
+
+func main() {
+	const seed = 42
+	m, err := models.LeNet5(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Train on the procedural digit dataset.
+	samples, err := dataset.Digits(2000, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainSet, testSet, err := dataset.Split(samples, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := train.NewSGD(0.05, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer, err := train.NewTrainer(m.Graph, opt, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer.LRDecay = 0.85
+	fmt.Println("training LeNet-5 on the synthetic digit dataset...")
+	losses, err := trainer.Fit(trainSet, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for e, l := range losses {
+		fmt.Printf("  epoch %d: loss %.4f\n", e+1, l)
+	}
+	baseAcc, err := train.Accuracy(m.Graph, testSet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("test top-1 accuracy: %.4f\n\n", baseAcc)
+
+	// 2. Baseline accelerator simulation.
+	sim, err := accel.NewSimulator(accel.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseSpecs, err := accel.SpecsFromModel(m, nil, core.DefaultStorage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := sim.SimulateModel(m.Name, baseSpecs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original inference: %d cycles, %.2f uJ\n\n", base.Cycles, base.Energy.Total()/1e6)
+
+	// 3. Delta sweep over the trained dense_1 weights (the Fig. 8 flow).
+	orig, err := m.SelectedWeights()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%6s %8s %9s %10s %10s %10s\n", "delta", "CR", "MSE", "accuracy", "latency", "energy")
+	fmt.Printf("%6s %8s %9s %10.4f %10.3f %10.3f\n", "orig", "-", "-", baseAcc, 1.0, 1.0)
+	for _, pct := range []float64{0, 5, 10, 15, 20} {
+		c, err := core.CompressPct(orig, pct)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.SetSelectedWeights(c.Decompress()); err != nil {
+			log.Fatal(err)
+		}
+		acc, err := train.Accuracy(m.Graph, testSet)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs, err := accel.SpecsFromModel(m, map[string]*core.Compressed{m.SelectedLayer: c}, core.DefaultStorage)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.SimulateModel(m.Name, specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var mse float64
+		approx := c.Decompress()
+		for i := range orig {
+			d := orig[i] - approx[i]
+			mse += d * d
+		}
+		mse /= float64(len(orig))
+		fmt.Printf("%5.0f%% %8.2f %9.2e %10.4f %10.3f %10.3f\n",
+			pct, c.CompressionRatio(core.DefaultStorage), mse, acc,
+			float64(res.Cycles)/float64(base.Cycles),
+			res.Energy.Total()/base.Energy.Total())
+	}
+	if err := m.SetSelectedWeights(orig); err != nil {
+		log.Fatal(err)
+	}
+}

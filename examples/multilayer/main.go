@@ -1,0 +1,89 @@
+// multilayer demonstrates the paper's future-work extension implemented
+// in internal/planner: instead of compressing only the single selected
+// layer (Table I's policy), a greedy search chooses a set of layers and a
+// per-layer tolerance threshold that maximize the whole-model compression
+// ratio under an accuracy budget — all without retraining.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/planner"
+	"repro/internal/train"
+)
+
+func main() {
+	budget := flag.Float64("budget", 0.05, "allowed top-1 accuracy drop")
+	flag.Parse()
+
+	const seed = 21
+	m, err := models.LeNet5(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, err := dataset.Digits(2000, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainSet, testSet, err := dataset.Split(samples, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := train.NewSGD(0.05, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer, err := train.NewTrainer(m.Graph, opt, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer.LRDecay = 0.85
+	fmt.Println("training LeNet-5...")
+	if _, err := trainer.Fit(trainSet, 10); err != nil {
+		log.Fatal(err)
+	}
+	accuracy := func() (float64, error) { return train.Accuracy(m.Graph, testSet) }
+
+	// Reference: the paper's single-layer policy at delta 10%.
+	orig, err := m.SelectedWeights()
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := core.CompressPct(orig, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.SetSelectedWeights(c.Decompress()); err != nil {
+		log.Fatal(err)
+	}
+	singleAcc, err := accuracy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	singleWCR := core.WeightedCR(c.CompressionRatio(core.DefaultStorage), len(orig), m.TotalParams())
+	if err := m.SetSelectedWeights(orig); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsingle-layer policy (dense_1 @ 10%%): WCR %.2f, accuracy %.4f\n", singleWCR, singleAcc)
+
+	// Multi-layer plan under the accuracy budget.
+	opts := planner.DefaultOptions()
+	opts.MaxAccuracyDrop = *budget
+	plan, err := planner.Greedy(m, accuracy, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmulti-layer plan (budget %.1f%% drop, %d evaluations):\n", 100**budget, plan.Evals)
+	fmt.Printf("%-12s %8s %8s %10s\n", "layer", "delta", "CR", "params")
+	for _, a := range plan.Assignments {
+		fmt.Printf("%-12s %7.0f%% %8.2f %10d\n", a.Layer, a.DeltaPct, a.CR, a.Params)
+	}
+	fmt.Printf("\nwhole-model WCR: %.2f (single-layer: %.2f)\n", plan.WeightedCR, singleWCR)
+	fmt.Printf("accuracy: %.4f (original %.4f, budget floor %.4f)\n",
+		plan.Accuracy, plan.BaseAccuracy, plan.BaseAccuracy-*budget)
+}

@@ -1,0 +1,142 @@
+// noc_traffic drives the bare cycle-accurate mesh NoC with the traffic
+// patterns of the accelerator (memory-interface fan-out, writeback
+// hotspot) and uniform random traffic, printing latency, energy and a
+// per-router utilization heatmap — a standalone tour of the Noxim-class
+// substrate underneath the accelerator model. Flags select the routing
+// algorithm and virtual-channel count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/energy"
+	"repro/internal/noc"
+)
+
+func main() {
+	var (
+		routingFlag = flag.String("routing", "xy", "routing algorithm: xy, yx, west-first")
+		vcs         = flag.Int("vcs", 1, "virtual channels per physical channel")
+		heatmap     = flag.Bool("heatmap", true, "print the per-router utilization heatmap")
+	)
+	flag.Parse()
+
+	var routing noc.Routing
+	switch *routingFlag {
+	case "xy":
+		routing = noc.RoutingXY
+	case "yx":
+		routing = noc.RoutingYX
+	case "west-first":
+		routing = noc.RoutingWestFirst
+	default:
+		log.Fatalf("unknown routing %q", *routingFlag)
+	}
+	cfg := noc.DefaultConfig()
+	cfg.Routing = routing
+	cfg.VirtualChannels = *vcs
+	effVCs := *vcs
+	if effVCs < 1 {
+		effVCs = 1
+	}
+	fmt.Printf("4x4 mesh, %s routing, %d VC(s), buffer depth %d\n\n", routing, effVCs, cfg.BufferDepth)
+
+	corners := []int{0, 3, 12, 15}
+	isCorner := func(n int) bool {
+		for _, c := range corners {
+			if c == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	run := func(name string, gen func(nw *noc.Network) error) {
+		nw, err := noc.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := gen(nw); err != nil {
+			log.Fatal(err)
+		}
+		cycles, drained := nw.RunUntilIdle(5_000_000)
+		if !drained {
+			log.Fatalf("%s: network did not drain", name)
+		}
+		st := nw.Stats()
+		p := energy.Default45nm()
+		dynPJ := float64(st.RouterTraverse)*p.RouterFlitPJ + float64(st.LinkTraverse)*p.LinkFlitPJ
+		leakPJ := p.LeakagePJ(16*p.RouterLeakW+48*p.LinkLeakW, cycles)
+		fmt.Printf("%-22s packets=%4d flits=%6d cycles=%7d avgLat=%7.1f dyn=%8.1f nJ leak=%8.1f nJ\n",
+			name, st.PacketsOut, st.FlitsEjected, cycles, st.AvgPacketLatency(),
+			dynPJ/1e3, leakPJ/1e3)
+		if *heatmap {
+			per := nw.PerRouterTraversals()
+			var max uint64 = 1
+			for _, c := range per {
+				if c > max {
+					max = c
+				}
+			}
+			glyphs := []byte(" .:-=+*#%@")
+			for y := 0; y < 4; y++ {
+				fmt.Printf("  ")
+				for x := 0; x < 4; x++ {
+					c := per[y*4+x]
+					g := glyphs[int(float64(c)/float64(max)*float64(len(glyphs)-1))]
+					fmt.Printf("%c ", g)
+				}
+				fmt.Println()
+			}
+		}
+	}
+
+	// Pattern 1: memory-interface fan-out — each corner streams weight
+	// packets to the PEs (the Fig. 1 "dispatch" phase).
+	run("weights fan-out", func(nw *noc.Network) error {
+		for _, mi := range corners {
+			for pe := 0; pe < 16; pe++ {
+				if isCorner(pe) {
+					continue
+				}
+				if _, err := nw.SendMessage(mi, pe, 64, nil); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+
+	// Pattern 2: output writeback hotspot — every PE converges on one
+	// memory interface (the stress case for wormhole arbitration).
+	run("writeback hotspot", func(nw *noc.Network) error {
+		for pe := 0; pe < 16; pe++ {
+			if isCorner(pe) {
+				continue
+			}
+			if _, err := nw.SendMessage(pe, 0, 128, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	// Pattern 3: uniform random traffic at a moderate load.
+	run("uniform random", func(nw *noc.Network) error {
+		rng := rand.New(rand.NewSource(1))
+		for k := 0; k < 400; k++ {
+			src := rng.Intn(16)
+			dst := rng.Intn(16)
+			if dst == src {
+				dst = (src + 5) % 16
+			}
+			if err := nw.Inject(noc.Packet{Src: src, Dst: dst, Flits: 1 + rng.Intn(16)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

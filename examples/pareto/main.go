@@ -1,0 +1,142 @@
+// pareto explores the multi-objective design space of Sec. IV-C for one
+// model: it sweeps the tolerance threshold delta at fine granularity,
+// evaluates (accuracy, latency, energy) for each point, and reports the
+// Pareto-optimal front — the designer's menu of trade-offs the paper's
+// tunable compression enables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/train"
+)
+
+type point struct {
+	delta    float64
+	accuracy float64
+	latency  float64 // normalized
+	energy   float64 // normalized
+}
+
+// dominates reports whether a is at least as good as b on every objective
+// and strictly better on one (accuracy up, latency and energy down).
+func dominates(a, b point) bool {
+	geq := a.accuracy >= b.accuracy && a.latency <= b.latency && a.energy <= b.energy
+	gt := a.accuracy > b.accuracy || a.latency < b.latency || a.energy < b.energy
+	return geq && gt
+}
+
+func main() {
+	var (
+		epochs = flag.Int("epochs", 10, "training epochs")
+		step   = flag.Float64("step", 2.5, "delta sweep step (percent)")
+		maxD   = flag.Float64("max", 25, "delta sweep maximum (percent)")
+	)
+	flag.Parse()
+
+	const seed = 7
+	m, err := models.LeNet5(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, err := dataset.Digits(2000, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainSet, testSet, err := dataset.Split(samples, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := train.NewSGD(0.05, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer, err := train.NewTrainer(m.Graph, opt, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer.LRDecay = 0.85
+	if _, err := trainer.Fit(trainSet, *epochs); err != nil {
+		log.Fatal(err)
+	}
+
+	sim, err := accel.NewSimulator(accel.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseSpecs, err := accel.SpecsFromModel(m, nil, core.DefaultStorage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := sim.SimulateModel(m.Name, baseSpecs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseAcc, err := train.Accuracy(m.Graph, testSet)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	orig, err := m.SelectedWeights()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pts := []point{{delta: -1, accuracy: baseAcc, latency: 1, energy: 1}}
+	for d := 0.0; d <= *maxD; d += *step {
+		c, err := core.CompressPct(orig, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.SetSelectedWeights(c.Decompress()); err != nil {
+			log.Fatal(err)
+		}
+		acc, err := train.Accuracy(m.Graph, testSet)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs, err := accel.SpecsFromModel(m, map[string]*core.Compressed{m.SelectedLayer: c}, core.DefaultStorage)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.SimulateModel(m.Name, specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts = append(pts, point{
+			delta:    d,
+			accuracy: acc,
+			latency:  float64(res.Cycles) / float64(base.Cycles),
+			energy:   res.Energy.Total() / base.Energy.Total(),
+		})
+	}
+	if err := m.SetSelectedWeights(orig); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%8s %10s %9s %8s  %s\n", "delta", "accuracy", "latency", "energy", "pareto")
+	for _, p := range pts {
+		onFront := true
+		for _, q := range pts {
+			if dominates(q, p) {
+				onFront = false
+				break
+			}
+		}
+		tag := ""
+		if onFront {
+			tag = "*"
+		}
+		name := "orig"
+		if p.delta >= 0 {
+			name = fmt.Sprintf("%.1f%%", p.delta)
+		}
+		fmt.Printf("%8s %10.4f %9.3f %8.3f  %s\n", name, p.accuracy, p.latency, p.energy, tag)
+	}
+	fmt.Println("\n* = Pareto-optimal in (accuracy up, latency down, energy down)")
+}

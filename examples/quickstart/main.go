@@ -1,0 +1,75 @@
+// Quickstart: compress a small weight succession with the paper's
+// weak-monotone segmentation + least-squares technique, inspect the
+// segments, decompress through the cycle-level hardware unit, and compare
+// the strict (delta = 0) and weak (delta > 0) criteria on the worst-case
+// sawtooth of Fig. 5.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	// A weight succession like Fig. 4's pictorial example: three bumps.
+	w := []float64{
+		0.10, 0.30, 0.50, 0.45, 0.20, 0.05,
+		0.15, 0.35, 0.60, 0.55, 0.50, 0.30,
+		0.32, 0.50, 0.70, 0.65, 0.45, 0.25,
+	}
+	c, err := core.Compress(w, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fig. 4 example: %d parameters -> %d monotonic sub-successions\n", len(w), len(c.Segments))
+	for i, s := range c.Segments {
+		fmt.Printf("  M%d: m=%+.4f q=%.4f len=%d\n", i+1, s.M, s.Q, s.Len)
+	}
+	approx := c.Decompress()
+	mse, _ := stats.MSE(w, approx)
+	fmt.Printf("  CR %.2fx, MSE %.2e\n\n", c.CompressionRatio(core.DefaultStorage), mse)
+
+	// Decompress through the two-state-FSM hardware model (Fig. 6).
+	var unit core.DecompressionUnit
+	hw, cycles, err := unit.Run(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hardware decompression: %d weights in %d cycles (one per cycle, no multiplier)\n",
+		len(hw), cycles)
+	fmt.Printf("  first weights: %.3f %.3f %.3f ...\n\n", hw[0], hw[1], hw[2])
+
+	// Fig. 5: the pair-by-pair inversely monotonic worst case.
+	saw := make([]float64, 1000)
+	for i := range saw {
+		if i%2 == 1 {
+			saw[i] = 0.01
+		}
+	}
+	strict, _ := core.Compress(saw, 0)
+	weak, _ := core.CompressPct(saw, 100)
+	fmt.Printf("Fig. 5 worst case (n=%d sawtooth):\n", len(saw))
+	fmt.Printf("  strict criterion: %4d segments, CR %.2f\n", len(strict.Segments), strict.CompressionRatio(core.DefaultStorage))
+	fmt.Printf("  weak criterion:   %4d segment,  CR %.2f\n\n", len(weak.Segments), weak.CompressionRatio(core.DefaultStorage))
+
+	// High-entropy data: the regime trained CNN weights live in (Fig. 3).
+	rng := rand.New(rand.NewSource(7))
+	weights := make([]float64, 100000)
+	for i := range weights {
+		weights[i] = rng.NormFloat64() * 0.05
+	}
+	for _, pct := range []float64{0, 5, 10, 15, 20} {
+		c, err := core.CompressPct(weights, pct)
+		if err != nil {
+			log.Fatal(err)
+		}
+		approx := c.Decompress()
+		mse, _ := stats.MSE(weights, approx)
+		fmt.Printf("delta %3.0f%%: CR %5.2f  avg run %5.2f  MSE %.2e\n",
+			pct, c.CompressionRatio(core.DefaultStorage), c.AvgRunLength(), mse)
+	}
+}

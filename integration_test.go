@@ -1,0 +1,263 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/entropy"
+	"repro/internal/models"
+	"repro/internal/planner"
+	"repro/internal/quant"
+	"repro/internal/train"
+)
+
+// TestEndToEndHeadlineClaim exercises the paper's headline pipeline on a
+// genuinely trained LeNet-5: compression reduces simulated inference
+// latency and energy monotonically with delta while accuracy degrades
+// gracefully at small delta.
+func TestEndToEndHeadlineClaim(t *testing.T) {
+	const seed = 99
+	m, err := models.LeNet5(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := dataset.Digits(800, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainSet, testSet, err := dataset.Split(samples, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := train.NewSGD(0.05, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := train.NewTrainer(m.Graph, opt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Fit(trainSet, 5); err != nil {
+		t.Fatal(err)
+	}
+	baseAcc, err := train.Accuracy(m.Graph, testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseAcc < 0.7 {
+		t.Fatalf("trained accuracy = %v, training substrate broken", baseAcc)
+	}
+
+	sim, err := accel.NewSimulator(accel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSpecs, err := accel.SpecsFromModel(m, nil, core.DefaultStorage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sim.SimulateModel(m.Name, baseSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	orig, err := m.SelectedWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevCycles := base.Cycles
+	prevEnergy := base.Energy.Total()
+	for _, pct := range []float64{0, 5, 10} {
+		c, err := core.CompressPct(orig, pct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetSelectedWeights(c.Decompress()); err != nil {
+			t.Fatal(err)
+		}
+		acc, err := train.Accuracy(m.Graph, testSet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs, err := accel.SpecsFromModel(m, map[string]*core.Compressed{m.SelectedLayer: c}, core.DefaultStorage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.SimulateModel(m.Name, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles >= prevCycles {
+			t.Errorf("delta %v%%: cycles %d did not drop below %d", pct, res.Cycles, prevCycles)
+		}
+		if res.Energy.Total() >= prevEnergy {
+			t.Errorf("delta %v%%: energy did not drop", pct)
+		}
+		if pct <= 5 && acc < baseAcc-0.1 {
+			t.Errorf("delta %v%%: accuracy fell %v -> %v, more than graceful", pct, baseAcc, acc)
+		}
+		prevCycles, prevEnergy = res.Cycles, res.Energy.Total()
+	}
+	if err := m.SetSelectedWeights(orig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProposedBeatsEntropyCodersOnWeights pits the paper's technique
+// against the lossless baselines on the same calibrated weight stream —
+// the quantitative Fig. 3 argument.
+func TestProposedBeatsEntropyCodersOnWeights(t *testing.T) {
+	m, err := models.LeNet5(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.SelectedWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := entropy.Float32Bytes(w)
+	huff, err := baseline.HuffmanRatio(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rle, err := baseline.RLERatio(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.CompressPct(w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proposed := c.CompressionRatio(core.DefaultStorage)
+	if huff > 1.3 {
+		t.Errorf("Huffman ratio on weights = %v, should be near 1", huff)
+	}
+	if rle > 1.0 {
+		t.Errorf("RLE ratio on weights = %v, should expand", rle)
+	}
+	if proposed < huff || proposed < rle {
+		t.Errorf("proposed %v does not beat baselines (huffman %v, rle %v)", proposed, huff, rle)
+	}
+}
+
+// TestQuantizeThenCompressPipeline runs the Table III composition on the
+// untrained LeNet and checks the storage accounting composes.
+func TestQuantizeThenCompressPipeline(t *testing.T) {
+	m, err := models.LeNet5(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.SelectedWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := quant.Quantize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.CompressPct(q.Stream(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Combined storage: int8 codes compressed under the 8-bit-coefficient
+	// layout must beat int8 alone.
+	int8Bits := 8 * len(w)
+	combined := c.CompressedBits(core.QuantizedStorage)
+	if combined >= int8Bits {
+		t.Errorf("combined %d bits not below int8-only %d bits", combined, int8Bits)
+	}
+	// And the reconstruction error stays bounded: quantization error plus
+	// delta-scale compression error.
+	back, err := quant.FromStream(c.Decompress(), q.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deq := back.Dequantize()
+	var worst float64
+	for i := range w {
+		if e := math.Abs(deq[i] - w[i]); e > worst {
+			worst = e
+		}
+	}
+	amp := 0.0
+	for _, v := range w {
+		if math.Abs(v) > amp {
+			amp = math.Abs(v)
+		}
+	}
+	if worst > amp {
+		t.Errorf("composed max error %v exceeds the weight amplitude %v", worst, amp)
+	}
+}
+
+// TestPlannerIntegration runs the future-work planner on a trained model
+// and verifies the model ends in the planned state.
+func TestPlannerIntegration(t *testing.T) {
+	m, err := models.LeNet5(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := dataset.Digits(500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainSet, testSet, err := dataset.Split(samples, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := train.NewSGD(0.05, 0.9)
+	tr, err := train.NewTrainer(m.Graph, opt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Fit(trainSet, 3); err != nil {
+		t.Fatal(err)
+	}
+	accFn := func() (float64, error) { return train.Accuracy(m.Graph, testSet) }
+	opts := planner.DefaultOptions()
+	opts.MaxEvals = 150
+	opts.Layers = []string{"dense_1", "dense_2"}
+	plan, err := planner.Greedy(m, accFn, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.WeightedCR <= 1 {
+		t.Errorf("plan WCR = %v", plan.WeightedCR)
+	}
+	if plan.Accuracy < plan.BaseAccuracy-opts.MaxAccuracyDrop-1e-9 {
+		t.Errorf("budget violated: %v vs base %v", plan.Accuracy, plan.BaseAccuracy)
+	}
+}
+
+// TestAccelExtrapolationConsistency verifies the steady-state
+// extrapolation: simulating more rounds cycle-accurately must give
+// near-identical totals.
+func TestAccelExtrapolationConsistency(t *testing.T) {
+	spec := accel.LayerSpec{
+		Name: "fc", Kind: "FC",
+		MACs: 8_000_000, WeightBytes: 32_000_000, InputBytes: 8192, OutputBytes: 8192,
+	}
+	var cycles [2]uint64
+	for i, rounds := range []int{4, 16} {
+		cfg := accel.DefaultConfig()
+		cfg.MaxSimRounds = rounds
+		sim, err := accel.NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr, err := sim.SimulateLayer(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[i] = lr.Cycles
+	}
+	ratio := float64(cycles[0]) / float64(cycles[1])
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("extrapolation inconsistent: 4-round %d vs 16-round %d (ratio %.3f)",
+			cycles[0], cycles[1], ratio)
+	}
+}

@@ -1,0 +1,374 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+func defaultSim(t *testing.T) *Simulator {
+	t.Helper()
+	s, err := NewSimulator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.MemNodes = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no memory nodes should error")
+	}
+	bad = DefaultConfig()
+	bad.MemNodes = []int{0, 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate memory nodes should error")
+	}
+	bad = DefaultConfig()
+	bad.MemNodes = []int{99}
+	if err := bad.Validate(); err == nil {
+		t.Error("off-mesh memory node should error")
+	}
+	bad = DefaultConfig()
+	bad.LocalMemBytes = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny local memory should error")
+	}
+	bad = DefaultConfig()
+	bad.MACLanes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero MAC lanes should error")
+	}
+	bad = DefaultConfig()
+	bad.DecompUnits = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero decompression throughput should error")
+	}
+	bad = DefaultConfig()
+	bad.MaxSimRounds = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero sim rounds should error")
+	}
+	if DefaultConfig().MACsPerCycle() != 64 {
+		t.Error("paper datapath is 64 MACs/cycle")
+	}
+}
+
+func TestPEAssignment(t *testing.T) {
+	cfg := DefaultConfig()
+	pes := cfg.peNodes()
+	if len(pes) != 12 {
+		t.Fatalf("PE count = %d, want 12", len(pes))
+	}
+	assign := cfg.assignPEs()
+	load := map[int]int{}
+	for pe, mi := range assign {
+		found := false
+		for _, m := range cfg.MemNodes {
+			if m == mi {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("PE %d assigned to non-MI node %d", pe, mi)
+		}
+		load[mi]++
+	}
+	for mi, n := range load {
+		if n != 3 {
+			t.Errorf("MI %d serves %d PEs, want 3", mi, n)
+		}
+	}
+	// Every PE must be assigned to an adjacent-quadrant corner: distance
+	// at most 3 hops in the 4x4 mesh with balanced corners.
+	dist := func(a, b int) int {
+		dx := a%4 - b%4
+		dy := a/4 - b/4
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		return dx + dy
+	}
+	for pe, mi := range assign {
+		if d := dist(pe, mi); d > 3 {
+			t.Errorf("PE %d assigned to MI %d at distance %d", pe, mi, d)
+		}
+	}
+	if links := cfg.meshLinks(); links != 48 {
+		t.Errorf("mesh links = %d, want 48", links)
+	}
+}
+
+func TestLayerSpecValidate(t *testing.T) {
+	if err := (LayerSpec{}).Validate(); err == nil {
+		t.Error("empty spec should error")
+	}
+	if err := (LayerSpec{Name: "x"}).Validate(); err == nil {
+		t.Error("spec moving no data should error")
+	}
+	if err := (LayerSpec{Name: "x", WeightBytes: 4, Compressed: true}).Validate(); err == nil {
+		t.Error("compressed spec with no weight count should error")
+	}
+	ok := LayerSpec{Name: "x", Kind: "FC", WeightBytes: 4, InputBytes: 4, OutputBytes: 4}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestFlowSelection(t *testing.T) {
+	conv := LayerSpec{Kind: "CONV", OutSpatial: 100}
+	if conv.Flow(12) != ConvFlow {
+		t.Error("large conv should use spatial partitioning")
+	}
+	tiny := LayerSpec{Kind: "CONV", OutSpatial: 1}
+	if tiny.Flow(12) != FCFlow {
+		t.Error("1x1-spatial conv should use FC flow")
+	}
+	fc := LayerSpec{Kind: "FC", OutSpatial: 100}
+	if fc.Flow(12) != FCFlow {
+		t.Error("FC layers always use FC flow")
+	}
+	if ConvFlow.String() != "conv" || FCFlow.String() != "fc" {
+		t.Error("Dataflow.String broken")
+	}
+}
+
+func TestSpecsFromModelLeNet(t *testing.T) {
+	m, err := models.LeNet5(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := SpecsFromModel(m, nil, core.DefaultStorage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// conv_1, pool_1, conv_2, pool_2, dense_1, dense_2, dense_3.
+	if len(specs) != 7 {
+		t.Fatalf("specs = %d, want 7", len(specs))
+	}
+	byName := map[string]LayerSpec{}
+	var totalWeightBytes uint64
+	for _, s := range specs {
+		byName[s.Name] = s
+		totalWeightBytes += s.WeightBytes
+	}
+	if totalWeightBytes != uint64(m.TotalParams())*4 {
+		t.Errorf("weight bytes %d != 4*params %d", totalWeightBytes, m.TotalParams()*4)
+	}
+	d1 := byName["dense_1"]
+	if d1.MACs != 48000 || d1.WeightBytes != 48120*4 {
+		t.Errorf("dense_1 spec = %+v", d1)
+	}
+	c1 := byName["conv_1"]
+	if c1.InputBytes != 28*28*4 || c1.OutputBytes != 28*28*6*4 || c1.OutSpatial != 784 {
+		t.Errorf("conv_1 spec = %+v", c1)
+	}
+}
+
+func TestSpecsFromModelCompressed(t *testing.T) {
+	m, err := models.LeNet5(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.SelectedWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.CompressPct(w, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := SpecsFromModel(m, map[string]*core.Compressed{"dense_1": c}, core.DefaultStorage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d1 LayerSpec
+	for _, s := range specs {
+		if s.Name == "dense_1" {
+			d1 = s
+		}
+	}
+	if !d1.Compressed || d1.WeightCount != 48000 {
+		t.Errorf("compressed dense_1 spec = %+v", d1)
+	}
+	raw := uint64(48120 * 4)
+	if d1.WeightBytes >= raw {
+		t.Errorf("compressed weight bytes %d not below raw %d", d1.WeightBytes, raw)
+	}
+	// The bias (120 floats) stays uncompressed.
+	if d1.WeightBytes < 480 {
+		t.Errorf("compressed weight bytes %d below the raw bias size", d1.WeightBytes)
+	}
+}
+
+func TestSimulateLayerBasics(t *testing.T) {
+	sim := defaultSim(t)
+	spec := LayerSpec{
+		Name: "fc", Kind: "FC",
+		MACs: 100_000, WeightBytes: 400_000, InputBytes: 4000, OutputBytes: 400,
+	}
+	lr, err := sim.SimulateLayer(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Cycles == 0 {
+		t.Error("zero cycles")
+	}
+	if lr.Latency.Total() != lr.Cycles {
+		t.Errorf("latency parts %d != cycles %d", lr.Latency.Total(), lr.Cycles)
+	}
+	if lr.Energy.Total() <= 0 {
+		t.Error("non-positive energy")
+	}
+	if lr.Traffic.DRAMReadWords == 0 || lr.Traffic.NoCFlits == 0 {
+		t.Errorf("traffic empty: %+v", lr.Traffic)
+	}
+	if lr.Rounds < lr.SimRounds || lr.SimRounds < 1 {
+		t.Errorf("rounds %d/%d", lr.SimRounds, lr.Rounds)
+	}
+	if _, err := sim.SimulateLayer(LayerSpec{}); err == nil {
+		t.Error("invalid spec should error")
+	}
+}
+
+func TestSimulateLayerExtrapolation(t *testing.T) {
+	sim := defaultSim(t)
+	// A layer needing far more rounds than MaxSimRounds.
+	spec := LayerSpec{
+		Name: "big_fc", Kind: "FC",
+		MACs: 4_000_000, WeightBytes: 16_000_000, InputBytes: 4000, OutputBytes: 4000,
+	}
+	lr, err := sim.SimulateLayer(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Rounds <= sim.Config().MaxSimRounds {
+		t.Fatalf("expected extrapolation, rounds = %d", lr.Rounds)
+	}
+	if lr.SimRounds != sim.Config().MaxSimRounds {
+		t.Errorf("sim rounds = %d", lr.SimRounds)
+	}
+	// Extrapolated DRAM reads must be close to the analytic total: weights
+	// striped + input broadcast per PE round-trips.
+	words := lr.Traffic.DRAMReadWords
+	atLeast := uint64(16_000_000 / 8)
+	if words < atLeast || words > atLeast*2 {
+		t.Errorf("extrapolated DRAM reads = %d, want ~%d", words, atLeast)
+	}
+}
+
+// TestCompressionReducesLatencyAndEnergy is the paper's headline claim at
+// system level.
+func TestCompressionReducesLatencyAndEnergy(t *testing.T) {
+	m, err := models.LeNet5(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := defaultSim(t)
+	base, err := SpecsFromModel(m, nil, core.DefaultStorage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := sim.SimulateModel(m.Name, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := m.SelectedWeights()
+	prevCycles, prevEnergy := orig.Cycles, orig.Energy.Total()
+	for _, pct := range []float64{5, 15} {
+		c, err := core.CompressPct(w, pct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs, err := SpecsFromModel(m, map[string]*core.Compressed{m.SelectedLayer: c}, core.DefaultStorage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.SimulateModel(m.Name, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles >= prevCycles {
+			t.Errorf("delta %v%%: cycles %d not below %d", pct, res.Cycles, prevCycles)
+		}
+		if res.Energy.Total() >= prevEnergy {
+			t.Errorf("delta %v%%: energy %v not below %v", pct, res.Energy.Total(), prevEnergy)
+		}
+		prevCycles, prevEnergy = res.Cycles, res.Energy.Total()
+	}
+	// Fig. 2's conclusion: memory dominates inference latency.
+	frac := float64(orig.Latency.Memory) / float64(orig.Latency.Total())
+	if frac < 0.5 {
+		t.Errorf("memory latency fraction = %.2f, expected dominant", frac)
+	}
+	// And main memory dominates energy.
+	if orig.Energy.MainDyn < orig.Energy.CommDyn || orig.Energy.MainDyn < orig.Energy.CompDyn {
+		t.Error("main memory should dominate dynamic energy")
+	}
+}
+
+func TestSimulateModelEmpty(t *testing.T) {
+	sim := defaultSim(t)
+	if _, err := sim.SimulateModel("x", nil); err == nil {
+		t.Error("no specs should error")
+	}
+}
+
+func TestResultAccumulate(t *testing.T) {
+	var r Result
+	r.accumulate(LayerResult{Name: "a", Cycles: 10, Latency: LatencyBreakdown{Memory: 10}})
+	r.accumulate(LayerResult{Name: "b", Cycles: 5, Latency: LatencyBreakdown{Computation: 5}})
+	if r.Cycles != 15 || len(r.Layers) != 2 {
+		t.Errorf("accumulate: %+v", r)
+	}
+	if r.Latency.Total() != 15 {
+		t.Errorf("latency total = %d", r.Latency.Total())
+	}
+	if r.Seconds(1e9) != 15e-9 {
+		t.Errorf("Seconds = %v", r.Seconds(1e9))
+	}
+}
+
+func TestEnergyBreakdownOps(t *testing.T) {
+	e := EnergyBreakdown{CommDyn: 1, CommLeak: 2, CompDyn: 3, CompLeak: 4, LocalDyn: 5, LocalLeak: 6, MainDyn: 7, MainLeak: 8}
+	if e.Total() != 36 {
+		t.Errorf("Total = %v", e.Total())
+	}
+	e2 := e
+	e2.add(e)
+	if e2.Total() != 72 {
+		t.Errorf("add: %v", e2.Total())
+	}
+	e2.scale(0.5)
+	if e2.Total() != 36 {
+		t.Errorf("scale: %v", e2.Total())
+	}
+}
+
+func TestDramServiceCycles(t *testing.T) {
+	if got := dramServiceCycles(8, 0.25); got != 32 {
+		t.Errorf("dramServiceCycles(8, 0.25) = %d, want 32", got)
+	}
+	if got := dramServiceCycles(0, 1); got != 1 {
+		t.Errorf("zero words should still take a beat, got %d", got)
+	}
+	if got := dramServiceCycles(5, 0); got != 5 {
+		t.Errorf("degenerate bandwidth fallback = %d", got)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	if ceilDiv(10, 3) != 4 || ceilDiv(9, 3) != 3 || ceilDiv(0, 5) != 0 || ceilDiv(5, 0) != 0 {
+		t.Error("ceilDiv broken")
+	}
+}

@@ -1,0 +1,170 @@
+// Package accel simulates the paper's NoC-based CNN accelerator (Fig. 7):
+// a 4x4 mesh whose corner nodes are main-memory interfaces and whose other
+// twelve nodes are PEs with 8 KB local scratchpads, 8 lanes of 8-way
+// vector MAC units, and an embedded weights-decompression unit. A CNN
+// model is executed layer by layer: memory interfaces fetch filters and
+// input feature maps from DRAM and dispatch them over the cycle-accurate
+// NoC; PEs compute and stream output feature maps back (Fig. 1).
+//
+// The simulator reports, per layer and in total, the latency breakdown
+// {memory, communication, computation} and the eight-component energy
+// breakdown {communication, computation, local memory, main memory} x
+// {dynamic, leakage} that Figs. 2 and 10 plot.
+package accel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/energy"
+	"repro/internal/noc"
+)
+
+// Config describes the accelerator platform.
+type Config struct {
+	Mesh          noc.Config
+	MemNodes      []int // node ids hosting memory interfaces (paper: the 4 corners)
+	LocalMemBytes int   // PE scratchpad capacity (paper: 8 KB)
+	MACLanes      int   // vector lanes per PE (paper: 8)
+	MACWidth      int   // dot-product width per lane (paper: 8)
+	DecompUnits   int   // decompressed weights per cycle per PE (one accumulator per multiplier)
+	MaxSimRounds  int   // tiling rounds simulated cycle-accurately before steady-state extrapolation
+	Energy        energy.Params
+}
+
+// DefaultConfig returns the paper's platform: 4x4 mesh at 1 GHz, 64-bit
+// links, memory interfaces in the corners, 8 KB scratchpads, 8x8-way MACs.
+func DefaultConfig() Config {
+	return Config{
+		Mesh:          noc.DefaultConfig(),
+		MemNodes:      []int{0, 3, 12, 15},
+		LocalMemBytes: 8 * 1024,
+		MACLanes:      8,
+		MACWidth:      8,
+		DecompUnits:   64,
+		MaxSimRounds:  8,
+		Energy:        energy.Default45nm(),
+	}
+}
+
+// Validate checks the platform description.
+func (c Config) Validate() error {
+	if err := c.Mesh.Validate(); err != nil {
+		return err
+	}
+	if err := c.Energy.Validate(); err != nil {
+		return err
+	}
+	nodes := c.Mesh.Width * c.Mesh.Height
+	if len(c.MemNodes) == 0 {
+		return fmt.Errorf("accel: no memory interface nodes")
+	}
+	seen := make(map[int]bool)
+	for _, m := range c.MemNodes {
+		if m < 0 || m >= nodes {
+			return fmt.Errorf("accel: memory node %d outside mesh", m)
+		}
+		if seen[m] {
+			return fmt.Errorf("accel: duplicate memory node %d", m)
+		}
+		seen[m] = true
+	}
+	if len(c.MemNodes) >= nodes {
+		return fmt.Errorf("accel: no PE nodes left")
+	}
+	switch {
+	case c.LocalMemBytes < 64:
+		return fmt.Errorf("accel: local memory %d bytes too small", c.LocalMemBytes)
+	case c.MACLanes < 1 || c.MACWidth < 1:
+		return fmt.Errorf("accel: bad MAC geometry %dx%d", c.MACLanes, c.MACWidth)
+	case c.DecompUnits < 1:
+		return fmt.Errorf("accel: decompression throughput %d < 1", c.DecompUnits)
+	case c.MaxSimRounds < 1:
+		return fmt.Errorf("accel: MaxSimRounds %d < 1", c.MaxSimRounds)
+	}
+	return nil
+}
+
+// MACsPerCycle returns the PE datapath throughput.
+func (c Config) MACsPerCycle() int { return c.MACLanes * c.MACWidth }
+
+// peNodes returns the non-memory node ids in ascending order.
+func (c Config) peNodes() []int {
+	mem := make(map[int]bool, len(c.MemNodes))
+	for _, m := range c.MemNodes {
+		mem[m] = true
+	}
+	var pes []int
+	for i := 0; i < c.Mesh.Width*c.Mesh.Height; i++ {
+		if !mem[i] {
+			pes = append(pes, i)
+		}
+	}
+	return pes
+}
+
+// assignPEs maps each PE node to its serving memory interface, balancing
+// load and preferring the nearest interface (Manhattan distance).
+func (c Config) assignPEs() map[int]int {
+	pes := c.peNodes()
+	cap := (len(pes) + len(c.MemNodes) - 1) / len(c.MemNodes)
+	load := make(map[int]int, len(c.MemNodes))
+	dist := func(a, b int) int {
+		ax, ay := a%c.Mesh.Width, a/c.Mesh.Width
+		bx, by := b%c.Mesh.Width, b/c.Mesh.Width
+		dx, dy := ax-bx, ay-by
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		return dx + dy
+	}
+	assign := make(map[int]int, len(pes))
+	// Assign in order of (distance to closest MI) descending so the
+	// constrained PEs pick first.
+	order := append([]int(nil), pes...)
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := 1<<30, 1<<30
+		for _, m := range c.MemNodes {
+			if d := dist(order[i], m); d < di {
+				di = d
+			}
+			if d := dist(order[j], m); d < dj {
+				dj = d
+			}
+		}
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	for _, pe := range order {
+		best, bestD := -1, 1<<30
+		for _, m := range c.MemNodes {
+			if load[m] >= cap {
+				continue
+			}
+			if d := dist(pe, m); d < bestD {
+				best, bestD = m, d
+			}
+		}
+		if best < 0 { // all full (only with uneven caps); fall back to min load
+			for _, m := range c.MemNodes {
+				if best < 0 || load[m] < load[best] {
+					best = m
+				}
+			}
+		}
+		assign[pe] = best
+		load[best]++
+	}
+	return assign
+}
+
+// meshLinks returns the number of unidirectional inter-router links.
+func (c Config) meshLinks() int {
+	w, h := c.Mesh.Width, c.Mesh.Height
+	return 2 * (w*(h-1) + h*(w-1))
+}

@@ -1,0 +1,137 @@
+package accel
+
+// EnergyBreakdown is the paper's six-component energy split (Fig. 10),
+// with dynamic and leakage parts for each subsystem. All values in
+// picojoules.
+type EnergyBreakdown struct {
+	CommDyn   float64
+	CommLeak  float64
+	CompDyn   float64
+	CompLeak  float64
+	LocalDyn  float64
+	LocalLeak float64
+	MainDyn   float64
+	MainLeak  float64
+}
+
+// Total returns the summed energy in picojoules.
+func (e EnergyBreakdown) Total() float64 {
+	return e.CommDyn + e.CommLeak + e.CompDyn + e.CompLeak +
+		e.LocalDyn + e.LocalLeak + e.MainDyn + e.MainLeak
+}
+
+// add accumulates another breakdown.
+func (e *EnergyBreakdown) add(o EnergyBreakdown) {
+	e.CommDyn += o.CommDyn
+	e.CommLeak += o.CommLeak
+	e.CompDyn += o.CompDyn
+	e.CompLeak += o.CompLeak
+	e.LocalDyn += o.LocalDyn
+	e.LocalLeak += o.LocalLeak
+	e.MainDyn += o.MainDyn
+	e.MainLeak += o.MainLeak
+}
+
+// scale multiplies every component.
+func (e *EnergyBreakdown) scale(f float64) {
+	e.CommDyn *= f
+	e.CommLeak *= f
+	e.CompDyn *= f
+	e.CompLeak *= f
+	e.LocalDyn *= f
+	e.LocalLeak *= f
+	e.MainDyn *= f
+	e.MainLeak *= f
+}
+
+// LatencyBreakdown is the paper's three-component latency split: cycles
+// attributed to main memory, on-chip communication, and computation.
+// Every simulated cycle is attributed to exactly one component (priority:
+// memory over communication over computation), so the parts sum to Total.
+type LatencyBreakdown struct {
+	Memory        uint64
+	Communication uint64
+	Computation   uint64
+}
+
+// Total returns the summed cycle count.
+func (l LatencyBreakdown) Total() uint64 {
+	return l.Memory + l.Communication + l.Computation
+}
+
+func (l *LatencyBreakdown) add(o LatencyBreakdown) {
+	l.Memory += o.Memory
+	l.Communication += o.Communication
+	l.Computation += o.Computation
+}
+
+func (l *LatencyBreakdown) scale(f float64) {
+	l.Memory = uint64(float64(l.Memory) * f)
+	l.Communication = uint64(float64(l.Communication) * f)
+	l.Computation = uint64(float64(l.Computation) * f)
+}
+
+// Traffic counts the data movement of a layer or model run.
+type Traffic struct {
+	DRAMReadWords  uint64
+	DRAMWriteWords uint64
+	NoCFlits       uint64
+	FlitHops       uint64 // router traversals
+	LinkHops       uint64
+}
+
+func (t *Traffic) add(o Traffic) {
+	t.DRAMReadWords += o.DRAMReadWords
+	t.DRAMWriteWords += o.DRAMWriteWords
+	t.NoCFlits += o.NoCFlits
+	t.FlitHops += o.FlitHops
+	t.LinkHops += o.LinkHops
+}
+
+func (t *Traffic) scale(f float64) {
+	t.DRAMReadWords = uint64(float64(t.DRAMReadWords) * f)
+	t.DRAMWriteWords = uint64(float64(t.DRAMWriteWords) * f)
+	t.NoCFlits = uint64(float64(t.NoCFlits) * f)
+	t.FlitHops = uint64(float64(t.FlitHops) * f)
+	t.LinkHops = uint64(float64(t.LinkHops) * f)
+}
+
+// LayerResult is the simulation outcome of one layer.
+type LayerResult struct {
+	Name string
+	Kind string
+	Flow Dataflow
+
+	Cycles  uint64
+	Latency LatencyBreakdown
+	Energy  EnergyBreakdown
+	Traffic Traffic
+
+	Rounds    int // total tiling rounds
+	SimRounds int // rounds simulated cycle-accurately (rest extrapolated)
+}
+
+// Result is the simulation outcome of a full inference.
+type Result struct {
+	Model  string
+	Layers []LayerResult
+
+	Cycles  uint64
+	Latency LatencyBreakdown
+	Energy  EnergyBreakdown
+	Traffic Traffic
+}
+
+// accumulate folds a layer into the totals.
+func (r *Result) accumulate(l LayerResult) {
+	r.Layers = append(r.Layers, l)
+	r.Cycles += l.Cycles
+	r.Latency.add(l.Latency)
+	r.Energy.add(l.Energy)
+	r.Traffic.add(l.Traffic)
+}
+
+// Seconds converts the total cycle count at the given clock.
+func (r *Result) Seconds(clockHz float64) float64 {
+	return float64(r.Cycles) / clockHz
+}

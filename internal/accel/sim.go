@@ -1,0 +1,479 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+)
+
+// Simulator executes layer specs on the accelerator platform.
+type Simulator struct {
+	cfg    Config
+	pes    []int
+	assign map[int]int // PE node -> memory interface node
+}
+
+// NewSimulator validates the configuration and precomputes the PE to
+// memory-interface assignment.
+func NewSimulator(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg, pes: cfg.peNodes(), assign: cfg.assignPEs()}, nil
+}
+
+// Config returns the platform configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// SimulateModel runs every layer in sequence and aggregates the results.
+func (s *Simulator) SimulateModel(modelName string, specs []LayerSpec) (*Result, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("accel: no layer specs")
+	}
+	res := &Result{Model: modelName}
+	for _, spec := range specs {
+		lr, err := s.SimulateLayer(spec)
+		if err != nil {
+			return nil, fmt.Errorf("accel: layer %q: %w", spec.Name, err)
+		}
+		res.accumulate(lr)
+	}
+	return res, nil
+}
+
+// message metadata kinds.
+type fetchMeta struct {
+	pe, round int
+}
+type outputMeta struct {
+	pe, round int
+}
+
+// dramJob is one main-memory transaction at a memory interface.
+type dramJob struct {
+	words   uint64
+	isWrite bool
+	pe      int
+	round   int
+}
+
+// miState is the runtime state of one memory interface.
+type miState struct {
+	node     int
+	readPlan [][]dramJob // per assigned PE: fetch jobs in round order
+	nextRead []int       // per assigned PE: next round to issue
+	writes   []dramJob   // pending writeback jobs
+	current  *dramJob
+	finishAt uint64
+}
+
+// peState is the runtime state of one PE.
+type peState struct {
+	node, mi  int
+	round     int
+	computing bool
+	busyUntil uint64
+	done      bool
+	arrived   map[int]int // round -> packets arrived
+	expected  map[int]int // round -> packets expected (set at injection)
+	issued    map[int]bool
+}
+
+// layerGeometry is the per-layer derived tiling.
+type layerGeometry struct {
+	flow         Dataflow
+	rounds       int
+	simRounds    int
+	wBytesPE     uint64 // per PE, whole layer
+	iBytesPE     uint64
+	oBytesPE     uint64
+	computeRound uint64 // compute cycles per round per PE
+	opsTotal     uint64
+}
+
+const (
+	flitBytes     = 8
+	wordBytes     = 8
+	maxLayerCycle = 500_000_000
+	// localMemUtil is the fraction of the scratchpad usable for tiles
+	// (the rest holds control state and double-buffer slack).
+	localMemUtil = 0.9
+	// haloFactor inflates striped input fetches for the overlapping rows
+	// spatially partitioned convolutions need.
+	haloFactor = 1.1
+)
+
+func ceilDiv(a, b uint64) uint64 {
+	if b == 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// dramServiceCycles returns the transfer time of a burst at the sustained
+// DRAM bandwidth (words per cycle, possibly fractional).
+func dramServiceCycles(words uint64, wordsPerCy float64) uint64 {
+	if wordsPerCy <= 0 {
+		return words
+	}
+	c := uint64(float64(words)/wordsPerCy + 0.999999)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// geometry derives the tiling and per-round quantities for a layer.
+func (s *Simulator) geometry(spec LayerSpec) layerGeometry {
+	numPEs := uint64(len(s.pes))
+	g := layerGeometry{flow: spec.Flow(len(s.pes))}
+
+	switch g.flow {
+	case ConvFlow:
+		// Spatial partitioning: weights broadcast, input striped.
+		g.wBytesPE = spec.WeightBytes
+		g.iBytesPE = uint64(float64(spec.InputBytes)*haloFactor) / numPEs
+		g.oBytesPE = spec.OutputBytes / numPEs
+	default:
+		// Output-neuron partitioning: weights striped, input broadcast.
+		g.wBytesPE = spec.WeightBytes / numPEs
+		g.iBytesPE = spec.InputBytes
+		g.oBytesPE = spec.OutputBytes / numPEs
+	}
+	if g.wBytesPE == 0 && spec.WeightBytes > 0 {
+		g.wBytesPE = 1
+	}
+	if g.iBytesPE == 0 && spec.InputBytes > 0 {
+		g.iBytesPE = 1
+	}
+	if g.oBytesPE == 0 && spec.OutputBytes > 0 {
+		g.oBytesPE = 1
+	}
+
+	perPE := g.wBytesPE + g.iBytesPE + g.oBytesPE
+	eff := uint64(float64(s.cfg.LocalMemBytes) * localMemUtil)
+	g.rounds = int(ceilDiv(perPE, eff))
+	if g.rounds < 1 {
+		g.rounds = 1
+	}
+	g.simRounds = g.rounds
+	if g.simRounds > s.cfg.MaxSimRounds {
+		g.simRounds = s.cfg.MaxSimRounds
+	}
+
+	// Computation: MACs, with a floor of one op per output value so
+	// parameter-free layers (pooling, BN scale/shift) still take time.
+	outVals := spec.OutputBytes / bytesPerValue
+	g.opsTotal = spec.MACs
+	if g.opsTotal < outVals {
+		g.opsTotal = outVals
+	}
+	opsPE := g.opsTotal / numPEs
+	opsRound := ceilDiv(opsPE, uint64(g.rounds))
+	g.computeRound = ceilDiv(opsRound, uint64(s.cfg.MACsPerCycle()))
+	if spec.Compressed {
+		wcPE := spec.WeightCount / numPEs
+		if g.flow == ConvFlow {
+			wcPE = spec.WeightCount
+		}
+		wcRound := ceilDiv(wcPE, uint64(g.rounds))
+		if d := ceilDiv(wcRound, uint64(s.cfg.DecompUnits)); d > g.computeRound {
+			g.computeRound = d
+		}
+	}
+	if g.computeRound < 1 {
+		g.computeRound = 1
+	}
+
+	return g
+}
+
+// SimulateLayer runs one layer cycle-accurately for up to MaxSimRounds
+// tiling rounds and extrapolates the steady state to the full round count.
+func (s *Simulator) SimulateLayer(spec LayerSpec) (LayerResult, error) {
+	if err := spec.Validate(); err != nil {
+		return LayerResult{}, err
+	}
+	g := s.geometry(spec)
+	nw, err := noc.New(s.cfg.Mesh)
+	if err != nil {
+		return LayerResult{}, err
+	}
+
+	// Per-round per-PE message sizes (bytes).
+	wRound := ceilDiv(g.wBytesPE, uint64(g.rounds))
+	iRound := ceilDiv(g.iBytesPE, uint64(g.rounds))
+	oRound := ceilDiv(g.oBytesPE, uint64(g.rounds))
+	fetchFlits := int(ceilDiv(wRound+iRound, flitBytes))
+	outFlits := int(ceilDiv(oRound, flitBytes))
+	// DRAM read cost per fetch: broadcast data (weights under ConvFlow,
+	// the input under FCFlow) is read once per memory interface and
+	// replicated over the NoC; per-PE data is read per PE. When
+	// WeightBytesDRAM differs from WeightBytes (memory-side decompression
+	// ablation), the DRAM-side weight component scales accordingly.
+	dramWScale := 1.0
+	if spec.WeightBytesDRAM != 0 && spec.WeightBytes != 0 {
+		dramWScale = float64(spec.WeightBytesDRAM) / float64(spec.WeightBytes)
+	}
+	var fetchWordsFirst, fetchWordsRest uint64
+	if g.flow == ConvFlow {
+		// Shared part = weights, own part = input stripe.
+		wDRAM := uint64(float64(wRound) * dramWScale)
+		fetchWordsFirst = ceilDiv(wDRAM+iRound, wordBytes)
+		fetchWordsRest = ceilDiv(iRound, wordBytes)
+	} else {
+		// Shared part = input, own part = weight slice.
+		wDRAM := uint64(float64(wRound) * dramWScale)
+		fetchWordsFirst = ceilDiv(iRound+wDRAM, wordBytes)
+		fetchWordsRest = ceilDiv(wDRAM, wordBytes)
+	}
+
+	// Build runtime state.
+	pes := make(map[int]*peState, len(s.pes))
+	for _, p := range s.pes {
+		pes[p] = &peState{
+			node: p, mi: s.assign[p],
+			arrived:  make(map[int]int),
+			expected: make(map[int]int),
+			issued:   make(map[int]bool),
+		}
+	}
+	mis := make(map[int]*miState, len(s.cfg.MemNodes))
+	miPEs := make(map[int][]int)
+	for _, p := range s.pes {
+		miPEs[s.assign[p]] = append(miPEs[s.assign[p]], p)
+	}
+	for _, m := range s.cfg.MemNodes {
+		st := &miState{node: m}
+		for k, p := range miPEs[m] {
+			words := fetchWordsFirst
+			if k > 0 {
+				words = fetchWordsRest
+			}
+			if words == 0 {
+				words = 1 // job bookkeeping still costs a beat
+			}
+			plan := make([]dramJob, g.simRounds)
+			for r := 0; r < g.simRounds; r++ {
+				plan[r] = dramJob{words: words, pe: p, round: r}
+			}
+			st.readPlan = append(st.readPlan, plan)
+			st.nextRead = append(st.nextRead, 0)
+		}
+		mis[m] = st
+	}
+
+	var dramReadWords, dramWriteWords uint64
+	var lat LatencyBreakdown
+
+	nw.SetSink(func(d noc.Delivery) {
+		switch meta := d.Packet.Meta.(type) {
+		case fetchMeta:
+			pe := pes[meta.pe]
+			pe.arrived[meta.round]++
+		case outputMeta:
+			// One write job per delivered packet, sized by the packet.
+			mi := mis[s.assign[meta.pe]]
+			mi.writes = append(mi.writes, dramJob{words: uint64(d.Packet.Flits), isWrite: true, pe: meta.pe, round: meta.round})
+		}
+	})
+
+	outstandingWrites := 0
+	done := func() bool {
+		for _, p := range pes {
+			if !p.done {
+				return false
+			}
+		}
+		if outstandingWrites > 0 {
+			return false
+		}
+		for _, m := range mis {
+			if m.current != nil || len(m.writes) > 0 {
+				return false
+			}
+		}
+		return nw.Idle()
+	}
+
+	for !done() {
+		now := nw.Cycle()
+		if now > maxLayerCycle {
+			return LayerResult{}, fmt.Errorf("accel: layer %q exceeded %d cycles", spec.Name, maxLayerCycle)
+		}
+
+		memBusy := false
+		// Memory interfaces.
+		for _, m := range s.cfg.MemNodes {
+			mi := mis[m]
+			if mi.current != nil {
+				if now >= mi.finishAt {
+					job := mi.current
+					mi.current = nil
+					if job.isWrite {
+						dramWriteWords += job.words
+						outstandingWrites--
+					} else {
+						dramReadWords += job.words
+						n, err := nw.SendMessage(m, job.pe, fetchFlits, fetchMeta{pe: job.pe, round: job.round})
+						if err != nil {
+							return LayerResult{}, err
+						}
+						pe := pes[job.pe]
+						pe.expected[job.round] = n
+						pe.issued[job.round] = true
+					}
+				} else {
+					memBusy = true
+				}
+			}
+			if mi.current == nil {
+				// Prefer writebacks, then reads (double-buffered: at most
+				// one round ahead of the PE's current round).
+				if len(mi.writes) > 0 {
+					job := mi.writes[0]
+					mi.writes = mi.writes[1:]
+					mi.current = &job
+					mi.finishAt = now + uint64(s.cfg.Energy.DRAMLatency) +
+						dramServiceCycles(job.words, s.cfg.Energy.DRAMWordsPerCy)
+					memBusy = true
+				} else {
+					for k := range mi.readPlan {
+						r := mi.nextRead[k]
+						if r >= g.simRounds {
+							continue
+						}
+						pe := pes[mi.readPlan[k][r].pe]
+						if r > pe.round+1 {
+							continue // respect double buffering
+						}
+						job := mi.readPlan[k][r]
+						mi.nextRead[k]++
+						mi.current = &job
+						mi.finishAt = now + uint64(s.cfg.Energy.DRAMLatency) +
+							dramServiceCycles(job.words, s.cfg.Energy.DRAMWordsPerCy)
+						memBusy = true
+						break
+					}
+				}
+			}
+		}
+
+		// PEs.
+		compBusy := false
+		for _, p := range s.pes {
+			pe := pes[p]
+			if pe.done {
+				continue
+			}
+			if pe.computing {
+				if now >= pe.busyUntil {
+					pe.computing = false
+					if outFlits > 0 {
+						npkts, err := nw.SendMessage(p, pe.mi, outFlits, outputMeta{pe: p, round: pe.round})
+						if err != nil {
+							return LayerResult{}, err
+						}
+						outstandingWrites += npkts
+					}
+					pe.round++
+					if pe.round >= g.simRounds {
+						pe.done = true
+						continue
+					}
+				} else {
+					compBusy = true
+					continue
+				}
+			}
+			if !pe.computing {
+				if pe.issued[pe.round] && pe.arrived[pe.round] == pe.expected[pe.round] && pe.expected[pe.round] > 0 {
+					pe.computing = true
+					pe.busyUntil = now + g.computeRound
+					compBusy = true
+				} else if fetchFlits == 0 {
+					// Degenerate layer with no inbound data: compute directly.
+					pe.computing = true
+					pe.busyUntil = now + g.computeRound
+					compBusy = true
+				}
+			}
+		}
+
+		// Attribute this cycle, then advance the network.
+		commBusy := !nw.Idle()
+		switch {
+		case memBusy:
+			lat.Memory++
+		case commBusy:
+			lat.Communication++
+		case compBusy:
+			lat.Computation++
+		default:
+			lat.Communication++ // handshake bubbles
+		}
+		nw.Step()
+	}
+
+	// Extrapolate the simulated rounds to the full layer.
+	scale := float64(g.rounds) / float64(g.simRounds)
+	simCycles := nw.Cycle()
+	st := nw.Stats()
+
+	var traffic Traffic
+	traffic.NoCFlits = st.FlitsInjected
+	traffic.FlitHops = st.RouterTraverse
+	traffic.LinkHops = st.LinkTraverse
+	traffic.DRAMReadWords = dramReadWords
+	traffic.DRAMWriteWords = dramWriteWords
+	traffic.scale(scale)
+	lat.scale(scale)
+	cycles := uint64(float64(simCycles) * scale)
+
+	lr := LayerResult{
+		Name:      spec.Name,
+		Kind:      spec.Kind,
+		Flow:      g.flow,
+		Cycles:    cycles,
+		Latency:   lat,
+		Traffic:   traffic,
+		Rounds:    g.rounds,
+		SimRounds: g.simRounds,
+	}
+	lr.Energy = s.layerEnergy(spec, g, lr)
+	return lr, nil
+}
+
+// layerEnergy back-annotates the energy breakdown from the (extrapolated)
+// activity counters plus the analytic computation counts.
+func (s *Simulator) layerEnergy(spec LayerSpec, g layerGeometry, lr LayerResult) EnergyBreakdown {
+	p := s.cfg.Energy
+	var e EnergyBreakdown
+
+	// Communication.
+	e.CommDyn = float64(lr.Traffic.FlitHops)*p.RouterFlitPJ + float64(lr.Traffic.LinkHops)*p.LinkFlitPJ
+	routers := float64(s.cfg.Mesh.Width * s.cfg.Mesh.Height)
+	links := float64(s.cfg.meshLinks())
+	e.CommLeak = p.LeakagePJ(routers*p.RouterLeakW+links*p.LinkLeakW, lr.Cycles)
+
+	// Computation: real MAC work plus decompression accumulator adds.
+	e.CompDyn = float64(spec.MACs) * p.MACPJ
+	if spec.Compressed {
+		e.CompDyn += float64(spec.WeightCount) * p.DecompressPJ
+	}
+	numPEs := float64(len(s.pes))
+	e.CompLeak = p.LeakagePJ(numPEs*p.PELeakW, lr.Cycles)
+
+	// Local memory: every inbound byte is written once; operands are read
+	// with register-level reuse (~one 64-bit word per two MACs).
+	inboundWords := float64(ceilDiv((g.wBytesPE+g.iBytesPE)*uint64(len(s.pes)), wordBytes))
+	outWords := float64(ceilDiv(g.oBytesPE*uint64(len(s.pes)), wordBytes))
+	readWords := 0.5 * float64(g.opsTotal)
+	e.LocalDyn = (inboundWords+outWords)*p.LocalWritePJ + (readWords+outWords)*p.LocalReadPJ
+	e.LocalLeak = p.LeakagePJ(numPEs*p.LocalLeakW, lr.Cycles)
+
+	// Main memory.
+	e.MainDyn = float64(lr.Traffic.DRAMReadWords+lr.Traffic.DRAMWriteWords) * p.DRAMWordPJ
+	e.MainLeak = p.LeakagePJ(p.DRAMLeakW, lr.Cycles)
+	return e
+}

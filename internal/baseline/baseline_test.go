@@ -1,0 +1,194 @@
+package baseline
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/entropy"
+)
+
+func TestHuffmanCodeLengthsKraft(t *testing.T) {
+	// Kraft inequality with equality for an optimal prefix code.
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		lengths, err := HuffmanCodeLengths(data)
+		if err != nil {
+			return false
+		}
+		distinct := map[byte]bool{}
+		for _, b := range data {
+			distinct[b] = true
+		}
+		var kraft float64
+		for s, l := range lengths {
+			present := distinct[byte(s)]
+			if present && l == 0 {
+				return false
+			}
+			if !present && l != 0 {
+				return false
+			}
+			if l > 0 {
+				kraft += math.Pow(2, -float64(l))
+			}
+		}
+		if len(distinct) == 1 {
+			return kraft == 0.5
+		}
+		return math.Abs(kraft-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHuffmanNearEntropyBound(t *testing.T) {
+	data := entropy.SyntheticText(1<<16, 3)
+	bits, err := HuffmanCompressedBits(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := ShannonBound(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := float64(bits - 256*8)
+	if payload < bound {
+		t.Errorf("Huffman %v bits beat the entropy bound %v", payload, bound)
+	}
+	// Optimality: within one bit per symbol of the bound.
+	if payload > bound+float64(len(data)) {
+		t.Errorf("Huffman %v bits too far above bound %v", payload, bound)
+	}
+}
+
+func TestHuffmanCompressesTextNotWeights(t *testing.T) {
+	// Text: expect a solid ratio (~1.6-2x for byte-level Huffman).
+	text := entropy.SyntheticText(1<<17, 1)
+	rt, err := HuffmanRatio(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt < 1.3 {
+		t.Errorf("text Huffman ratio = %v, want > 1.3", rt)
+	}
+	// Weight stream: the paper's claim — essentially incompressible.
+	rng := rand.New(rand.NewSource(5))
+	w := make([]float64, 1<<15)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.02
+	}
+	rw, err := HuffmanRatio(entropy.Float32Bytes(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw > 1.25 {
+		t.Errorf("weight Huffman ratio = %v, expected near 1 (high entropy)", rw)
+	}
+	if rw < 0.9 {
+		t.Errorf("weight Huffman ratio = %v, should not expand this much", rw)
+	}
+}
+
+func TestHuffmanDegenerate(t *testing.T) {
+	if _, err := HuffmanCodeLengths(nil); err != ErrEmpty {
+		t.Error("empty input should error")
+	}
+	lengths, err := HuffmanCodeLengths([]byte{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lengths[7] != 1 {
+		t.Errorf("single-symbol code length = %d, want 1", lengths[7])
+	}
+	if _, err := HuffmanRatio(nil); err == nil {
+		t.Error("empty ratio should error")
+	}
+	if _, err := ShannonBound(nil); err == nil {
+		t.Error("empty bound should error")
+	}
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		enc, err := RLEEncode(data)
+		if err != nil {
+			return false
+		}
+		dec, err := RLEDecode(enc)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRLELongRuns(t *testing.T) {
+	// A run longer than 255 must split.
+	data := bytes.Repeat([]byte{9}, 600)
+	enc, err := RLEEncode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 6 { // 255+255+90 -> 3 pairs
+		t.Errorf("encoded length = %d, want 6", len(enc))
+	}
+	dec, err := RLEDecode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, data) {
+		t.Error("long-run round trip failed")
+	}
+	r, err := RLERatio(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 90 {
+		t.Errorf("repetitive RLE ratio = %v, want = 100x", r)
+	}
+}
+
+func TestRLEExpandsWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	w := make([]float64, 1<<14)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	r, err := RLERatio(entropy.Float32Bytes(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 0.75 {
+		t.Errorf("RLE on weights = %v, expected expansion (~0.5)", r)
+	}
+}
+
+func TestRLEDecodeErrors(t *testing.T) {
+	if _, err := RLEDecode(nil); err == nil {
+		t.Error("empty stream should error")
+	}
+	if _, err := RLEDecode([]byte{1}); err == nil {
+		t.Error("odd-length stream should error")
+	}
+	if _, err := RLEDecode([]byte{0, 5}); err == nil {
+		t.Error("zero count should error")
+	}
+	if _, err := RLEEncode(nil); err == nil {
+		t.Error("empty encode should error")
+	}
+	if _, err := RLECompressedBytes(nil); err == nil {
+		t.Error("empty size should error")
+	}
+}

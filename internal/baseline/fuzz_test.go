@@ -1,0 +1,75 @@
+package baseline
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRLERoundTrip verifies encode/decode on arbitrary inputs.
+func FuzzRLERoundTrip(f *testing.F) {
+	f.Add([]byte("aaabbbccc"))
+	f.Add(bytes.Repeat([]byte{0}, 1000))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		enc, err := RLEEncode(data)
+		if err != nil {
+			t.Fatalf("encode failed: %v", err)
+		}
+		dec, err := RLEDecode(enc)
+		if err != nil {
+			t.Fatalf("decode failed: %v", err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatal("round trip mismatch")
+		}
+		n, err := RLECompressedBytes(data)
+		if err != nil || n != len(enc) {
+			t.Fatalf("size accounting %d != %d (%v)", n, len(enc), err)
+		}
+	})
+}
+
+// FuzzRLEDecode must never panic on arbitrary encodings.
+func FuzzRLEDecode(f *testing.F) {
+	f.Add([]byte{1, 2})
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, enc []byte) {
+		dec, err := RLEDecode(enc)
+		if err != nil {
+			return
+		}
+		// Accepted streams must re-encode to something decodable.
+		re, err := RLEEncode(dec)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := RLEDecode(re)
+		if err != nil || !bytes.Equal(back, dec) {
+			t.Fatal("canonical re-encode round trip failed")
+		}
+	})
+}
+
+// FuzzHuffman must never panic and must respect the entropy bound.
+func FuzzHuffman(f *testing.F) {
+	f.Add([]byte("the quick brown fox"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		bits, err := HuffmanCompressedBits(data)
+		if err != nil {
+			t.Fatalf("huffman failed: %v", err)
+		}
+		bound, err := ShannonBound(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := float64(bits) - 256*8
+		if payload+1e-9 < bound {
+			t.Fatalf("payload %v bits beats the entropy bound %v", payload, bound)
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary stream layout (little endian):
+//
+//	magic   [4]byte  "NCWC" (NoC CNN Weights Compression)
+//	version uint16
+//	n       uint32   original parameter count
+//	delta   float64  absolute tolerance used
+//	nseg    uint32   segment count
+//	nseg x { m float32, q float32, len uint32 }
+//
+// This is the archival format used by cmd/compress; the hardware storage
+// accounting for compression ratios is StorageModel, not this layout.
+var magic = [4]byte{'N', 'C', 'W', 'C'}
+
+const codecVersion uint16 = 1
+
+// Codec errors.
+var (
+	ErrBadMagic   = errors.New("core: bad magic, not a compressed weight stream")
+	ErrBadVersion = errors.New("core: unsupported codec version")
+	ErrCorrupt    = errors.New("core: corrupt compressed stream")
+)
+
+// WriteTo serializes the compressed succession to w.
+func (c *Compressed) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	le := binary.LittleEndian
+	var tmp [8]byte
+	le.PutUint16(tmp[:2], codecVersion)
+	buf.Write(tmp[:2])
+	le.PutUint32(tmp[:4], uint32(c.N))
+	buf.Write(tmp[:4])
+	le.PutUint64(tmp[:8], math.Float64bits(c.Delta))
+	buf.Write(tmp[:8])
+	le.PutUint32(tmp[:4], uint32(len(c.Segments)))
+	buf.Write(tmp[:4])
+	for _, s := range c.Segments {
+		le.PutUint32(tmp[:4], math.Float32bits(s.M))
+		buf.Write(tmp[:4])
+		le.PutUint32(tmp[:4], math.Float32bits(s.Q))
+		buf.Write(tmp[:4])
+		le.PutUint32(tmp[:4], uint32(s.Len))
+		buf.Write(tmp[:4])
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// Marshal serializes the compressed succession to a byte slice.
+func (c *Compressed) Marshal() []byte {
+	var buf bytes.Buffer
+	c.WriteTo(&buf) // bytes.Buffer writes cannot fail
+	return buf.Bytes()
+}
+
+// ReadCompressed parses a compressed succession from r.
+func ReadCompressed(r io.Reader) (*Compressed, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if hdr != magic {
+		return nil, ErrBadMagic
+	}
+	le := binary.LittleEndian
+	var tmp [8]byte
+	if _, err := io.ReadFull(r, tmp[:2]); err != nil {
+		return nil, fmt.Errorf("core: reading version: %w", err)
+	}
+	if v := le.Uint16(tmp[:2]); v != codecVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	if _, err := io.ReadFull(r, tmp[:4]); err != nil {
+		return nil, fmt.Errorf("core: reading count: %w", err)
+	}
+	n := int(le.Uint32(tmp[:4]))
+	if _, err := io.ReadFull(r, tmp[:8]); err != nil {
+		return nil, fmt.Errorf("core: reading delta: %w", err)
+	}
+	delta := math.Float64frombits(le.Uint64(tmp[:8]))
+	if _, err := io.ReadFull(r, tmp[:4]); err != nil {
+		return nil, fmt.Errorf("core: reading segment count: %w", err)
+	}
+	nseg := int(le.Uint32(tmp[:4]))
+	if nseg > n && n > 0 {
+		return nil, fmt.Errorf("%w: %d segments for %d params", ErrCorrupt, nseg, n)
+	}
+	segs := make([]Segment, nseg)
+	total := 0
+	for i := range segs {
+		var rec [12]byte
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return nil, fmt.Errorf("core: reading segment %d: %w", i, err)
+		}
+		segs[i] = Segment{
+			M:   math.Float32frombits(le.Uint32(rec[0:4])),
+			Q:   math.Float32frombits(le.Uint32(rec[4:8])),
+			Len: int(le.Uint32(rec[8:12])),
+		}
+		if segs[i].Len <= 0 {
+			return nil, fmt.Errorf("%w: segment %d has length %d", ErrCorrupt, i, segs[i].Len)
+		}
+		total += segs[i].Len
+	}
+	if total != n {
+		return nil, fmt.Errorf("%w: segment lengths sum to %d, want %d", ErrCorrupt, total, n)
+	}
+	return &Compressed{N: n, Delta: delta, Segments: segs}, nil
+}
+
+// Unmarshal parses a compressed succession from a byte slice.
+func Unmarshal(data []byte) (*Compressed, error) {
+	return ReadCompressed(bytes.NewReader(data))
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := make([]float64, 500)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	c, err := CompressPct(w, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := c.Marshal()
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != c.N || got.Delta != c.Delta || len(got.Segments) != len(c.Segments) {
+		t.Fatalf("header mismatch: %+v vs %+v", got, c)
+	}
+	for i := range got.Segments {
+		if got.Segments[i] != c.Segments[i] {
+			t.Fatalf("segment %d mismatch: %+v vs %+v", i, got.Segments[i], c.Segments[i])
+		}
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(raw []float64, dRaw uint8) bool {
+		w := sanitize(raw)
+		if len(w) == 0 {
+			return true
+		}
+		c, err := CompressPct(w, float64(dRaw%25))
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(c.Marshal())
+		if err != nil {
+			return false
+		}
+		if got.N != c.N || len(got.Segments) != len(c.Segments) {
+			return false
+		}
+		a, b := c.Decompress(), got.Decompress()
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecBadMagic(t *testing.T) {
+	if _, err := Unmarshal([]byte("XXXX............")); err != ErrBadMagic {
+		t.Errorf("bad magic err = %v", err)
+	}
+}
+
+func TestCodecTruncated(t *testing.T) {
+	c, err := Compress([]float64{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := c.Marshal()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Unmarshal(data[:cut]); err == nil {
+			t.Errorf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestCodecBadVersion(t *testing.T) {
+	c, _ := Compress([]float64{1, 2}, 0)
+	data := c.Marshal()
+	data[4] = 0xFF // corrupt version low byte
+	if _, err := Unmarshal(data); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestCodecCorruptLengths(t *testing.T) {
+	c, _ := Compress([]float64{1, 2, 3, 2, 1}, 0)
+	data := c.Marshal()
+	// Segment length field of the first segment lives at offset
+	// 4+2+4+8+4 + 8 = 30. Zero it: lengths no longer sum to N.
+	data[30], data[31], data[32], data[33] = 0, 0, 0, 0
+	if _, err := Unmarshal(data); err == nil {
+		t.Error("corrupt segment length accepted")
+	}
+}
+
+func TestCodecWriteTo(t *testing.T) {
+	c, _ := Compress([]float64{4, 3, 2, 1}, 0)
+	var buf bytes.Buffer
+	n, err := c.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != buf.Len() {
+		t.Errorf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	got, err := ReadCompressed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 4 {
+		t.Errorf("N = %d", got.N)
+	}
+}

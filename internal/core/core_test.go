@@ -1,0 +1,356 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestCompressErrors(t *testing.T) {
+	if _, err := Compress(nil, 0); err != ErrEmptyInput {
+		t.Errorf("Compress(nil) err = %v, want ErrEmptyInput", err)
+	}
+	if _, err := Compress([]float64{1}, -0.5); err != ErrNegativeDelta {
+		t.Errorf("negative delta err = %v, want ErrNegativeDelta", err)
+	}
+	if _, err := CompressPct([]float64{1}, -1); err != ErrNegativeDelta {
+		t.Errorf("negative pct err = %v, want ErrNegativeDelta", err)
+	}
+}
+
+func TestCompressExactLine(t *testing.T) {
+	// Parameters already on a line are represented exactly by one segment.
+	w := make([]float64, 64)
+	for i := range w {
+		w[i] = 0.5 + 0.25*float64(i)
+	}
+	c, err := Compress(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Segments) != 1 {
+		t.Fatalf("segments = %d, want 1", len(c.Segments))
+	}
+	got := c.Decompress()
+	if len(got) != len(w) {
+		t.Fatalf("decompressed length = %d", len(got))
+	}
+	for i := range w {
+		if math.Abs(got[i]-w[i]) > 1e-4 {
+			t.Errorf("w[%d] = %v, got %v", i, w[i], got[i])
+		}
+	}
+}
+
+func TestCompressConstant(t *testing.T) {
+	w := []float64{0.7, 0.7, 0.7, 0.7, 0.7}
+	c, err := Compress(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Segments) != 1 || math.Abs(float64(c.Segments[0].M)) > 1e-7 {
+		t.Errorf("constant compression = %+v", c.Segments)
+	}
+	mse, _ := stats.MSE(w, c.Decompress())
+	if mse > 1e-12 {
+		t.Errorf("constant MSE = %v", mse)
+	}
+}
+
+func TestCompressPctUsesAmplitude(t *testing.T) {
+	w := []float64{0, 10, 0, 10} // amplitude 10
+	c, err := CompressPct(w, 20) // delta = 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Delta-2) > 1e-12 {
+		t.Errorf("delta = %v, want 2", c.Delta)
+	}
+}
+
+func TestDecompressLengthInvariant(t *testing.T) {
+	f := func(raw []float64, dRaw uint8) bool {
+		w := sanitize(raw)
+		if len(w) == 0 {
+			return true
+		}
+		c, err := Compress(w, float64(dRaw)/64)
+		if err != nil {
+			return false
+		}
+		return len(c.Decompress()) == len(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecompressMatchesHardwareUnit: the software Decompress and the
+// cycle-level DecompressionUnit must produce bit-identical float32 streams,
+// since both implement Eq. 2 in float32.
+func TestDecompressMatchesHardwareUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	w := make([]float64, 2000)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.1
+	}
+	c, err := CompressPct(w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := c.Decompress()
+	var unit DecompressionUnit
+	hw, cycles, err := unit.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hw) != len(sw) {
+		t.Fatalf("hw %d vs sw %d weights", len(hw), len(sw))
+	}
+	for i := range hw {
+		if float64(hw[i]) != sw[i] {
+			t.Fatalf("weight %d: hw %v, sw %v", i, hw[i], sw[i])
+		}
+	}
+	if cycles != uint64(len(w)) {
+		t.Errorf("cycles = %d, want %d (one weight per cycle)", cycles, len(w))
+	}
+	if DecompressionCycles(c) != uint64(len(w)) {
+		t.Errorf("DecompressionCycles = %d", DecompressionCycles(c))
+	}
+}
+
+func TestCompressionRatioAccounting(t *testing.T) {
+	w := make([]float64, 100)
+	for i := range w {
+		w[i] = float64(i) // one segment
+	}
+	c, err := Compress(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OriginalBits() != 3200 {
+		t.Errorf("OriginalBits = %d", c.OriginalBits())
+	}
+	if got := c.CompressedBits(DefaultStorage); got != 64 {
+		t.Errorf("CompressedBits default = %d, want 64", got)
+	}
+	if got := c.CompressedBits(RealisticStorage); got != 80 {
+		t.Errorf("CompressedBits realistic = %d, want 80", got)
+	}
+	if got := c.CompressionRatio(DefaultStorage); math.Abs(got-50) > 1e-12 {
+		t.Errorf("CR = %v, want 50", got)
+	}
+	if got := c.AvgRunLength(); got != 100 {
+		t.Errorf("AvgRunLength = %v", got)
+	}
+	empty := &Compressed{}
+	if empty.CompressionRatio(DefaultStorage) != 0 || empty.AvgRunLength() != 0 {
+		t.Error("empty Compressed metrics should be 0")
+	}
+}
+
+// TestRandomDataCRNearPaper validates the delta = 0 calibration: for a
+// high-entropy stream the default storage model yields CR ~= 1.21, the
+// value Table II reports for every network at delta = 0.
+func TestRandomDataCRNearPaper(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := make([]float64, 100000)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	c, err := Compress(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := c.CompressionRatio(DefaultStorage)
+	if cr < 1.15 || cr > 1.30 {
+		t.Errorf("CR at delta=0 on random data = %.3f, want ~1.21", cr)
+	}
+}
+
+// TestCRGrowsWithDelta: Table II's central trend — compression ratio grows
+// monotonically (and sharply) with the tolerance threshold.
+func TestCRGrowsWithDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	w := make([]float64, 50000)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.05
+	}
+	prev := 0.0
+	for _, pct := range []float64{0, 5, 10, 15, 20} {
+		c, err := CompressPct(w, pct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr := c.CompressionRatio(DefaultStorage)
+		if cr < prev {
+			t.Errorf("CR decreased at delta=%v%%: %v < %v", pct, cr, prev)
+		}
+		prev = cr
+	}
+	if prev < 3 {
+		t.Errorf("CR at delta=20%% = %v, expected substantial growth", prev)
+	}
+}
+
+// TestMSEGrowsWithDelta: the approximation error trend of Table II.
+func TestMSEGrowsWithDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	w := make([]float64, 20000)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.05
+	}
+	var prev float64 = -1
+	for _, pct := range []float64{0, 5, 10, 20} {
+		c, err := CompressPct(w, pct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mse, err := stats.MSE(w, c.Decompress())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mse < prev*0.5 { // allow mild non-monotonicity, forbid collapse
+			t.Errorf("MSE at delta=%v%% = %v dropped far below previous %v", pct, mse, prev)
+		}
+		prev = mse
+	}
+}
+
+func TestWeightedCR(t *testing.T) {
+	// Layer is 80% of params, compressed 2x: WCR = 1/(0.2 + 0.4) = 1.667.
+	got := WeightedCR(2, 80, 100)
+	if math.Abs(got-1/0.6) > 1e-12 {
+		t.Errorf("WeightedCR = %v, want %v", got, 1/0.6)
+	}
+	// Whole model compressed: WCR = layer CR.
+	if got := WeightedCR(3, 100, 100); math.Abs(got-3) > 1e-12 {
+		t.Errorf("full-model WCR = %v, want 3", got)
+	}
+	if WeightedCR(0, 10, 100) != 0 || WeightedCR(2, 0, 0) != 0 {
+		t.Error("degenerate WeightedCR should be 0")
+	}
+}
+
+func TestMemFootprintReduction(t *testing.T) {
+	if got := MemFootprintReduction(2); got != 0.5 {
+		t.Errorf("MemFootprintReduction(2) = %v", got)
+	}
+	if got := MemFootprintReduction(0); got != 0 {
+		t.Errorf("MemFootprintReduction(0) = %v", got)
+	}
+}
+
+func TestAssess(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := make([]float64, 8000)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.1
+	}
+	r, c, err := Assess(w, 10, 10000, DefaultStorage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == nil || c.N != len(w) {
+		t.Fatal("Assess returned bad Compressed")
+	}
+	if r.CR <= 1 || r.WeightedCR <= 1 || r.WeightedCR > r.CR {
+		t.Errorf("CR = %v, WCR = %v: want 1 < WCR <= CR", r.CR, r.WeightedCR)
+	}
+	if r.MSE <= 0 || r.MaxErr < 0 {
+		t.Errorf("MSE = %v, MaxErr = %v", r.MSE, r.MaxErr)
+	}
+	if r.MemFpReduction <= 0 || r.MemFpReduction >= 1 {
+		t.Errorf("MemFpReduction = %v", r.MemFpReduction)
+	}
+	if r.Segments != len(c.Segments) {
+		t.Errorf("Segments = %d, want %d", r.Segments, len(c.Segments))
+	}
+	if _, _, err := Assess(w, 10, 10, DefaultStorage); err == nil {
+		t.Error("Assess with totalParams < len(w) should error")
+	}
+	if _, _, err := Assess(w, -1, len(w), DefaultStorage); err == nil {
+		t.Error("Assess with negative delta should error")
+	}
+}
+
+// TestAssessWorstCaseStrictVsWeak reproduces the Fig. 5 argument
+// numerically: on the alternating worst case, strict segmentation yields
+// CR = 1 (2-word segments, length-2 runs) while a tolerant delta collapses
+// it to a single segment.
+func TestAssessWorstCaseStrictVsWeak(t *testing.T) {
+	n := 1000
+	w := make([]float64, n)
+	for i := range w {
+		if i%2 == 1 {
+			w[i] = 0.01
+		}
+	}
+	strict, err := Compress(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr := strict.CompressionRatio(DefaultStorage); math.Abs(cr-1) > 1e-9 {
+		t.Errorf("strict worst-case CR = %v, want 1", cr)
+	}
+	weak, err := CompressPct(w, 100) // delta = amplitude
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weak.Segments) != 1 {
+		t.Errorf("weak worst-case segments = %d, want 1", len(weak.Segments))
+	}
+}
+
+// TestCompressDecompressPreservesScale: the approximation stays within the
+// value envelope of the input (line fits cannot overshoot the envelope by
+// more than the segment's own spread).
+func TestCompressDecompressPreservesScale(t *testing.T) {
+	f := func(raw []float64, dRaw uint8) bool {
+		w := sanitize(raw)
+		if len(w) == 0 {
+			return true
+		}
+		c, err := CompressPct(w, float64(dRaw%30))
+		if err != nil {
+			return false
+		}
+		min, max, _ := stats.MinMax(w)
+		span := max - min
+		for _, v := range c.Decompress() {
+			if v < min-span-1e-3 || v > max+span+1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPaperFig4Example compresses an 18-parameter succession like the
+// paper's pictorial example and checks the segment count stays small and
+// the reconstruction tracks the trend.
+func TestPaperFig4Example(t *testing.T) {
+	w := []float64{
+		0.1, 0.3, 0.5, 0.45, 0.2, 0.05,
+		0.15, 0.35, 0.6, 0.55, 0.5, 0.3,
+		0.32, 0.5, 0.7, 0.65, 0.45, 0.25,
+	}
+	c, err := Compress(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Segments) != 6 {
+		t.Errorf("segments = %d, want 6 as in Fig. 4", len(c.Segments))
+	}
+	mse, _ := stats.MSE(w, c.Decompress())
+	if mse > 0.01 {
+		t.Errorf("Fig. 4 example MSE = %v, too large", mse)
+	}
+}

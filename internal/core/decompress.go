@@ -1,0 +1,126 @@
+package core
+
+import "errors"
+
+// FSMState is the state of the decompression unit's control FSM (Fig. 6).
+type FSMState int8
+
+// The two FSM states of the paper's decompression unit, plus Idle for a
+// unit with no segment loaded.
+const (
+	StateIdle FSMState = iota
+	StateInit          // emit w~_1 = q
+	StateRun           // emit w~_j = w~_{j-1} + m
+)
+
+// String implements fmt.Stringer.
+func (s FSMState) String() string {
+	switch s {
+	case StateInit:
+		return "init"
+	case StateRun:
+		return "run"
+	default:
+		return "idle"
+	}
+}
+
+// ErrBusy is returned by Load when the unit has not finished the current
+// segment.
+var ErrBusy = errors.New("core: decompression unit busy")
+
+// DecompressionUnit is a cycle-level model of the hardware decompressor
+// embedded in each PE: a two-state FSM driving an accumulator datapath.
+// One approximated weight is produced per clock cycle; no multiplier is
+// used. The arithmetic is float32, the datapath width.
+//
+// The zero value is an idle unit ready for Load.
+type DecompressionUnit struct {
+	state     FSMState
+	m, q, acc float32
+	remaining int
+	cycles    uint64 // total cycles ticked while non-idle
+	produced  uint64 // total weights emitted
+}
+
+// Load accepts a compressed segment <m, q, len>. It fails with ErrBusy if
+// the previous segment has not been fully regenerated, and with an error
+// for non-positive lengths.
+func (u *DecompressionUnit) Load(s Segment) error {
+	if u.state != StateIdle {
+		return ErrBusy
+	}
+	if s.Len <= 0 {
+		return errors.New("core: segment length must be positive")
+	}
+	u.m, u.q = s.M, s.Q
+	u.remaining = s.Len
+	u.state = StateInit
+	return nil
+}
+
+// Tick advances the unit by one clock cycle. When the unit is active it
+// emits exactly one approximated weight per cycle and reports valid=true.
+// Ticking an idle unit is a no-op that reports valid=false.
+func (u *DecompressionUnit) Tick() (w float32, valid bool) {
+	switch u.state {
+	case StateInit:
+		u.acc = u.q
+	case StateRun:
+		u.acc += u.m
+	default:
+		return 0, false
+	}
+	u.cycles++
+	u.produced++
+	u.remaining--
+	if u.remaining == 0 {
+		u.state = StateIdle
+	} else {
+		u.state = StateRun
+	}
+	return u.acc, true
+}
+
+// State returns the current FSM state.
+func (u *DecompressionUnit) State() FSMState { return u.state }
+
+// Cycles returns the total active cycles consumed so far.
+func (u *DecompressionUnit) Cycles() uint64 { return u.cycles }
+
+// Produced returns the total number of weights emitted so far.
+func (u *DecompressionUnit) Produced() uint64 { return u.produced }
+
+// Reset returns the unit to idle and clears its counters.
+func (u *DecompressionUnit) Reset() { *u = DecompressionUnit{} }
+
+// Run regenerates an entire compressed succession through the cycle-level
+// unit, returning the weights and the number of cycles spent. Because the
+// unit emits one weight per cycle and segment loads overlap with the last
+// Run cycle (double-buffered <m,q> registers), the cycle count equals the
+// number of parameters — decompression keeps pace with the PE datapath, as
+// the paper requires.
+func (u *DecompressionUnit) Run(c *Compressed) ([]float32, uint64, error) {
+	out := make([]float32, 0, c.N)
+	start := u.cycles
+	for _, s := range c.Segments {
+		if err := u.Load(s); err != nil {
+			return nil, 0, err
+		}
+		for {
+			w, valid := u.Tick()
+			if !valid {
+				return nil, 0, errors.New("core: unit stalled mid-segment")
+			}
+			out = append(out, w)
+			if u.state == StateIdle {
+				break
+			}
+		}
+	}
+	return out, u.cycles - start, nil
+}
+
+// DecompressionCycles returns the number of cycles the hardware unit needs
+// to regenerate the whole compressed succession: one per parameter.
+func DecompressionCycles(c *Compressed) uint64 { return uint64(c.N) }

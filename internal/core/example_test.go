@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExampleCompress compresses a small monotone-structured succession and
+// prints its segments.
+func ExampleCompress() {
+	w := []float64{0.1, 0.2, 0.3, 0.25, 0.2, 0.15}
+	c, err := core.Compress(w, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i, s := range c.Segments {
+		fmt.Printf("M%d: m=%+.3f q=%.3f len=%d\n", i+1, s.M, s.Q, s.Len)
+	}
+	// Output:
+	// M1: m=+0.100 q=0.100 len=3
+	// M2: m=-0.050 q=0.250 len=3
+}
+
+// ExampleCompressPct shows the paper's percentage-of-amplitude tolerance.
+func ExampleCompressPct() {
+	w := []float64{0, 1, 0, 1, 0, 1, 0, 1}
+	c, err := core.CompressPct(w, 100) // delta = the full amplitude
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("segments:", len(c.Segments))
+	// Output:
+	// segments: 1
+}
+
+// ExampleDecompressionUnit drives the cycle-level hardware model.
+func ExampleDecompressionUnit() {
+	var u core.DecompressionUnit
+	if err := u.Load(core.Segment{M: 0.5, Q: 1, Len: 3}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	for {
+		w, valid := u.Tick()
+		if !valid {
+			break
+		}
+		fmt.Printf("%.1f ", w)
+		if u.State() == core.StateIdle {
+			break
+		}
+	}
+	fmt.Println()
+	// Output:
+	// 1.0 1.5 2.0
+}
+
+// ExampleSegmentBounds partitions a rise-then-fall under the strict
+// criterion.
+func ExampleSegmentBounds() {
+	runs := core.SegmentBounds([]float64{0, 1, 0.5, 0}, 0)
+	for _, r := range runs {
+		fmt.Printf("[%d,%d) %s\n", r.Start, r.Start+r.Len, r.Dir)
+	}
+	// Output:
+	// [0,2) up
+	// [2,4) down
+}
+
+// ExampleWeightedCR reproduces the Table II weighted-CR accounting.
+func ExampleWeightedCR() {
+	// A layer holding 80% of the parameters compressed 4x.
+	fmt.Printf("%.2f\n", core.WeightedCR(4, 80, 100))
+	// Output:
+	// 2.50
+}

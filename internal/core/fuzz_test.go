@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzUnmarshal hammers the codec with arbitrary bytes: it must never
+// panic, and anything it accepts must round-trip.
+func FuzzUnmarshal(f *testing.F) {
+	c, err := Compress([]float64{1, 2, 3, 2, 1, 0.5}, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(c.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte("NCWC"))
+	f.Add([]byte("NCWCxxxxxxxxxxxxxxxxxxxxxxxxxxxx"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Unmarshal(data)
+		if err != nil {
+			return // rejected, fine
+		}
+		// Accepted streams must be internally consistent and re-encodable.
+		total := 0
+		for _, s := range got.Segments {
+			if s.Len <= 0 {
+				t.Fatalf("accepted non-positive segment length %d", s.Len)
+			}
+			total += s.Len
+		}
+		if total != got.N {
+			t.Fatalf("accepted inconsistent stream: %d != %d", total, got.N)
+		}
+		re, err := Unmarshal(got.Marshal())
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if re.N != got.N || len(re.Segments) != len(got.Segments) {
+			t.Fatal("re-encode changed the stream")
+		}
+	})
+}
+
+// FuzzCompressDecompress checks the core pipeline on arbitrary inputs:
+// no panics, exact output length, finite outputs for finite inputs.
+func FuzzCompressDecompress(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, float64(5))
+	f.Add([]byte{0}, float64(0))
+	f.Fuzz(func(t *testing.T, raw []byte, deltaPct float64) {
+		if len(raw) == 0 {
+			return
+		}
+		if math.IsNaN(deltaPct) || math.IsInf(deltaPct, 0) || deltaPct < 0 || deltaPct > 1000 {
+			return
+		}
+		w := make([]float64, len(raw))
+		for i, b := range raw {
+			w[i] = (float64(b) - 128) / 64
+		}
+		c, err := CompressPct(w, deltaPct)
+		if err != nil {
+			t.Fatalf("finite input rejected: %v", err)
+		}
+		out := c.Decompress()
+		if len(out) != len(w) {
+			t.Fatalf("length %d != %d", len(out), len(w))
+		}
+		for i, v := range out {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite output at %d: %v", i, v)
+			}
+		}
+	})
+}

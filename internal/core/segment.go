@@ -1,0 +1,117 @@
+package core
+
+// Direction is the monotone direction of a sub-succession.
+type Direction int8
+
+// Monotone directions. DirNone marks a segment whose direction was never
+// forced: every consecutive step stayed within the tolerance threshold.
+const (
+	DirNone Direction = iota
+	DirUp
+	DirDown
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case DirUp:
+		return "up"
+	case DirDown:
+		return "down"
+	default:
+		return "none"
+	}
+}
+
+// Run identifies one weakly monotonic sub-succession within a parameter
+// stream: the half-open index range [Start, Start+Len) and its direction.
+type Run struct {
+	Start int
+	Len   int
+	Dir   Direction
+}
+
+// SegmentBounds greedily partitions w into maximal sub-successions that are
+// monotonic in the weak sense with tolerance threshold delta (Eq. 1):
+// within a segment, every consecutive step either follows the segment's
+// direction or deviates from it by at most delta. The direction of a
+// segment is fixed by the first step whose magnitude exceeds delta.
+//
+// With delta = 0 this degenerates to strict-sense monotone segmentation
+// (ties allowed in either direction). The runs cover w exactly, in order,
+// without overlap. Empty input yields no runs.
+func SegmentBounds(w []float64, delta float64) []Run {
+	if len(w) == 0 {
+		return nil
+	}
+	// Pre-size using the iid expectation E[L] ~= 2.44.
+	runs := make([]Run, 0, len(w)/2+1)
+	start := 0
+	dir := DirNone
+	for i := 1; i < len(w); i++ {
+		step := w[i] - w[i-1]
+		switch {
+		case step > delta: // significant move up
+			if dir == DirDown {
+				runs = append(runs, Run{Start: start, Len: i - start, Dir: dir})
+				start, dir = i, DirNone
+			} else {
+				dir = DirUp
+			}
+		case step < -delta: // significant move down
+			if dir == DirUp {
+				runs = append(runs, Run{Start: start, Len: i - start, Dir: dir})
+				start, dir = i, DirNone
+			} else {
+				dir = DirDown
+			}
+		default:
+			// |step| <= delta: tolerated in any direction, never breaks
+			// and never sets the segment direction.
+		}
+	}
+	runs = append(runs, Run{Start: start, Len: len(w) - start, Dir: dir})
+	return runs
+}
+
+// IsWeaklyMonotonic reports whether w is monotonic in the weak sense with
+// tolerance threshold delta in the given direction, per Eq. 1. A DirNone
+// direction requires every consecutive step to stay within delta.
+func IsWeaklyMonotonic(w []float64, delta float64, dir Direction) bool {
+	for i := 1; i < len(w); i++ {
+		step := w[i] - w[i-1]
+		switch dir {
+		case DirUp:
+			if step < -delta {
+				return false
+			}
+		case DirDown:
+			if step > delta {
+				return false
+			}
+		default:
+			if step > delta || step < -delta {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SegmentLengthHistogram returns counts of run lengths (index = length,
+// capped at maxLen with the final bucket accumulating longer runs). Useful
+// to inspect how delta grows the average cluster size.
+func SegmentLengthHistogram(runs []Run, maxLen int) []int {
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	h := make([]int, maxLen+1)
+	for _, r := range runs {
+		l := r.Len
+		if l > maxLen {
+			l = maxLen
+		}
+		h[l]++
+	}
+	return h
+}

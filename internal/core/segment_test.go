@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentBoundsEmpty(t *testing.T) {
+	if runs := SegmentBounds(nil, 0); runs != nil {
+		t.Errorf("SegmentBounds(nil) = %v, want nil", runs)
+	}
+}
+
+func TestSegmentBoundsSingle(t *testing.T) {
+	runs := SegmentBounds([]float64{3.14}, 0)
+	if len(runs) != 1 || runs[0] != (Run{Start: 0, Len: 1, Dir: DirNone}) {
+		t.Errorf("single element runs = %v", runs)
+	}
+}
+
+func TestSegmentBoundsMonotone(t *testing.T) {
+	// Strictly increasing input is one DirUp segment at delta = 0.
+	w := []float64{1, 2, 3, 4, 5}
+	runs := SegmentBounds(w, 0)
+	if len(runs) != 1 || runs[0].Dir != DirUp || runs[0].Len != 5 {
+		t.Errorf("increasing runs = %v", runs)
+	}
+	// Strictly decreasing likewise.
+	w = []float64{5, 4, 3, 2, 1}
+	runs = SegmentBounds(w, 0)
+	if len(runs) != 1 || runs[0].Dir != DirDown || runs[0].Len != 5 {
+		t.Errorf("decreasing runs = %v", runs)
+	}
+}
+
+func TestSegmentBoundsConstant(t *testing.T) {
+	// Equal steps are tolerated at delta = 0 (|step| <= 0) and never set
+	// the direction.
+	runs := SegmentBounds([]float64{2, 2, 2, 2}, 0)
+	if len(runs) != 1 || runs[0].Dir != DirNone {
+		t.Errorf("constant runs = %v", runs)
+	}
+}
+
+func TestSegmentBoundsDirectionChange(t *testing.T) {
+	// Up then down must split exactly at the peak.
+	w := []float64{0, 1, 2, 1, 0}
+	runs := SegmentBounds(w, 0)
+	if len(runs) != 2 {
+		t.Fatalf("runs = %v, want 2", runs)
+	}
+	if runs[0] != (Run{Start: 0, Len: 3, Dir: DirUp}) {
+		t.Errorf("first run = %v", runs[0])
+	}
+	if runs[1] != (Run{Start: 3, Len: 2, Dir: DirDown}) {
+		t.Errorf("second run = %v", runs[1])
+	}
+}
+
+// TestSegmentBoundsWorstCase reproduces Fig. 5: a pair-by-pair inversely
+// monotonic sawtooth. With the strict criterion (delta = 0) the number of
+// segments is n/2 (CR = 1 with 2-word segments); with delta at least the
+// tooth amplitude the whole succession collapses into one cluster.
+func TestSegmentBoundsWorstCase(t *testing.T) {
+	n := 16
+	w := make([]float64, n)
+	for i := range w {
+		if i%2 == 1 {
+			w[i] = 1
+		}
+	}
+	strict := SegmentBounds(w, 0)
+	if len(strict) != n/2 {
+		t.Errorf("strict sawtooth segments = %d, want %d", len(strict), n/2)
+	}
+	weak := SegmentBounds(w, 1.0)
+	if len(weak) != 1 {
+		t.Errorf("weak sawtooth segments = %d, want 1", len(weak))
+	}
+	if weak[0].Dir != DirNone {
+		t.Errorf("weak sawtooth dir = %v, want none", weak[0].Dir)
+	}
+}
+
+func TestSegmentBoundsToleranceGrowsRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	w := make([]float64, 4096)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	prev := len(SegmentBounds(w, 0))
+	for _, delta := range []float64{0.1, 0.5, 1, 2, 4} {
+		cur := len(SegmentBounds(w, delta))
+		if cur > prev {
+			t.Errorf("delta %v: segments grew from %d to %d", delta, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+// TestSegmentBoundsCoverage is the fundamental partition invariant: runs
+// cover the input exactly once, in order, with positive lengths.
+func TestSegmentBoundsCoverage(t *testing.T) {
+	f := func(raw []float64, dRaw uint8) bool {
+		w := sanitize(raw)
+		if len(w) == 0 {
+			return true
+		}
+		delta := float64(dRaw) / 64
+		runs := SegmentBounds(w, delta)
+		pos := 0
+		for _, r := range runs {
+			if r.Start != pos || r.Len <= 0 {
+				return false
+			}
+			pos += r.Len
+		}
+		return pos == len(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSegmentBoundsRunsAreWeaklyMonotonic checks Eq. 1 holds inside every
+// produced run.
+func TestSegmentBoundsRunsAreWeaklyMonotonic(t *testing.T) {
+	f := func(raw []float64, dRaw uint8) bool {
+		w := sanitize(raw)
+		if len(w) == 0 {
+			return true
+		}
+		delta := float64(dRaw) / 64
+		for _, r := range SegmentBounds(w, delta) {
+			if !IsWeaklyMonotonic(w[r.Start:r.Start+r.Len], delta, r.Dir) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSegmentBoundsGreedyMaximal checks that each break is necessary: the
+// first element of run k+1 cannot extend run k without violating run k's
+// direction.
+func TestSegmentBoundsGreedyMaximal(t *testing.T) {
+	f := func(raw []float64, dRaw uint8) bool {
+		w := sanitize(raw)
+		if len(w) == 0 {
+			return true
+		}
+		delta := float64(dRaw) / 64
+		runs := SegmentBounds(w, delta)
+		for i := 0; i+1 < len(runs); i++ {
+			end := runs[i].Start + runs[i].Len
+			extended := w[runs[i].Start : end+1]
+			if IsWeaklyMonotonic(extended, delta, runs[i].Dir) {
+				return false // the break was unnecessary
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsWeaklyMonotonic(t *testing.T) {
+	cases := []struct {
+		w     []float64
+		delta float64
+		dir   Direction
+		want  bool
+	}{
+		{[]float64{1, 2, 3}, 0, DirUp, true},
+		{[]float64{1, 2, 3}, 0, DirDown, false},
+		{[]float64{3, 2, 1}, 0, DirDown, true},
+		{[]float64{1, 0.9, 2}, 0.1, DirUp, true},  // dip within tolerance
+		{[]float64{1, 0.8, 2}, 0.1, DirUp, false}, // dip exceeds tolerance
+		{[]float64{1, 1.05, 0.96}, 0.1, DirNone, true},
+		{[]float64{1, 1.2, 0.95}, 0.1, DirNone, false},
+		{nil, 0, DirUp, true},
+		{[]float64{5}, 0, DirDown, true},
+	}
+	for i, c := range cases {
+		if got := IsWeaklyMonotonic(c.w, c.delta, c.dir); got != c.want {
+			t.Errorf("case %d: IsWeaklyMonotonic(%v, %v, %v) = %v, want %v",
+				i, c.w, c.delta, c.dir, got, c.want)
+		}
+	}
+}
+
+func TestSegmentLengthHistogram(t *testing.T) {
+	runs := []Run{{Len: 1}, {Len: 2}, {Len: 2}, {Len: 9}}
+	h := SegmentLengthHistogram(runs, 4)
+	if h[1] != 1 || h[2] != 2 || h[4] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+	if got := SegmentLengthHistogram(nil, 0); len(got) != 2 {
+		t.Errorf("degenerate histogram len = %d", len(got))
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if DirUp.String() != "up" || DirDown.String() != "down" || DirNone.String() != "none" {
+		t.Error("Direction.String mismatch")
+	}
+}
+
+// TestAverageRunLengthRandomData validates the iid expectation used to
+// calibrate the storage model: for high-entropy data the greedy weak
+// monotone partition at delta = 0 has mean run length close to
+// 2 + 2(e - 2.5) ~= 2.44.
+func TestAverageRunLengthRandomData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2020))
+	n := 200000
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	runs := SegmentBounds(w, 0)
+	avg := float64(n) / float64(len(runs))
+	want := 2 + 2*(math.E-2.5)
+	if math.Abs(avg-want) > 0.05 {
+		t.Errorf("avg run length = %.4f, want ~%.4f", avg, want)
+	}
+}
+
+// sanitize filters NaN/Inf and clamps magnitude so property tests exercise
+// realistic weight streams.
+func sanitize(raw []float64) []float64 {
+	out := make([]float64, 0, len(raw))
+	for _, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v > 1e6 {
+			v = 1e6
+		}
+		if v < -1e6 {
+			v = -1e6
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+// Package dataset generates the synthetic evaluation data that substitutes
+// for the paper's MNIST and ImageNet test sets (neither is available
+// offline):
+//
+//   - A procedural 10-class digit dataset: 28x28 grayscale seven-segment
+//     style digits with random translation, stroke width, amplitude and
+//     additive noise. LeNet-5 trains on it for real, so the paper's
+//     accuracy-degradation experiments run against a genuinely trained
+//     network.
+//   - Synthetic natural-image-like inputs (smooth random fields) used as
+//     the fixed probe set for the top-5 fidelity metric on the large
+//     models.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// NumClasses is the number of digit classes.
+const NumClasses = 10
+
+// DigitSize is the side of the square digit images.
+const DigitSize = 28
+
+// Sample is one labelled image.
+type Sample struct {
+	Image *tensor.Tensor // [H, W, 1]
+	Label int
+}
+
+// Seven-segment encoding: segments A (top), B (top right), C (bottom
+// right), D (bottom), E (bottom left), F (top left), G (middle).
+const (
+	segA = 1 << iota
+	segB
+	segC
+	segD
+	segE
+	segF
+	segG
+)
+
+var digitSegments = [NumClasses]int{
+	0: segA | segB | segC | segD | segE | segF,
+	1: segB | segC,
+	2: segA | segB | segG | segE | segD,
+	3: segA | segB | segG | segC | segD,
+	4: segF | segG | segB | segC,
+	5: segA | segF | segG | segC | segD,
+	6: segA | segF | segG | segE | segC | segD,
+	7: segA | segB | segC,
+	8: segA | segB | segC | segD | segE | segF | segG,
+	9: segA | segB | segC | segD | segF | segG,
+}
+
+// DigitImage renders one digit of the given class with randomized
+// translation, stroke width, intensity, and noise.
+func DigitImage(class int, rng *rand.Rand) (*tensor.Tensor, error) {
+	if class < 0 || class >= NumClasses {
+		return nil, fmt.Errorf("dataset: class %d out of range", class)
+	}
+	img := tensor.MustNew(DigitSize, DigitSize, 1)
+	// Glyph box: roughly 12x18 pixels, jittered within the canvas.
+	left := 8 + rng.Intn(5) - 2 // 6..10
+	top := 5 + rng.Intn(5) - 2  // 3..7
+	width := 10 + rng.Intn(3)   // 10..12
+	height := 16 + rng.Intn(3)  // 16..18
+	thick := 2 + rng.Intn(2)    // 2..3
+	amp := 0.75 + rng.Float64()*0.25
+	segs := digitSegments[class]
+
+	hline := func(y, x0, x1 int) {
+		for dy := 0; dy < thick; dy++ {
+			for x := x0; x <= x1; x++ {
+				setPx(img, y+dy, x, amp)
+			}
+		}
+	}
+	vline := func(x, y0, y1 int) {
+		for dx := 0; dx < thick; dx++ {
+			for y := y0; y <= y1; y++ {
+				setPx(img, y, x+dx, amp)
+			}
+		}
+	}
+	midY := top + height/2
+	if segs&segA != 0 {
+		hline(top, left, left+width)
+	}
+	if segs&segG != 0 {
+		hline(midY, left, left+width)
+	}
+	if segs&segD != 0 {
+		hline(top+height, left, left+width)
+	}
+	if segs&segF != 0 {
+		vline(left, top, midY)
+	}
+	if segs&segB != 0 {
+		vline(left+width, top, midY)
+	}
+	if segs&segE != 0 {
+		vline(left, midY, top+height)
+	}
+	if segs&segC != 0 {
+		vline(left+width, midY, top+height)
+	}
+	// Distractor clutter: a few random short strokes that the network
+	// must learn to ignore (keeps convolutional features load-bearing).
+	for k := 0; k < 2+rng.Intn(3); k++ {
+		y0 := rng.Intn(DigitSize)
+		x0 := rng.Intn(DigitSize)
+		horiz := rng.Intn(2) == 0
+		length := 2 + rng.Intn(4)
+		v := 0.3 + rng.Float64()*0.4
+		for d := 0; d < length; d++ {
+			if horiz {
+				setPx(img, y0, x0+d, v)
+			} else {
+				setPx(img, y0+d, x0, v)
+			}
+		}
+	}
+	// Additive Gaussian pixel noise.
+	for i := range img.Data {
+		v := float64(img.Data[i]) + rng.NormFloat64()*0.15
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		img.Data[i] = float32(v)
+	}
+	return img, nil
+}
+
+func setPx(img *tensor.Tensor, y, x int, v float64) {
+	if y < 0 || y >= DigitSize || x < 0 || x >= DigitSize {
+		return
+	}
+	img.Set(float32(v), y, x, 0)
+}
+
+// Digits generates n labelled digit samples with classes cycling so the
+// set is balanced, deterministically from seed.
+func Digits(n int, seed int64) ([]Sample, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: non-positive sample count %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Sample, n)
+	for i := range out {
+		class := i % NumClasses
+		img, err := DigitImage(class, rng)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Sample{Image: img, Label: class}
+	}
+	// Shuffle so training batches mix classes.
+	rng.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out, nil
+}
+
+// SyntheticImages generates n smooth random fields of shape [h, w, c] —
+// stand-ins for natural images as the fixed probe set of the fidelity
+// metric. Each image is low-resolution noise bilinearly upsampled, plus a
+// small amount of high-frequency detail, normalized to [0, 1].
+func SyntheticImages(n, h, w, c int, seed int64) ([]*tensor.Tensor, error) {
+	if n <= 0 || h <= 0 || w <= 0 || c <= 0 {
+		return nil, fmt.Errorf("dataset: bad synthetic image geometry n=%d h=%d w=%d c=%d", n, h, w, c)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*tensor.Tensor, n)
+	const coarse = 8
+	for i := range out {
+		img := tensor.MustNew(h, w, c)
+		// Low-resolution base field per channel.
+		base := make([][]float64, c)
+		for ch := 0; ch < c; ch++ {
+			base[ch] = make([]float64, coarse*coarse)
+			for j := range base[ch] {
+				base[ch][j] = rng.Float64()
+			}
+		}
+		for y := 0; y < h; y++ {
+			fy := float64(y) / float64(h) * float64(coarse-1)
+			y0 := int(fy)
+			ty := fy - float64(y0)
+			y1 := y0 + 1
+			if y1 >= coarse {
+				y1 = coarse - 1
+			}
+			for x := 0; x < w; x++ {
+				fx := float64(x) / float64(w) * float64(coarse-1)
+				x0 := int(fx)
+				tx := fx - float64(x0)
+				x1 := x0 + 1
+				if x1 >= coarse {
+					x1 = coarse - 1
+				}
+				for ch := 0; ch < c; ch++ {
+					b := base[ch]
+					v := b[y0*coarse+x0]*(1-ty)*(1-tx) +
+						b[y0*coarse+x1]*(1-ty)*tx +
+						b[y1*coarse+x0]*ty*(1-tx) +
+						b[y1*coarse+x1]*ty*tx
+					v += rng.NormFloat64() * 0.03
+					if v < 0 {
+						v = 0
+					}
+					if v > 1 {
+						v = 1
+					}
+					img.Set(float32(v), y, x, ch)
+				}
+			}
+		}
+		out[i] = img
+	}
+	return out, nil
+}
+
+// Split partitions samples into train and test sets at the given test
+// fraction (0 < frac < 1). The input order is preserved.
+func Split(samples []Sample, testFrac float64) (train, test []Sample, err error) {
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: test fraction %v out of (0,1)", testFrac)
+	}
+	nTest := int(float64(len(samples)) * testFrac)
+	if nTest == 0 || nTest == len(samples) {
+		return nil, nil, fmt.Errorf("dataset: split of %d samples at %v degenerates", len(samples), testFrac)
+	}
+	return samples[:len(samples)-nTest], samples[len(samples)-nTest:], nil
+}

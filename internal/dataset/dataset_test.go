@@ -1,0 +1,149 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDigitImageBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for class := 0; class < NumClasses; class++ {
+		img, err := DigitImage(class, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := img.Shape()
+		if s[0] != DigitSize || s[1] != DigitSize || s[2] != 1 {
+			t.Fatalf("class %d: shape %v", class, s)
+		}
+		var sum, maxv float64
+		for _, v := range img.Data {
+			if v < 0 || v > 1 {
+				t.Fatalf("class %d: pixel out of [0,1]: %v", class, v)
+			}
+			sum += float64(v)
+			if float64(v) > maxv {
+				maxv = float64(v)
+			}
+		}
+		if maxv < 0.5 {
+			t.Errorf("class %d: no visible strokes (max %v)", class, maxv)
+		}
+		if sum < 10 {
+			t.Errorf("class %d: too little ink (%v)", class, sum)
+		}
+	}
+	if _, err := DigitImage(-1, rng); err == nil {
+		t.Error("negative class should error")
+	}
+	if _, err := DigitImage(10, rng); err == nil {
+		t.Error("class 10 should error")
+	}
+}
+
+func TestDigitClassesDiffer(t *testing.T) {
+	// Renders of different classes with the same RNG stream should differ
+	// substantially (on average) — the classes must be distinguishable.
+	rng := rand.New(rand.NewSource(2))
+	img1, _ := DigitImage(1, rng)
+	img8, _ := DigitImage(8, rng)
+	var diff float64
+	for i := range img1.Data {
+		d := float64(img1.Data[i] - img8.Data[i])
+		diff += d * d
+	}
+	if diff < 5 {
+		t.Errorf("digit 1 vs 8 squared diff = %v, suspiciously similar", diff)
+	}
+}
+
+func TestDigitsBalancedAndDeterministic(t *testing.T) {
+	a, err := Digits(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, NumClasses)
+	for _, s := range a {
+		counts[s.Label]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Errorf("class %d count = %d, want 10", c, n)
+		}
+	}
+	b, _ := Digits(100, 7)
+	for i := range a {
+		if a[i].Label != b[i].Label {
+			t.Fatal("Digits not deterministic for same seed")
+		}
+		for j := range a[i].Image.Data {
+			if a[i].Image.Data[j] != b[i].Image.Data[j] {
+				t.Fatal("Digits images not deterministic")
+			}
+		}
+	}
+	if _, err := Digits(0, 1); err == nil {
+		t.Error("zero count should error")
+	}
+}
+
+func TestSyntheticImages(t *testing.T) {
+	imgs, err := SyntheticImages(3, 16, 16, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imgs) != 3 {
+		t.Fatalf("count = %d", len(imgs))
+	}
+	for _, img := range imgs {
+		s := img.Shape()
+		if s[0] != 16 || s[1] != 16 || s[2] != 3 {
+			t.Fatalf("shape %v", s)
+		}
+		for _, v := range img.Data {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel out of range: %v", v)
+			}
+		}
+	}
+	// Smoothness: adjacent-pixel variation should be far below the range.
+	img := imgs[0]
+	var adj float64
+	n := 0
+	for y := 0; y < 15; y++ {
+		for x := 0; x < 15; x++ {
+			d := float64(img.At(y, x, 0) - img.At(y, x+1, 0))
+			adj += d * d
+			n++
+		}
+	}
+	if adj/float64(n) > 0.05 {
+		t.Errorf("adjacent pixel MSE = %v, field not smooth", adj/float64(n))
+	}
+	if _, err := SyntheticImages(0, 4, 4, 1, 1); err == nil {
+		t.Error("zero count should error")
+	}
+	if _, err := SyntheticImages(1, 0, 4, 1, 1); err == nil {
+		t.Error("zero height should error")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	samples, _ := Digits(100, 3)
+	tr, te, err := Split(samples, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 80 || len(te) != 20 {
+		t.Errorf("split sizes %d/%d", len(tr), len(te))
+	}
+	if _, _, err := Split(samples, 0); err == nil {
+		t.Error("zero fraction should error")
+	}
+	if _, _, err := Split(samples, 1); err == nil {
+		t.Error("unit fraction should error")
+	}
+	if _, _, err := Split(samples[:1], 0.2); err == nil {
+		t.Error("degenerate split should error")
+	}
+}

@@ -1,0 +1,126 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefault45nmValid(t *testing.T) {
+	if err := Default45nm().Validate(); err != nil {
+		t.Fatalf("default parameters invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadness(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.ClockHz = 0 },
+		func(p *Params) { p.FlitBits = 0 },
+		func(p *Params) { p.RouterFlitPJ = -1 },
+		func(p *Params) { p.LocalReadPJ = -1 },
+		func(p *Params) { p.RouterLeakW = -1 },
+		func(p *Params) { p.DRAMLatency = -1 },
+		func(p *Params) { p.DRAMWordsPerCy = 0 },
+	}
+	for i, mut := range mutations {
+		p := Default45nm()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestMagnitudeOrdering(t *testing.T) {
+	// The orderings that drive the paper's breakdowns must hold: DRAM per
+	// word >> local SRAM per word >> NoC per flit-ish >> MAC, and the
+	// decompression add is cheaper than a MAC (no multiplier).
+	p := Default45nm()
+	if p.DRAMWordPJ < 100*p.LocalReadPJ {
+		t.Errorf("DRAM %v not >> SRAM %v", p.DRAMWordPJ, p.LocalReadPJ)
+	}
+	if p.LocalReadPJ < p.MACPJ {
+		t.Errorf("SRAM access %v not above MAC %v", p.LocalReadPJ, p.MACPJ)
+	}
+	if p.DecompressPJ >= p.MACPJ {
+		t.Errorf("decompress %v should be cheaper than MAC %v", p.DecompressPJ, p.MACPJ)
+	}
+}
+
+func TestCyclesToSecondsAndLeakage(t *testing.T) {
+	p := Default45nm()
+	if got := p.CyclesToSeconds(1e9); math.Abs(got-1) > 1e-12 {
+		t.Errorf("1e9 cycles at 1 GHz = %v s", got)
+	}
+	// 1 mW over 1 us = 1 nJ = 1000 pJ.
+	if got := p.LeakagePJ(1e-3, 1000); math.Abs(got-1000) > 1e-6 {
+		t.Errorf("leakage = %v pJ, want 1000", got)
+	}
+	if got := p.LeakagePJ(0, 12345); got != 0 {
+		t.Errorf("zero leakage power gave %v", got)
+	}
+}
+
+func TestSRAMAccessPJ(t *testing.T) {
+	small, err := SRAMAccessPJ(8 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small < 3 || small > 12 {
+		t.Errorf("8KB access = %v pJ, want ~6", small)
+	}
+	big, err := SRAMAccessPJ(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big < 20 || big > 80 {
+		t.Errorf("1MB access = %v pJ, want ~25-60", big)
+	}
+	if big <= small {
+		t.Error("larger SRAM should cost more per access")
+	}
+	if _, err := SRAMAccessPJ(0); err == nil {
+		t.Error("zero capacity should error")
+	}
+}
+
+func TestSRAMLeakWMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		ca, cb := int(a)+1, int(b)+1
+		la, err1 := SRAMLeakW(ca)
+		lb, err2 := SRAMLeakW(cb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if ca < cb {
+			return la <= lb
+		}
+		return la >= lb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	if _, err := SRAMLeakW(-1); err == nil {
+		t.Error("negative capacity should error")
+	}
+}
+
+func TestSRAMCycleLatency(t *testing.T) {
+	lat, err := SRAMCycleLatency(8 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 1 {
+		t.Errorf("8KB scratchpad latency = %d cycles, want 1", lat)
+	}
+	latBig, err := SRAMCycleLatency(4 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latBig <= lat {
+		t.Errorf("4MB latency %d not above 8KB latency %d", latBig, lat)
+	}
+	if _, err := SRAMCycleLatency(0); err == nil {
+		t.Error("zero capacity should error")
+	}
+}

@@ -1,0 +1,111 @@
+// Package entropy measures the Shannon entropy of serialized data streams.
+//
+// The paper's Fig. 3 compares the 8-bit symbol entropy of CNN weight
+// streams against random data (the upper bound, 8 bits/symbol) and a text
+// file (highly redundant, ~4.5 bits/symbol) to argue that traditional
+// entropy coders cannot compress trained weights. This package reproduces
+// that measurement and provides the reference corpora generators.
+package entropy
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+)
+
+// Shannon returns the Shannon entropy in bits per symbol of the byte
+// stream, treating each byte as one symbol. The result lies in [0, 8].
+// Empty input has entropy 0.
+func Shannon(data []byte) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	var counts [256]int
+	for _, b := range data {
+		counts[b]++
+	}
+	n := float64(len(data))
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// ShannonWords returns the Shannon entropy in bits per 16-bit symbol of the
+// stream interpreted as little-endian uint16 words. Odd trailing bytes are
+// ignored. The result lies in [0, 16].
+func ShannonWords(data []byte) float64 {
+	n := len(data) / 2
+	if n == 0 {
+		return 0
+	}
+	counts := make(map[uint16]int, 1<<12)
+	for i := 0; i < n; i++ {
+		w := binary.LittleEndian.Uint16(data[2*i:])
+		counts[w]++
+	}
+	fn := float64(n)
+	var h float64
+	for _, c := range counts {
+		p := float64(c) / fn
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Float32Bytes serializes a float32 weight stream to its little-endian byte
+// representation, the form in which weights travel over the NoC and sit in
+// main memory.
+func Float32Bytes(ws []float64) []byte {
+	out := make([]byte, 4*len(ws))
+	for i, w := range ws {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(float32(w)))
+	}
+	return out
+}
+
+// RandomBytes returns n bytes drawn uniformly at random with the given
+// seed; its entropy approaches 8 bits/symbol — the Fig. 3 upper bound.
+func RandomBytes(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	rng.Read(out)
+	return out
+}
+
+// wordPool imitates English-like token frequencies: a small vocabulary with
+// a Zipfian rank distribution, which is what gives natural-language text its
+// characteristic ~4-5 bits/byte entropy.
+var wordPool = []string{
+	"the", "of", "and", "a", "to", "in", "is", "you", "that", "it",
+	"he", "was", "for", "on", "are", "as", "with", "his", "they", "I",
+	"at", "be", "this", "have", "from", "or", "one", "had", "by", "word",
+	"network", "chip", "weight", "layer", "energy", "latency", "memory",
+	"traffic", "compression", "accelerator", "inference", "model",
+}
+
+// SyntheticText returns approximately n bytes of Zipf-distributed
+// English-like text — the Fig. 3 "text file" comparison corpus.
+func SyntheticText(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1.0, uint64(len(wordPool)-1))
+	out := make([]byte, 0, n+16)
+	col := 0
+	for len(out) < n {
+		w := wordPool[zipf.Uint64()]
+		out = append(out, w...)
+		col += len(w) + 1
+		if col > 70 {
+			out = append(out, '\n')
+			col = 0
+		} else {
+			out = append(out, ' ')
+		}
+	}
+	return out[:n]
+}

@@ -1,0 +1,135 @@
+package entropy
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShannonEdgeCases(t *testing.T) {
+	if got := Shannon(nil); got != 0 {
+		t.Errorf("Shannon(nil) = %v, want 0", got)
+	}
+	if got := Shannon([]byte{7, 7, 7, 7}); got != 0 {
+		t.Errorf("Shannon(constant) = %v, want 0", got)
+	}
+	// Two equiprobable symbols: exactly 1 bit.
+	if got := Shannon([]byte{0, 1, 0, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Shannon(2 symbols) = %v, want 1", got)
+	}
+	// All 256 symbols once: exactly 8 bits.
+	all := make([]byte, 256)
+	for i := range all {
+		all[i] = byte(i)
+	}
+	if got := Shannon(all); math.Abs(got-8) > 1e-12 {
+		t.Errorf("Shannon(uniform) = %v, want 8", got)
+	}
+}
+
+func TestShannonBounds(t *testing.T) {
+	f := func(data []byte) bool {
+		h := Shannon(data)
+		return h >= 0 && h <= 8+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShannonWords(t *testing.T) {
+	if got := ShannonWords(nil); got != 0 {
+		t.Errorf("ShannonWords(nil) = %v", got)
+	}
+	if got := ShannonWords([]byte{1}); got != 0 {
+		t.Errorf("ShannonWords(1 byte) = %v", got)
+	}
+	// Two distinct equiprobable words: 1 bit.
+	data := []byte{0, 0, 1, 0, 0, 0, 1, 0}
+	if got := ShannonWords(data); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ShannonWords = %v, want 1", got)
+	}
+}
+
+func TestShannonWordsBounds(t *testing.T) {
+	f := func(data []byte) bool {
+		h := ShannonWords(data)
+		return h >= 0 && h <= 16+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat32Bytes(t *testing.T) {
+	b := Float32Bytes([]float64{0})
+	if len(b) != 4 || !bytes.Equal(b, []byte{0, 0, 0, 0}) {
+		t.Errorf("Float32Bytes(0) = %v", b)
+	}
+	b = Float32Bytes([]float64{1.0}) // 0x3f800000 little-endian
+	if !bytes.Equal(b, []byte{0, 0, 0x80, 0x3f}) {
+		t.Errorf("Float32Bytes(1) = %v", b)
+	}
+	if got := Float32Bytes(nil); len(got) != 0 {
+		t.Errorf("Float32Bytes(nil) len = %d", len(got))
+	}
+}
+
+func TestRandomBytesNearMaxEntropy(t *testing.T) {
+	data := RandomBytes(1<<16, 1)
+	h := Shannon(data)
+	if h < 7.9 {
+		t.Errorf("random entropy = %v, want > 7.9", h)
+	}
+}
+
+func TestRandomBytesDeterministic(t *testing.T) {
+	a := RandomBytes(1024, 7)
+	b := RandomBytes(1024, 7)
+	if !bytes.Equal(a, b) {
+		t.Error("RandomBytes not deterministic for same seed")
+	}
+	c := RandomBytes(1024, 8)
+	if bytes.Equal(a, c) {
+		t.Error("RandomBytes identical across different seeds")
+	}
+}
+
+func TestSyntheticTextEntropyBand(t *testing.T) {
+	txt := SyntheticText(1<<16, 3)
+	if len(txt) != 1<<16 {
+		t.Fatalf("text length = %d", len(txt))
+	}
+	h := Shannon(txt)
+	// Natural-language-like text sits well below random: expect ~3.5-5 bits.
+	if h < 2.5 || h > 6 {
+		t.Errorf("text entropy = %v, want in [2.5, 6]", h)
+	}
+	// And strictly below high-entropy random data.
+	if hr := Shannon(RandomBytes(1<<16, 3)); h >= hr {
+		t.Errorf("text entropy %v not below random %v", h, hr)
+	}
+}
+
+func TestSyntheticTextDeterministic(t *testing.T) {
+	a := SyntheticText(500, 11)
+	b := SyntheticText(500, 11)
+	if !bytes.Equal(a, b) {
+		t.Error("SyntheticText not deterministic")
+	}
+}
+
+func TestWeightStreamEntropyIsHigh(t *testing.T) {
+	// Gaussian float32 weights serialize to a high-entropy byte stream —
+	// the core claim behind Fig. 3. Mantissa bytes are near-uniform.
+	ws := make([]float64, 1<<14)
+	rng := newTestRNG(5)
+	for i := range ws {
+		ws[i] = rng.NormFloat64() * 0.05
+	}
+	h := Shannon(Float32Bytes(ws))
+	if h < 6.5 {
+		t.Errorf("weight stream entropy = %v, want > 6.5 (close to random)", h)
+	}
+}

@@ -1,0 +1,6 @@
+package entropy
+
+import "math/rand"
+
+// newTestRNG returns a deterministic RNG for tests.
+func newTestRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

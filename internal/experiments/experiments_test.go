@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	bad := DefaultOptions()
+	bad.Probes = 0
+	if err := bad.validate(); err == nil {
+		t.Error("zero probes should error")
+	}
+	bad = DefaultOptions()
+	bad.TrainEpochs = 0
+	if err := bad.validate(); err == nil {
+		t.Error("zero epochs should error")
+	}
+	if err := DefaultOptions().validate(); err != nil {
+		t.Errorf("default options invalid: %v", err)
+	}
+	if err := FastOptions().validate(); err != nil {
+		t.Errorf("fast options invalid: %v", err)
+	}
+}
+
+func TestDeltaGrid(t *testing.T) {
+	if g := DeltaGrid("LeNet-5"); g[len(g)-1] != 20 {
+		t.Errorf("LeNet grid = %v", g)
+	}
+	if g := DeltaGrid("VGG-16"); g[len(g)-1] != 8 {
+		t.Errorf("VGG grid = %v", g)
+	}
+	if g := DeltaGrid("ResNet50"); len(g) != 5 {
+		t.Errorf("ResNet grid = %v", g)
+	}
+}
+
+func TestSelectedBuilders(t *testing.T) {
+	o := DefaultOptions()
+	o.Models = []string{"LeNet-5", "MobileNet"}
+	bs, err := o.selectedBuilders()
+	if err != nil || len(bs) != 2 {
+		t.Errorf("builders = %d, err %v", len(bs), err)
+	}
+	o.Models = []string{"NotANet"}
+	if _, err := o.selectedBuilders(); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestTable1Fast(t *testing.T) {
+	rows, err := Table1(FastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Model != "LeNet-5" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	if r.Layer != "dense_1" || r.Kind != "FC" {
+		t.Errorf("selected layer = %s (%s)", r.Layer, r.Kind)
+	}
+	// Parameter count within 5% of the paper's 62k.
+	if math.Abs(float64(r.Params)-62000) > 3100 {
+		t.Errorf("params = %d, want ~62000", r.Params)
+	}
+	// Fraction near the paper's 0.80.
+	if math.Abs(r.Fraction-r.PaperFraction) > 0.06 {
+		t.Errorf("fraction = %v, paper %v", r.Fraction, r.PaperFraction)
+	}
+}
+
+func TestTable2Fast(t *testing.T) {
+	rows, err := Table2(FastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 delta values", len(rows))
+	}
+	// CR and MSE must grow with delta; the delta=0 CR must sit near the
+	// paper's 1.21.
+	if math.Abs(rows[0].CR-1.21) > 0.08 {
+		t.Errorf("CR at delta 0 = %v, want ~1.21", rows[0].CR)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].CR <= rows[i-1].CR {
+			t.Errorf("CR not increasing at row %d: %v <= %v", i, rows[i].CR, rows[i-1].CR)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.CR < 3 || last.CR > 6 {
+		t.Errorf("CR at delta 20%% = %v, paper reports 4.02", last.CR)
+	}
+	if last.WeightedCR >= last.CR || last.WeightedCR <= 1 {
+		t.Errorf("weighted CR = %v vs CR %v", last.WeightedCR, last.CR)
+	}
+	if last.MemFpReduction <= 0 || last.MemFpReduction >= 1 {
+		t.Errorf("mem fp reduction = %v", last.MemFpReduction)
+	}
+}
+
+func TestTable3Fast(t *testing.T) {
+	rows, err := Table3(FastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.QTCR < 2 {
+			t.Errorf("quantization weighted CR = %v, expected > 2 (8-bit codes)", r.QTCR)
+		}
+		if r.WeightedCR < r.QTCR-0.2 {
+			t.Errorf("combined CR %v fell below quantization-only %v", r.WeightedCR, r.QTCR)
+		}
+		if r.Accuracy < 0 || r.Accuracy > 1 {
+			t.Errorf("accuracy out of range: %v", r.Accuracy)
+		}
+		if i > 0 && r.WeightedCR < rows[i-1].WeightedCR {
+			t.Errorf("combined CR not monotone at %d", i)
+		}
+	}
+	// Compression on top must add over quantization alone at high delta.
+	if rows[len(rows)-1].WeightedCR <= rows[0].QTCR {
+		t.Errorf("no gain on top of quantization: %v vs %v",
+			rows[len(rows)-1].WeightedCR, rows[0].QTCR)
+	}
+}
+
+func TestFig2Fast(t *testing.T) {
+	rows, err := Fig2(FastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7 LeNet layers", len(rows))
+	}
+	var dense1 Fig2Row
+	var totalMem, total uint64
+	for _, r := range rows {
+		if r.Latency.Total() != r.Cycles {
+			t.Errorf("%s: breakdown %d != cycles %d", r.Layer, r.Latency.Total(), r.Cycles)
+		}
+		totalMem += r.Latency.Memory
+		total += r.Cycles
+		if r.Layer == "dense_1" {
+			dense1 = r
+		}
+	}
+	// The paper's conclusion: main memory dominates latency.
+	if float64(totalMem)/float64(total) < 0.5 {
+		t.Errorf("memory fraction = %v, want dominant", float64(totalMem)/float64(total))
+	}
+	// dense_1 holds ~78%% of parameters; it must be the slowest layer.
+	for _, r := range rows {
+		if r.Layer != "dense_1" && r.Cycles > dense1.Cycles {
+			t.Errorf("%s (%d cycles) exceeds dense_1 (%d)", r.Layer, r.Cycles, dense1.Cycles)
+		}
+	}
+	// Main memory dominates each layer's energy.
+	for _, r := range rows {
+		if r.Energy.MainDyn < r.Energy.CompDyn || r.Energy.MainDyn < r.Energy.CommDyn {
+			t.Errorf("%s: main memory energy not dominant", r.Layer)
+		}
+	}
+}
+
+func TestFig3Fast(t *testing.T) {
+	rows, err := Fig3(FastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Corpus] = r.EntropyBits
+	}
+	if byName["random"] < 7.9 {
+		t.Errorf("random entropy = %v", byName["random"])
+	}
+	if byName["text"] > 6 {
+		t.Errorf("text entropy = %v, should be well below random", byName["text"])
+	}
+	// The paper's point: weight streams are near the random upper bound
+	// and far above text.
+	le := byName["LeNet-5"]
+	if le < byName["text"] || le < 6 {
+		t.Errorf("LeNet weight entropy = %v, expected near-random", le)
+	}
+}
+
+func TestFig9Fast(t *testing.T) {
+	rows, err := Fig9(FastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LeNet has 5 parameterized layers.
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	maxSens, densByLayer := 0.0, map[string]float64{}
+	for _, r := range rows {
+		if r.Sensitivity < 0 || r.Sensitivity > 1 || r.PerParam < 0 || r.PerParam > 1 {
+			t.Errorf("%s sensitivity = %v / %v out of [0,1]", r.Layer, r.Sensitivity, r.PerParam)
+		}
+		if r.Sensitivity > maxSens {
+			maxSens = r.Sensitivity
+		}
+		densByLayer[r.Layer] = r.PerParam
+		if r.Params <= 0 {
+			t.Errorf("%s params = %d", r.Layer, r.Params)
+		}
+	}
+	if maxSens != 1 {
+		t.Errorf("normalized max sensitivity = %v, want 1", maxSens)
+	}
+	// The paper's Fig. 9 claim holds on the per-parameter density: the
+	// selected layer (dense_1, the deepest large one) is far less
+	// sensitive per parameter than the input convolution. At this test's
+	// reduced training budget the perturbation sometimes fails to resolve
+	// conv_1 at all; only assert the ordering when it did (the full-scale
+	// run in cmd/benchtables resolves it deterministically).
+	if densByLayer["conv_1"] > 0 && densByLayer["dense_1"] >= densByLayer["conv_1"] {
+		t.Errorf("dense_1 density %v not below conv_1 %v; selection policy would be invalid",
+			densByLayer["dense_1"], densByLayer["conv_1"])
+	}
+}
+
+func TestFig10Fast(t *testing.T) {
+	pts, err := Fig10(FastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 { // orig + 5 deltas
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Config != "orig" || pts[0].LatencyNorm != 1 || pts[0].EnergyNorm != 1 {
+		t.Fatalf("first point = %+v", pts[0])
+	}
+	if pts[0].Accuracy < 0.7 {
+		t.Errorf("trained LeNet accuracy = %v, expected >= 0.7", pts[0].Accuracy)
+	}
+	for i := 2; i < len(pts); i++ {
+		if pts[i].LatencyNorm >= pts[i-1].LatencyNorm {
+			t.Errorf("latency not decreasing with delta at %d: %v", i, pts[i].LatencyNorm)
+		}
+		if pts[i].EnergyNorm >= pts[i-1].EnergyNorm {
+			t.Errorf("energy not decreasing with delta at %d: %v", i, pts[i].EnergyNorm)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.LatencyNorm > 0.85 {
+		t.Errorf("latency at delta 20%% = %v of original, expected substantial reduction", last.LatencyNorm)
+	}
+	if last.EnergyNorm > 0.85 {
+		t.Errorf("energy at delta 20%% = %v of original, expected substantial reduction", last.EnergyNorm)
+	}
+	// Accuracy at small delta must stay near the original.
+	if pts[1].Accuracy < pts[0].Accuracy-0.1 {
+		t.Errorf("delta 0%% accuracy dropped too far: %v vs %v", pts[1].Accuracy, pts[0].Accuracy)
+	}
+}
+
+// TestFig10FidelityPathMobileNet exercises the fidelity (non-LeNet)
+// evaluation path end to end on the smallest large model.
+func TestFig10FidelityPathMobileNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-resolution MobileNet forwards in -short mode")
+	}
+	o := DefaultOptions()
+	o.Models = []string{"MobileNet"}
+	o.Probes = 2
+	pts, err := Fig10(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Accuracy != 1 {
+		t.Errorf("fidelity baseline = %v, want 1 by construction", pts[0].Accuracy)
+	}
+	for i, p := range pts {
+		if p.Accuracy < 0 || p.Accuracy > 1 {
+			t.Errorf("point %d accuracy = %v", i, p.Accuracy)
+		}
+		if i >= 2 && p.LatencyNorm >= pts[i-1].LatencyNorm {
+			t.Errorf("latency not decreasing at %d", i)
+		}
+	}
+	// MobileNet's selected layer is only ~24%% of parameters: savings are
+	// marginal, as the paper reports.
+	last := pts[len(pts)-1]
+	if last.LatencyNorm < 0.9 {
+		t.Errorf("MobileNet latency reduction %v too large; conv_preds is a small fraction", last.LatencyNorm)
+	}
+}
+
+// TestTable2FidelityModels sweeps a large model's Table II rows (weights
+// only, no inference) to cover the non-LeNet compression path.
+func TestTable2FidelityModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large model build in -short mode")
+	}
+	o := DefaultOptions()
+	o.Models = []string{"MobileNet"}
+	rows, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if last.CR < 3 || last.CR > 6 {
+		t.Errorf("MobileNet CR at delta 8%% = %v, paper reports 4.31", last.CR)
+	}
+	if last.WeightedCR > 1.6 {
+		t.Errorf("MobileNet weighted CR = %v, should stay small (paper 1.80 ceiling)", last.WeightedCR)
+	}
+}

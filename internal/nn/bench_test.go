@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func BenchmarkConvForward(b *testing.B) {
+	c, err := NewConv2D("c", 3, 3, 64, 64, 1, 1, rng(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.MustNew(28, 28, 64)
+	x.RandNormal(rng(2), 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Forward([]*tensor.Tensor{x}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDenseForward(b *testing.B) {
+	d, err := NewDense("d", 4096, 1024, rng(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.MustNew(4096)
+	x.RandNormal(rng(4), 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Forward([]*tensor.Tensor{x}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDepthwiseForward(b *testing.B) {
+	d, err := NewDepthwiseConv2D("dw", 3, 3, 128, 1, 1, rng(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.MustNew(28, 28, 128)
+	x.RandNormal(rng(6), 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Forward([]*tensor.Tensor{x}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvBackward(b *testing.B) {
+	c, err := NewConv2D("c", 3, 3, 16, 16, 1, 1, rng(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.MustNew(14, 14, 16)
+	x.RandNormal(rng(8), 0, 1)
+	y, err := c.Forward([]*tensor.Tensor{x})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dy := tensor.MustNew(y.Shape()...)
+	dy.Fill(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Backward(x, dy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a standard 2-D convolution over [H, W, C] inputs with
+// symmetric zero padding. Weights are stored pre-lowered as a
+// [kh*kw*inC, outC] matrix so the forward pass is one im2col + matmul.
+type Conv2D struct {
+	name              string
+	KH, KW, InC, OutC int
+	Stride            int
+	PadH, PadW        int
+	W                 *tensor.Tensor // [kh*kw*inC, outC]
+	B                 *tensor.Tensor // [outC]
+	dW, dB            *tensor.Tensor
+}
+
+// NewConv2D creates a convolution layer with symmetric zero padding,
+// He-normal initialized weights and zero bias.
+func NewConv2D(name string, kh, kw, inC, outC, stride, pad int, rng *rand.Rand) (*Conv2D, error) {
+	return NewConv2DRect(name, kh, kw, inC, outC, stride, pad, pad, rng)
+}
+
+// NewConv2DRect creates a convolution layer with independent vertical and
+// horizontal zero padding, as the factorized 1x7/7x1 Inception kernels
+// require.
+func NewConv2DRect(name string, kh, kw, inC, outC, stride, padH, padW int, rng *rand.Rand) (*Conv2D, error) {
+	if kh <= 0 || kw <= 0 || inC <= 0 || outC <= 0 || stride <= 0 || padH < 0 || padW < 0 {
+		return nil, fmt.Errorf("nn: conv %q: bad geometry k=%dx%d c=%d->%d s=%d p=%d,%d",
+			name, kh, kw, inC, outC, stride, padH, padW)
+	}
+	c := &Conv2D{
+		name: name, KH: kh, KW: kw, InC: inC, OutC: outC,
+		Stride: stride, PadH: padH, PadW: padW,
+		W: tensor.MustNew(kh*kw*inC, outC),
+		B: tensor.MustNew(outC),
+	}
+	fanIn := float64(kh * kw * inC)
+	c.W.RandNormal(rng, 0, math.Sqrt(2/fanIn))
+	return c, nil
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Kind implements Layer.
+func (c *Conv2D) Kind() string { return "CONV" }
+
+func (c *Conv2D) checkShape(s []int) error {
+	if len(s) != 3 || s[2] != c.InC {
+		return fmt.Errorf("%w: conv %q wants [H W %d], got %v", ErrShape, c.name, c.InC, s)
+	}
+	if tensor.ConvOutDim(s[0], c.KH, c.Stride, c.PadH) <= 0 ||
+		tensor.ConvOutDim(s[1], c.KW, c.Stride, c.PadW) <= 0 {
+		return fmt.Errorf("%w: conv %q output collapses on input %v", ErrShape, c.name, s)
+	}
+	return nil
+}
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in [][]int) ([]int, error) {
+	s, err := wantOneShape(in)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.checkShape(s); err != nil {
+		return nil, err
+	}
+	return []int{
+		tensor.ConvOutDim(s[0], c.KH, c.Stride, c.PadH),
+		tensor.ConvOutDim(s[1], c.KW, c.Stride, c.PadW),
+		c.OutC,
+	}, nil
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.checkShape(x.Shape()); err != nil {
+		return nil, err
+	}
+	cols, oh, ow, err := tensor.Im2ColRect(x, c.KH, c.KW, c.Stride, c.PadH, c.PadW)
+	if err != nil {
+		return nil, err
+	}
+	y, err := tensor.MatMul(cols, c.W) // [oh*ow, outC]
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < oh*ow; r++ {
+		row := y.Data[r*c.OutC : (r+1)*c.OutC]
+		for j := range row {
+			row[j] += c.B.Data[j]
+		}
+	}
+	return y.Reshape(oh, ow, c.OutC)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []Param {
+	return []Param{{Name: "weights", T: c.W}, {Name: "bias", T: c.B}}
+}
+
+// Cost implements Layer: outH*outW*outC*kh*kw*inC MACs.
+func (c *Conv2D) Cost(in [][]int) (uint64, error) {
+	out, err := c.OutShape(in)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(out[0]) * uint64(out[1]) * uint64(c.OutC) *
+		uint64(c.KH) * uint64(c.KW) * uint64(c.InC), nil
+}
+
+// Backward implements Backprop via the im2col adjoint.
+func (c *Conv2D) Backward(x, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := c.checkShape(x.Shape()); err != nil {
+		return nil, err
+	}
+	h, w := x.Dim(0), x.Dim(1)
+	oh := tensor.ConvOutDim(h, c.KH, c.Stride, c.PadH)
+	ow := tensor.ConvOutDim(w, c.KW, c.Stride, c.PadW)
+	if dy.Size() != oh*ow*c.OutC {
+		return nil, fmt.Errorf("%w: conv %q backward dy size %d, want %d", ErrShape, c.name, dy.Size(), oh*ow*c.OutC)
+	}
+	c.ensureGrads()
+	cols, _, _, err := tensor.Im2ColRect(x, c.KH, c.KW, c.Stride, c.PadH, c.PadW)
+	if err != nil {
+		return nil, err
+	}
+	dyMat, err := dy.Reshape(oh*ow, c.OutC)
+	if err != nil {
+		return nil, err
+	}
+	// dW += cols^T · dy  — accumulate directly to avoid a transpose.
+	k := c.KH * c.KW * c.InC
+	for r := 0; r < oh*ow; r++ {
+		crow := cols.Data[r*k : (r+1)*k]
+		drow := dyMat.Data[r*c.OutC : (r+1)*c.OutC]
+		for i, cv := range crow {
+			if cv == 0 {
+				continue
+			}
+			grow := c.dW.Data[i*c.OutC : (i+1)*c.OutC]
+			for j, dv := range drow {
+				grow[j] += cv * dv
+			}
+		}
+	}
+	for r := 0; r < oh*ow; r++ {
+		drow := dyMat.Data[r*c.OutC : (r+1)*c.OutC]
+		for j, dv := range drow {
+			c.dB.Data[j] += dv
+		}
+	}
+	// dcols = dy · W^T, then scatter back with col2im.
+	dcols := tensor.MustNew(oh*ow, k)
+	for r := 0; r < oh*ow; r++ {
+		drow := dyMat.Data[r*c.OutC : (r+1)*c.OutC]
+		crow := dcols.Data[r*k : (r+1)*k]
+		for i := 0; i < k; i++ {
+			wrow := c.W.Data[i*c.OutC : (i+1)*c.OutC]
+			var s float64
+			for j := range drow {
+				s += float64(wrow[j]) * float64(drow[j])
+			}
+			crow[i] = float32(s)
+		}
+	}
+	return tensor.Col2ImRect(dcols, h, w, c.InC, c.KH, c.KW, c.Stride, c.PadH, c.PadW)
+}
+
+func (c *Conv2D) ensureGrads() {
+	if c.dW == nil {
+		c.dW = tensor.MustNew(c.KH*c.KW*c.InC, c.OutC)
+		c.dB = tensor.MustNew(c.OutC)
+	}
+}
+
+// Grads implements Backprop.
+func (c *Conv2D) Grads() []Param {
+	c.ensureGrads()
+	return []Param{{Name: "weights", T: c.dW}, {Name: "bias", T: c.dB}}
+}
+
+// ZeroGrads implements Backprop.
+func (c *Conv2D) ZeroGrads() {
+	if c.dW != nil {
+		c.dW.Zero()
+		c.dB.Zero()
+	}
+}
+
+// DepthwiseConv2D convolves each input channel with its own kh x kw
+// filter (channel multiplier 1), the MobileNet building block.
+type DepthwiseConv2D struct {
+	name        string
+	KH, KW, C   int
+	Stride, Pad int
+	W           *tensor.Tensor // [kh, kw, C]
+	B           *tensor.Tensor // [C]
+}
+
+// NewDepthwiseConv2D creates a depthwise convolution layer.
+func NewDepthwiseConv2D(name string, kh, kw, ch, stride, pad int, rng *rand.Rand) (*DepthwiseConv2D, error) {
+	if kh <= 0 || kw <= 0 || ch <= 0 || stride <= 0 || pad < 0 {
+		return nil, fmt.Errorf("nn: dwconv %q: bad geometry", name)
+	}
+	d := &DepthwiseConv2D{
+		name: name, KH: kh, KW: kw, C: ch, Stride: stride, Pad: pad,
+		W: tensor.MustNew(kh, kw, ch),
+		B: tensor.MustNew(ch),
+	}
+	d.W.RandNormal(rng, 0, math.Sqrt(2/float64(kh*kw)))
+	return d, nil
+}
+
+// Name implements Layer.
+func (d *DepthwiseConv2D) Name() string { return d.name }
+
+// Kind implements Layer.
+func (d *DepthwiseConv2D) Kind() string { return "DWCONV" }
+
+// OutShape implements Layer.
+func (d *DepthwiseConv2D) OutShape(in [][]int) ([]int, error) {
+	s, err := wantOneShape(in)
+	if err != nil {
+		return nil, err
+	}
+	if len(s) != 3 || s[2] != d.C {
+		return nil, fmt.Errorf("%w: dwconv %q wants [H W %d], got %v", ErrShape, d.name, d.C, s)
+	}
+	oh := tensor.ConvOutDim(s[0], d.KH, d.Stride, d.Pad)
+	ow := tensor.ConvOutDim(s[1], d.KW, d.Stride, d.Pad)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("%w: dwconv %q output collapses on %v", ErrShape, d.name, s)
+	}
+	return []int{oh, ow, d.C}, nil
+}
+
+// Forward implements Layer.
+func (d *DepthwiseConv2D) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	outShape, err := d.OutShape([][]int{x.Shape()})
+	if err != nil {
+		return nil, err
+	}
+	h, w := x.Dim(0), x.Dim(1)
+	oh, ow := outShape[0], outShape[1]
+	out := tensor.MustNew(oh, ow, d.C)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			dst := out.Data[(oy*ow+ox)*d.C : (oy*ow+ox)*d.C+d.C]
+			for ky := 0; ky < d.KH; ky++ {
+				iy := oy*d.Stride + ky - d.Pad
+				if iy < 0 || iy >= h {
+					continue
+				}
+				for kx := 0; kx < d.KW; kx++ {
+					ix := ox*d.Stride + kx - d.Pad
+					if ix < 0 || ix >= w {
+						continue
+					}
+					src := x.Data[(iy*w+ix)*d.C : (iy*w+ix)*d.C+d.C]
+					ker := d.W.Data[(ky*d.KW+kx)*d.C : (ky*d.KW+kx)*d.C+d.C]
+					for ch := 0; ch < d.C; ch++ {
+						dst[ch] += src[ch] * ker[ch]
+					}
+				}
+			}
+			for ch := 0; ch < d.C; ch++ {
+				dst[ch] += d.B.Data[ch]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (d *DepthwiseConv2D) Params() []Param {
+	return []Param{{Name: "weights", T: d.W}, {Name: "bias", T: d.B}}
+}
+
+// Cost implements Layer: outH*outW*C*kh*kw MACs.
+func (d *DepthwiseConv2D) Cost(in [][]int) (uint64, error) {
+	out, err := d.OutShape(in)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(out[0]) * uint64(out[1]) * uint64(d.C) * uint64(d.KH) * uint64(d.KW), nil
+}

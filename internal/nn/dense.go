@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·W + b with W of shape [in, out].
+type Dense struct {
+	name    string
+	In, Out int
+	W       *tensor.Tensor // [in, out]
+	B       *tensor.Tensor // [out]
+	dW      *tensor.Tensor
+	dB      *tensor.Tensor
+}
+
+// NewDense creates a fully connected layer with Glorot-uniform initialized
+// weights and zero bias.
+func NewDense(name string, in, out int, rng *rand.Rand) (*Dense, error) {
+	if in <= 0 || out <= 0 {
+		return nil, fmt.Errorf("nn: dense %q: bad dims in=%d out=%d", name, in, out)
+	}
+	d := &Dense{
+		name: name, In: in, Out: out,
+		W: tensor.MustNew(in, out),
+		B: tensor.MustNew(out),
+	}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	d.W.RandUniform(rng, -limit, limit)
+	return d, nil
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Kind implements Layer.
+func (d *Dense) Kind() string { return "FC" }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(in [][]int) ([]int, error) {
+	s, err := wantOneShape(in)
+	if err != nil {
+		return nil, err
+	}
+	if shapeVolume(s) != d.In {
+		return nil, fmt.Errorf("%w: dense %q wants %d inputs, got shape %v", ErrShape, d.name, d.In, s)
+	}
+	return []int{d.Out}, nil
+}
+
+// Forward implements Layer. Inputs of any rank are accepted as long as the
+// volume matches (an implicit flatten, as Keras dense layers behave after
+// Flatten).
+func (d *Dense) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	if x.Size() != d.In {
+		return nil, fmt.Errorf("%w: dense %q wants %d inputs, got %d", ErrShape, d.name, d.In, x.Size())
+	}
+	out := tensor.MustNew(d.Out)
+	// y_j = sum_i x_i W_ij + b_j. Iterate i-major so W rows stream.
+	acc := make([]float64, d.Out)
+	for i := 0; i < d.In; i++ {
+		xv := float64(x.Data[i])
+		if xv == 0 {
+			continue
+		}
+		row := d.W.Data[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			acc[j] += xv * float64(row[j])
+		}
+	}
+	for j := 0; j < d.Out; j++ {
+		out.Data[j] = float32(acc[j] + float64(d.B.Data[j]))
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []Param {
+	return []Param{{Name: "weights", T: d.W}, {Name: "bias", T: d.B}}
+}
+
+// Cost implements Layer: in*out MACs.
+func (d *Dense) Cost(in [][]int) (uint64, error) {
+	if _, err := d.OutShape(in); err != nil {
+		return 0, err
+	}
+	return uint64(d.In) * uint64(d.Out), nil
+}
+
+// Backward implements Backprop.
+func (d *Dense) Backward(x, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Size() != d.In || dy.Size() != d.Out {
+		return nil, fmt.Errorf("%w: dense %q backward x=%d dy=%d", ErrShape, d.name, x.Size(), dy.Size())
+	}
+	d.ensureGrads()
+	// dW_ij += x_i dy_j ; dB_j += dy_j ; dx_i = sum_j W_ij dy_j.
+	dx := tensor.MustNew(d.In)
+	for i := 0; i < d.In; i++ {
+		xv := x.Data[i]
+		wrow := d.W.Data[i*d.Out : (i+1)*d.Out]
+		grow := d.dW.Data[i*d.Out : (i+1)*d.Out]
+		var s float64
+		for j, dyj := range dy.Data {
+			grow[j] += xv * dyj
+			s += float64(wrow[j]) * float64(dyj)
+		}
+		dx.Data[i] = float32(s)
+	}
+	for j, dyj := range dy.Data {
+		d.dB.Data[j] += dyj
+	}
+	return dx, nil
+}
+
+func (d *Dense) ensureGrads() {
+	if d.dW == nil {
+		d.dW = tensor.MustNew(d.In, d.Out)
+		d.dB = tensor.MustNew(d.Out)
+	}
+}
+
+// Grads implements Backprop.
+func (d *Dense) Grads() []Param {
+	d.ensureGrads()
+	return []Param{{Name: "weights", T: d.dW}, {Name: "bias", T: d.dB}}
+}
+
+// ZeroGrads implements Backprop.
+func (d *Dense) ZeroGrads() {
+	if d.dW != nil {
+		d.dW.Zero()
+		d.dB.Zero()
+	}
+}

@@ -1,0 +1,250 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// InputName is the reserved node name that refers to the graph input.
+const InputName = "input"
+
+// node is one vertex of the computation DAG.
+type node struct {
+	layer  Layer
+	inputs []string // predecessor node names ("input" for the graph input)
+}
+
+// Graph is a single-input, single-output DAG of layers. Layers must be
+// added in topological order (each input must already exist), which also
+// fixes the execution order.
+type Graph struct {
+	nodes  map[string]*node
+	order  []string // topological execution order
+	output string   // defaults to the last added layer
+}
+
+// NewGraph creates an empty computation graph.
+func NewGraph() *Graph {
+	return &Graph{nodes: make(map[string]*node)}
+}
+
+// Add appends a layer whose inputs are the named predecessor nodes (or
+// InputName). With no inputs given, the layer consumes the previously
+// added layer (or the graph input if it is the first). The layer's name
+// must be unique. The last added layer becomes the graph output.
+func (g *Graph) Add(l Layer, inputs ...string) error {
+	name := l.Name()
+	if name == "" || name == InputName {
+		return fmt.Errorf("nn: invalid layer name %q", name)
+	}
+	if _, dup := g.nodes[name]; dup {
+		return fmt.Errorf("nn: duplicate layer name %q", name)
+	}
+	if len(inputs) == 0 {
+		if len(g.order) == 0 {
+			inputs = []string{InputName}
+		} else {
+			inputs = []string{g.order[len(g.order)-1]}
+		}
+	}
+	for _, in := range inputs {
+		if in == InputName {
+			continue
+		}
+		if _, ok := g.nodes[in]; !ok {
+			return fmt.Errorf("nn: layer %q references unknown input %q", name, in)
+		}
+	}
+	g.nodes[name] = &node{layer: l, inputs: append([]string(nil), inputs...)}
+	g.order = append(g.order, name)
+	g.output = name
+	return nil
+}
+
+// MustAdd is Add but panics on error; for statically correct model builders.
+func (g *Graph) MustAdd(l Layer, inputs ...string) {
+	if err := g.Add(l, inputs...); err != nil {
+		panic(err)
+	}
+}
+
+// SetOutput overrides the output node.
+func (g *Graph) SetOutput(name string) error {
+	if _, ok := g.nodes[name]; !ok {
+		return fmt.Errorf("nn: unknown output node %q", name)
+	}
+	g.output = name
+	return nil
+}
+
+// Output returns the output node name.
+func (g *Graph) Output() string { return g.output }
+
+// LayerNames returns the layer names in execution order.
+func (g *Graph) LayerNames() []string { return append([]string(nil), g.order...) }
+
+// Layer returns the named layer, or nil.
+func (g *Graph) Layer(name string) Layer {
+	n, ok := g.nodes[name]
+	if !ok {
+		return nil
+	}
+	return n.layer
+}
+
+// Layers returns all layers in execution order.
+func (g *Graph) Layers() []Layer {
+	out := make([]Layer, len(g.order))
+	for i, name := range g.order {
+		out[i] = g.nodes[name].layer
+	}
+	return out
+}
+
+// Inputs returns the input node names of the named layer.
+func (g *Graph) Inputs(name string) []string {
+	n, ok := g.nodes[name]
+	if !ok {
+		return nil
+	}
+	return append([]string(nil), n.inputs...)
+}
+
+// NumParams returns the total parameter count of the graph.
+func (g *Graph) NumParams() int {
+	total := 0
+	for _, name := range g.order {
+		total += NumParams(g.nodes[name].layer)
+	}
+	return total
+}
+
+// Forward runs the graph on x and returns the output activation.
+func (g *Graph) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	acts, err := g.ForwardAll(x)
+	if err != nil {
+		return nil, err
+	}
+	return acts[g.output], nil
+}
+
+// ForwardAll runs the graph and returns every node's activation, keyed by
+// layer name (plus InputName). The map enables cached-prefix evaluation:
+// when only one layer's parameters change, ForwardFrom re-runs just the
+// suffix.
+func (g *Graph) ForwardAll(x *tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	if len(g.order) == 0 {
+		return nil, fmt.Errorf("nn: empty graph")
+	}
+	acts := map[string]*tensor.Tensor{InputName: x}
+	if err := g.run(acts, 0); err != nil {
+		return nil, err
+	}
+	return acts, nil
+}
+
+// ForwardFrom re-executes the graph from the named layer (inclusive) to
+// the output, reading earlier activations from acts — which must have been
+// produced by ForwardAll on the same input. Activations from the suffix
+// are recomputed and updated in a copy; acts itself is not modified.
+func (g *Graph) ForwardFrom(acts map[string]*tensor.Tensor, from string) (*tensor.Tensor, error) {
+	start := -1
+	for i, name := range g.order {
+		if name == from {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil, fmt.Errorf("nn: unknown layer %q", from)
+	}
+	local := make(map[string]*tensor.Tensor, len(acts))
+	for k, v := range acts {
+		local[k] = v
+	}
+	if err := g.run(local, start); err != nil {
+		return nil, err
+	}
+	return local[g.output], nil
+}
+
+// run executes nodes order[start:] against the activation map.
+func (g *Graph) run(acts map[string]*tensor.Tensor, start int) error {
+	for _, name := range g.order[start:] {
+		n := g.nodes[name]
+		xs := make([]*tensor.Tensor, len(n.inputs))
+		for i, in := range n.inputs {
+			a, ok := acts[in]
+			if !ok || a == nil {
+				return fmt.Errorf("nn: layer %q: missing activation for %q", name, in)
+			}
+			xs[i] = a
+		}
+		y, err := n.layer.Forward(xs)
+		if err != nil {
+			return fmt.Errorf("nn: layer %q: %w", name, err)
+		}
+		acts[name] = y
+	}
+	return nil
+}
+
+// InferShapes propagates the input shape through the graph, returning each
+// node's output shape. It validates the whole topology without running any
+// arithmetic, which is how the accelerator simulator obtains layer
+// geometry for traffic generation.
+func (g *Graph) InferShapes(inputShape []int) (map[string][]int, error) {
+	shapes := map[string][]int{InputName: append([]int(nil), inputShape...)}
+	for _, name := range g.order {
+		n := g.nodes[name]
+		in := make([][]int, len(n.inputs))
+		for i, inName := range n.inputs {
+			s, ok := shapes[inName]
+			if !ok {
+				return nil, fmt.Errorf("nn: layer %q: missing shape for %q", name, inName)
+			}
+			in[i] = s
+		}
+		out, err := n.layer.OutShape(in)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %q: %w", name, err)
+		}
+		shapes[name] = out
+	}
+	return shapes, nil
+}
+
+// LayerCosts returns each layer's MAC count for the given input shape, in
+// execution order.
+func (g *Graph) LayerCosts(inputShape []int) (map[string]uint64, error) {
+	shapes, err := g.InferShapes(inputShape)
+	if err != nil {
+		return nil, err
+	}
+	costs := make(map[string]uint64, len(g.order))
+	for _, name := range g.order {
+		n := g.nodes[name]
+		in := make([][]int, len(n.inputs))
+		for i, inName := range n.inputs {
+			in[i] = shapes[inName]
+		}
+		c, err := n.layer.Cost(in)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %q: %w", name, err)
+		}
+		costs[name] = c
+	}
+	return costs, nil
+}
+
+// Sequential builds a linear graph from the given layers.
+func Sequential(layers ...Layer) (*Graph, error) {
+	g := NewGraph()
+	for _, l := range layers {
+		if err := g.Add(l); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

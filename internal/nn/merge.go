@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Add sums two or more equal-shape inputs elementwise — the ResNet
+// residual connection.
+type Add struct {
+	name string
+}
+
+// NewAdd creates an elementwise addition merge node.
+func NewAdd(name string) *Add { return &Add{name: name} }
+
+// Name implements Layer.
+func (a *Add) Name() string { return a.name }
+
+// Kind implements Layer.
+func (a *Add) Kind() string { return "MERGE" }
+
+// OutShape implements Layer.
+func (a *Add) OutShape(in [][]int) ([]int, error) {
+	if len(in) < 2 {
+		return nil, fmt.Errorf("%w: add %q wants >= 2 inputs, got %d", ErrArity, a.name, len(in))
+	}
+	for _, s := range in[1:] {
+		if len(s) != len(in[0]) {
+			return nil, fmt.Errorf("%w: add %q rank mismatch %v vs %v", ErrShape, a.name, in[0], s)
+		}
+		for i := range s {
+			if s[i] != in[0][i] {
+				return nil, fmt.Errorf("%w: add %q shape mismatch %v vs %v", ErrShape, a.name, in[0], s)
+			}
+		}
+	}
+	return in[0], nil
+}
+
+// Forward implements Layer.
+func (a *Add) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("%w: add %q wants >= 2 inputs, got %d", ErrArity, a.name, len(xs))
+	}
+	out := xs[0].Clone()
+	for _, x := range xs[1:] {
+		if !tensor.SameShape(out, x) {
+			return nil, fmt.Errorf("%w: add %q operands %v vs %v", ErrShape, a.name, out.Shape(), x.Shape())
+		}
+		for i, v := range x.Data {
+			out.Data[i] += v
+		}
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (a *Add) Params() []Param { return nil }
+
+// Cost implements Layer.
+func (a *Add) Cost(in [][]int) (uint64, error) { return 0, nil }
+
+// Concat concatenates [H, W, C_i] inputs along the channel dimension —
+// the Inception tower join.
+type Concat struct {
+	name string
+}
+
+// NewConcat creates a channel-concatenation merge node.
+func NewConcat(name string) *Concat { return &Concat{name: name} }
+
+// Name implements Layer.
+func (c *Concat) Name() string { return c.name }
+
+// Kind implements Layer.
+func (c *Concat) Kind() string { return "MERGE" }
+
+// OutShape implements Layer.
+func (c *Concat) OutShape(in [][]int) ([]int, error) {
+	if len(in) < 2 {
+		return nil, fmt.Errorf("%w: concat %q wants >= 2 inputs, got %d", ErrArity, c.name, len(in))
+	}
+	first := in[0]
+	if len(first) != 3 {
+		return nil, fmt.Errorf("%w: concat %q wants [H W C] inputs, got %v", ErrShape, c.name, first)
+	}
+	totalC := first[2]
+	for _, s := range in[1:] {
+		if len(s) != 3 || s[0] != first[0] || s[1] != first[1] {
+			return nil, fmt.Errorf("%w: concat %q spatial mismatch %v vs %v", ErrShape, c.name, first, s)
+		}
+		totalC += s[2]
+	}
+	return []int{first[0], first[1], totalC}, nil
+}
+
+// Forward implements Layer.
+func (c *Concat) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
+	shapes := make([][]int, len(xs))
+	for i, x := range xs {
+		shapes[i] = x.Shape()
+	}
+	outShape, err := c.OutShape(shapes)
+	if err != nil {
+		return nil, err
+	}
+	h, w, totalC := outShape[0], outShape[1], outShape[2]
+	out := tensor.MustNew(h, w, totalC)
+	for p := 0; p < h*w; p++ {
+		off := 0
+		for _, x := range xs {
+			ci := x.Dim(2)
+			copy(out.Data[p*totalC+off:p*totalC+off+ci], x.Data[p*ci:(p+1)*ci])
+			off += ci
+		}
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (c *Concat) Params() []Param { return nil }
+
+// Cost implements Layer.
+func (c *Concat) Cost(in [][]int) (uint64, error) { return 0, nil }

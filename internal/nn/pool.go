@@ -1,0 +1,272 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// poolKind selects the reduction of a Pool2D layer.
+type poolKind int8
+
+const (
+	poolMax poolKind = iota
+	poolAvg
+)
+
+// Pool2D is a 2-D max or average pooling layer over [H, W, C] inputs.
+type Pool2D struct {
+	name   string
+	kind   poolKind
+	Size   int
+	Stride int
+	Pad    int
+}
+
+// NewMaxPool2D creates a max pooling layer with square window size and the
+// given stride (stride = size is the usual non-overlapping pooling).
+func NewMaxPool2D(name string, size, stride int) (*Pool2D, error) {
+	return newPool(name, poolMax, size, stride, 0)
+}
+
+// NewMaxPool2DPadded creates a max pooling layer with symmetric zero
+// padding (padding taps are ignored, not treated as zeros, so negative
+// activations pool correctly).
+func NewMaxPool2DPadded(name string, size, stride, pad int) (*Pool2D, error) {
+	return newPool(name, poolMax, size, stride, pad)
+}
+
+// NewAvgPool2D creates an average pooling layer.
+func NewAvgPool2D(name string, size, stride int) (*Pool2D, error) {
+	return newPool(name, poolAvg, size, stride, 0)
+}
+
+// NewAvgPool2DPadded creates an average pooling layer with symmetric zero
+// padding (Inception towers use padded 3x3/s1 average pooling).
+func NewAvgPool2DPadded(name string, size, stride, pad int) (*Pool2D, error) {
+	return newPool(name, poolAvg, size, stride, pad)
+}
+
+func newPool(name string, kind poolKind, size, stride, pad int) (*Pool2D, error) {
+	if size <= 0 || stride <= 0 || pad < 0 {
+		return nil, fmt.Errorf("nn: pool %q: bad geometry size=%d stride=%d pad=%d", name, size, stride, pad)
+	}
+	return &Pool2D{name: name, kind: kind, Size: size, Stride: stride, Pad: pad}, nil
+}
+
+// Name implements Layer.
+func (p *Pool2D) Name() string { return p.name }
+
+// Kind implements Layer.
+func (p *Pool2D) Kind() string { return "POOL" }
+
+// OutShape implements Layer.
+func (p *Pool2D) OutShape(in [][]int) ([]int, error) {
+	s, err := wantOneShape(in)
+	if err != nil {
+		return nil, err
+	}
+	if len(s) != 3 {
+		return nil, fmt.Errorf("%w: pool %q wants [H W C], got %v", ErrShape, p.name, s)
+	}
+	oh := tensor.ConvOutDim(s[0], p.Size, p.Stride, p.Pad)
+	ow := tensor.ConvOutDim(s[1], p.Size, p.Stride, p.Pad)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("%w: pool %q output collapses on %v", ErrShape, p.name, s)
+	}
+	return []int{oh, ow, s[2]}, nil
+}
+
+// Forward implements Layer.
+func (p *Pool2D) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	outShape, err := p.OutShape([][]int{x.Shape()})
+	if err != nil {
+		return nil, err
+	}
+	h, w, c := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh, ow := outShape[0], outShape[1]
+	out := tensor.MustNew(oh, ow, c)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for ch := 0; ch < c; ch++ {
+				best := float32(math.Inf(-1))
+				var sum float64
+				count := 0
+				for ky := 0; ky < p.Size; ky++ {
+					iy := oy*p.Stride + ky - p.Pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < p.Size; kx++ {
+						ix := ox*p.Stride + kx - p.Pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						v := x.Data[(iy*w+ix)*c+ch]
+						if v > best {
+							best = v
+						}
+						sum += float64(v)
+						count++
+					}
+				}
+				var v float32
+				if count == 0 {
+					v = 0
+				} else if p.kind == poolMax {
+					v = best
+				} else {
+					v = float32(sum / float64(count))
+				}
+				out.Data[(oy*ow+ox)*c+ch] = v
+			}
+		}
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (p *Pool2D) Params() []Param { return nil }
+
+// Cost implements Layer.
+func (p *Pool2D) Cost(in [][]int) (uint64, error) { return 0, nil }
+
+// Backward implements Backprop. For max pooling the gradient routes to the
+// (first) argmax tap of each window, recomputed from the forward input;
+// for average pooling it spreads uniformly.
+func (p *Pool2D) Backward(x, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	outShape, err := p.OutShape([][]int{x.Shape()})
+	if err != nil {
+		return nil, err
+	}
+	h, w, c := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh, ow := outShape[0], outShape[1]
+	if dy.Size() != oh*ow*c {
+		return nil, fmt.Errorf("%w: pool %q backward dy size %d, want %d", ErrShape, p.name, dy.Size(), oh*ow*c)
+	}
+	dx := tensor.MustNew(h, w, c)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for ch := 0; ch < c; ch++ {
+				g := dy.Data[(oy*ow+ox)*c+ch]
+				if g == 0 {
+					continue
+				}
+				switch p.kind {
+				case poolMax:
+					bestIdx := -1
+					best := float32(math.Inf(-1))
+					for ky := 0; ky < p.Size; ky++ {
+						iy := oy*p.Stride + ky - p.Pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.Size; kx++ {
+							ix := ox*p.Stride + kx - p.Pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							idx := (iy*w+ix)*c + ch
+							if x.Data[idx] > best {
+								best = x.Data[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					if bestIdx >= 0 {
+						dx.Data[bestIdx] += g
+					}
+				case poolAvg:
+					var taps []int
+					for ky := 0; ky < p.Size; ky++ {
+						iy := oy*p.Stride + ky - p.Pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.Size; kx++ {
+							ix := ox*p.Stride + kx - p.Pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							taps = append(taps, (iy*w+ix)*c+ch)
+						}
+					}
+					if len(taps) > 0 {
+						share := g / float32(len(taps))
+						for _, idx := range taps {
+							dx.Data[idx] += share
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx, nil
+}
+
+// Grads implements Backprop.
+func (p *Pool2D) Grads() []Param { return nil }
+
+// ZeroGrads implements Backprop.
+func (p *Pool2D) ZeroGrads() {}
+
+// GlobalAvgPool reduces [H, W, C] to a [C] vector of channel means.
+type GlobalAvgPool struct {
+	name string
+}
+
+// NewGlobalAvgPool creates a global average pooling layer.
+func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{name: name} }
+
+// Name implements Layer.
+func (g *GlobalAvgPool) Name() string { return g.name }
+
+// Kind implements Layer.
+func (g *GlobalAvgPool) Kind() string { return "POOL" }
+
+// OutShape implements Layer.
+func (g *GlobalAvgPool) OutShape(in [][]int) ([]int, error) {
+	s, err := wantOneShape(in)
+	if err != nil {
+		return nil, err
+	}
+	if len(s) != 3 {
+		return nil, fmt.Errorf("%w: gap %q wants [H W C], got %v", ErrShape, g.name, s)
+	}
+	return []int{s[2]}, nil
+}
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	if x.Rank() != 3 {
+		return nil, fmt.Errorf("%w: gap %q wants [H W C], got %v", ErrShape, g.name, x.Shape())
+	}
+	h, w, c := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := tensor.MustNew(c)
+	acc := make([]float64, c)
+	for i := 0; i < h*w; i++ {
+		px := x.Data[i*c : (i+1)*c]
+		for ch := 0; ch < c; ch++ {
+			acc[ch] += float64(px[ch])
+		}
+	}
+	for ch := 0; ch < c; ch++ {
+		out.Data[ch] = float32(acc[ch] / float64(h*w))
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []Param { return nil }
+
+// Cost implements Layer.
+func (g *GlobalAvgPool) Cost(in [][]int) (uint64, error) { return 0, nil }

@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Weight-file layout (little endian):
+//
+//	magic   [4]byte "NNWT"
+//	version uint16
+//	layers  uint32
+//	per layer: nameLen uint16, name, params uint32
+//	  per param: nameLen uint16, name, rank uint8, dims []uint32,
+//	             data []float32
+//
+// Only parameterized layers are stored. Loading matches by layer and
+// parameter name and requires identical shapes, so a file trained on one
+// topology cannot be silently loaded into another.
+var weightMagic = [4]byte{'N', 'N', 'W', 'T'}
+
+const weightVersion uint16 = 1
+
+// Weight-file errors.
+var (
+	ErrBadWeightMagic = errors.New("nn: not a weight file")
+	ErrWeightMismatch = errors.New("nn: weight file does not match the graph")
+)
+
+// SaveWeights writes every parameter tensor of the graph to w.
+func SaveWeights(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(weightMagic[:]); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	var tmp [4]byte
+	le.PutUint16(tmp[:2], weightVersion)
+	bw.Write(tmp[:2])
+	var withParams []Layer
+	for _, l := range g.Layers() {
+		if len(l.Params()) > 0 {
+			withParams = append(withParams, l)
+		}
+	}
+	le.PutUint32(tmp[:4], uint32(len(withParams)))
+	bw.Write(tmp[:4])
+	for _, l := range withParams {
+		if err := writeString(bw, l.Name()); err != nil {
+			return err
+		}
+		params := l.Params()
+		le.PutUint32(tmp[:4], uint32(len(params)))
+		bw.Write(tmp[:4])
+		for _, p := range params {
+			if err := writeString(bw, p.Name); err != nil {
+				return err
+			}
+			shape := p.T.Shape()
+			if len(shape) > 255 {
+				return fmt.Errorf("nn: rank %d too large to serialize", len(shape))
+			}
+			bw.WriteByte(byte(len(shape)))
+			for _, d := range shape {
+				le.PutUint32(tmp[:4], uint32(d))
+				bw.Write(tmp[:4])
+			}
+			for _, v := range p.T.Data {
+				le.PutUint32(tmp[:4], math.Float32bits(v))
+				if _, err := bw.Write(tmp[:4]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadWeights reads a weight file into the graph's parameter tensors.
+// Layer names, parameter names, order and shapes must match exactly.
+func LoadWeights(r io.Reader, g *Graph) error {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("nn: reading magic: %w", err)
+	}
+	if hdr != weightMagic {
+		return ErrBadWeightMagic
+	}
+	le := binary.LittleEndian
+	var tmp [4]byte
+	if _, err := io.ReadFull(br, tmp[:2]); err != nil {
+		return err
+	}
+	if v := le.Uint16(tmp[:2]); v != weightVersion {
+		return fmt.Errorf("nn: unsupported weight file version %d", v)
+	}
+	if _, err := io.ReadFull(br, tmp[:4]); err != nil {
+		return err
+	}
+	nLayers := int(le.Uint32(tmp[:4]))
+	var withParams []Layer
+	for _, l := range g.Layers() {
+		if len(l.Params()) > 0 {
+			withParams = append(withParams, l)
+		}
+	}
+	if nLayers != len(withParams) {
+		return fmt.Errorf("%w: file has %d parameterized layers, graph has %d",
+			ErrWeightMismatch, nLayers, len(withParams))
+	}
+	for _, l := range withParams {
+		name, err := readString(br)
+		if err != nil {
+			return err
+		}
+		if name != l.Name() {
+			return fmt.Errorf("%w: layer %q in file, %q in graph", ErrWeightMismatch, name, l.Name())
+		}
+		if _, err := io.ReadFull(br, tmp[:4]); err != nil {
+			return err
+		}
+		nParams := int(le.Uint32(tmp[:4]))
+		params := l.Params()
+		if nParams != len(params) {
+			return fmt.Errorf("%w: layer %q has %d params in file, %d in graph",
+				ErrWeightMismatch, name, nParams, len(params))
+		}
+		for _, p := range params {
+			pname, err := readString(br)
+			if err != nil {
+				return err
+			}
+			if pname != p.Name {
+				return fmt.Errorf("%w: param %q in file, %q in graph", ErrWeightMismatch, pname, p.Name)
+			}
+			rank, err := br.ReadByte()
+			if err != nil {
+				return err
+			}
+			shape := p.T.Shape()
+			if int(rank) != len(shape) {
+				return fmt.Errorf("%w: param %s/%s rank %d vs %d", ErrWeightMismatch, name, pname, rank, len(shape))
+			}
+			for i := 0; i < int(rank); i++ {
+				if _, err := io.ReadFull(br, tmp[:4]); err != nil {
+					return err
+				}
+				if int(le.Uint32(tmp[:4])) != shape[i] {
+					return fmt.Errorf("%w: param %s/%s dim %d mismatch", ErrWeightMismatch, name, pname, i)
+				}
+			}
+			for i := range p.T.Data {
+				if _, err := io.ReadFull(br, tmp[:4]); err != nil {
+					return fmt.Errorf("nn: reading %s/%s data: %w", name, pname, err)
+				}
+				p.T.Data[i] = math.Float32frombits(le.Uint32(tmp[:4]))
+			}
+		}
+	}
+	return nil
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if len(s) > 65535 {
+		return fmt.Errorf("nn: string too long to serialize")
+	}
+	var tmp [2]byte
+	binary.LittleEndian.PutUint16(tmp[:], uint16(len(s)))
+	if _, err := w.Write(tmp[:]); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	var tmp [2]byte
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return "", err
+	}
+	buf := make([]byte, binary.LittleEndian.Uint16(tmp[:]))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

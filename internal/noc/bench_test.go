@@ -1,0 +1,53 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkStepLoaded measures the per-cycle cost of the router pipeline
+// under sustained uniform random traffic.
+func BenchmarkStepLoaded(b *testing.B) {
+	nw, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	inject := func() {
+		src := rng.Intn(16)
+		dst := rng.Intn(16)
+		if dst == src {
+			dst = (src + 1) % 16
+		}
+		_ = nw.Inject(Packet{Src: src, Dst: dst, Flits: 4})
+	}
+	for k := 0; k < 64; k++ {
+		inject()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%4 == 0 {
+			inject() // keep the network loaded
+		}
+		nw.Step()
+	}
+}
+
+// BenchmarkDrainHotspot measures draining the accelerator's writeback
+// pattern: twelve senders converging on one corner.
+func BenchmarkDrainHotspot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nw, err := New(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for src := 1; src < 16; src++ {
+			if _, err := nw.SendMessage(src, 0, 64, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, ok := nw.RunUntilIdle(1_000_000); !ok {
+			b.Fatal("did not drain")
+		}
+	}
+}

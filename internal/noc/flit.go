@@ -1,0 +1,83 @@
+// Package noc is a cycle-accurate simulator of the 2-D mesh network-on-
+// chip at the heart of the paper's accelerator platform (a Noxim-class
+// model): wormhole switching, dimension-ordered XY routing, credit-based
+// flow control over input-buffered five-port routers, 64-bit flits at
+// 1 GHz. Energy is back-annotated per event (router traversal, link
+// traversal) plus leakage over time, exactly the methodology of the
+// paper's Sec. IV-A.
+package noc
+
+import "fmt"
+
+// FlitType marks a flit's position within its packet.
+type FlitType int8
+
+// Flit types. A single-flit packet is HeadTail.
+const (
+	HeadFlit FlitType = iota
+	BodyFlit
+	TailFlit
+	HeadTailFlit
+)
+
+// String implements fmt.Stringer.
+func (t FlitType) String() string {
+	switch t {
+	case HeadFlit:
+		return "head"
+	case BodyFlit:
+		return "body"
+	case TailFlit:
+		return "tail"
+	case HeadTailFlit:
+		return "headtail"
+	default:
+		return fmt.Sprintf("flit(%d)", int(t))
+	}
+}
+
+// Packet is the unit of transfer presented to the network interface. The
+// network segments it into flits.
+type Packet struct {
+	ID    uint64
+	Src   int // source node id
+	Dst   int // destination node id
+	Flits int // packet length in flits (>= 1)
+	Meta  any // opaque payload descriptor for the client (e.g. the accelerator)
+}
+
+// flit is the internal wire unit.
+type flit struct {
+	ftype    FlitType
+	packetID uint64
+	src, dst int
+	vc       int8   // virtual channel the packet was assigned at injection
+	enqueued uint64 // cycle the packet entered the source injection queue
+}
+
+// Delivery reports a packet fully received at its destination.
+type Delivery struct {
+	Packet  Packet
+	Cycle   uint64 // cycle the tail flit was ejected
+	Latency uint64 // Cycle minus injection-queue entry cycle
+}
+
+// Port indices of a router.
+const (
+	PortLocal = iota
+	PortNorth
+	PortEast
+	PortSouth
+	PortWest
+	numPorts
+)
+
+var portNames = [numPorts]string{"local", "north", "east", "south", "west"}
+
+// PortName returns a human-readable port name.
+func PortName(p int) string {
+	if p < 0 || p >= numPorts {
+		return fmt.Sprintf("port(%d)", p)
+	}
+	return portNames[p]
+}

@@ -1,0 +1,522 @@
+package noc
+
+import (
+	"fmt"
+)
+
+// Routing selects the routing algorithm.
+type Routing int8
+
+// Routing algorithms. All three are deadlock-free on a mesh: XY and YX by
+// dimension order, WestFirst by the turn model (no turn into west, with
+// adaptive selection among the admissible directions by downstream credit).
+const (
+	RoutingXY Routing = iota
+	RoutingYX
+	RoutingWestFirst
+)
+
+// String implements fmt.Stringer.
+func (r Routing) String() string {
+	switch r {
+	case RoutingYX:
+		return "yx"
+	case RoutingWestFirst:
+		return "west-first"
+	default:
+		return "xy"
+	}
+}
+
+// Config describes the mesh.
+type Config struct {
+	Width, Height   int     // mesh dimensions (paper: 4x4)
+	BufferDepth     int     // input buffer depth in flits per port per VC
+	FlitBits        int     // link width (paper: 64)
+	MaxPacketFlit   int     // largest packet the NI will segment into (0 = 32)
+	Routing         Routing // routing algorithm (default: XY, the paper's)
+	VirtualChannels int     // VCs per physical channel (0 or 1 = plain wormhole)
+}
+
+// DefaultConfig returns the paper's 4x4 mesh with 64-bit links.
+func DefaultConfig() Config {
+	return Config{Width: 4, Height: 4, BufferDepth: 4, FlitBits: 64, MaxPacketFlit: 32}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Width < 1 || c.Height < 1:
+		return fmt.Errorf("noc: bad mesh %dx%d", c.Width, c.Height)
+	case c.Width*c.Height < 2:
+		return fmt.Errorf("noc: mesh needs at least 2 nodes")
+	case c.BufferDepth < 1:
+		return fmt.Errorf("noc: buffer depth %d < 1", c.BufferDepth)
+	case c.FlitBits <= 0:
+		return fmt.Errorf("noc: flit width %d", c.FlitBits)
+	case c.MaxPacketFlit < 0:
+		return fmt.Errorf("noc: negative max packet size")
+	case c.Routing != RoutingXY && c.Routing != RoutingYX && c.Routing != RoutingWestFirst:
+		return fmt.Errorf("noc: unknown routing %d", int(c.Routing))
+	case c.VirtualChannels < 0 || c.VirtualChannels > 16:
+		return fmt.Errorf("noc: virtual channel count %d out of [0,16]", c.VirtualChannels)
+	}
+	return nil
+}
+
+// vcs returns the effective virtual-channel count.
+func (c Config) vcs() int {
+	if c.VirtualChannels < 1 {
+		return 1
+	}
+	return c.VirtualChannels
+}
+
+// vcLane is one virtual channel of a router input port: its own flit
+// FIFO and wormhole route state.
+type vcLane struct {
+	buf   []flit // FIFO; index 0 is the head
+	route int    // output port allocated to the packet at head (-1 = none)
+}
+
+// inputPort is one physical router input: a set of VC lanes sharing the
+// physical link.
+type inputPort struct {
+	vcs []vcLane
+}
+
+// router is one five-port wormhole router. Output state is kept per
+// output VC: a packet acquires the output VC matching its input VC and
+// holds it until its tail passes; the physical output link is arbitrated
+// round-robin among output VCs with a flit ready and credit downstream.
+type router struct {
+	id       int
+	in       [numPorts]inputPort
+	outOwner [numPorts][]int // [port][vc] -> owning input port (-1 = free)
+	rrVC     [numPorts]int   // round-robin pointer over output VCs per port
+	rrIn     [numPorts][]int // round-robin pointer over inputs per (port, vc)
+}
+
+// Stats aggregates network activity counters used by the energy model.
+type Stats struct {
+	Cycles         uint64
+	PacketsIn      uint64 // packets accepted into injection queues
+	PacketsOut     uint64 // packets fully delivered
+	FlitsInjected  uint64
+	FlitsEjected   uint64
+	RouterTraverse uint64 // flits leaving any router output (switch traversals)
+	LinkTraverse   uint64 // flits crossing an inter-router link
+	LatencySum     uint64 // sum of packet latencies
+}
+
+// AvgPacketLatency returns the mean delivered-packet latency in cycles.
+func (s Stats) AvgPacketLatency() float64 {
+	if s.PacketsOut == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.PacketsOut)
+}
+
+// Network is the mesh simulator. Create with New, drive with Step.
+type Network struct {
+	cfg       Config
+	routers   []router
+	inject    [][]flit          // per-node injection queues (already segmented)
+	pending   map[uint64]Packet // packet descriptors by ID for delivery reporting
+	sink      func(Delivery)
+	nextID    uint64
+	cycle     uint64
+	stats     Stats
+	perRouter []uint64 // flit traversals per router (utilization heatmap)
+	// staged arrivals for the two-phase cycle update
+	arrivals []int // per (router, port): flits arriving this cycle
+}
+
+// New creates a network from the configuration.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxPacketFlit == 0 {
+		cfg.MaxPacketFlit = 32
+	}
+	n := cfg.Width * cfg.Height
+	nw := &Network{
+		cfg:       cfg,
+		routers:   make([]router, n),
+		inject:    make([][]flit, n),
+		pending:   make(map[uint64]Packet),
+		arrivals:  make([]int, n*numPorts*cfg.vcs()),
+		perRouter: make([]uint64, n),
+	}
+	v := cfg.vcs()
+	for i := range nw.routers {
+		rt := &nw.routers[i]
+		rt.id = i
+		for p := 0; p < numPorts; p++ {
+			rt.in[p].vcs = make([]vcLane, v)
+			for k := range rt.in[p].vcs {
+				rt.in[p].vcs[k].route = -1
+			}
+			rt.outOwner[p] = make([]int, v)
+			rt.rrIn[p] = make([]int, v)
+			for k := range rt.outOwner[p] {
+				rt.outOwner[p][k] = -1
+			}
+		}
+	}
+	return nw, nil
+}
+
+// Nodes returns the node count.
+func (nw *Network) Nodes() int { return len(nw.routers) }
+
+// Cycle returns the current simulation cycle.
+func (nw *Network) Cycle() uint64 { return nw.cycle }
+
+// Stats returns a copy of the activity counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// SetSink installs the delivery callback, invoked when a packet's tail
+// flit is ejected at its destination.
+func (nw *Network) SetSink(fn func(Delivery)) { nw.sink = fn }
+
+// PerRouterTraversals returns a copy of the per-router flit traversal
+// counters — the utilization heatmap of the mesh.
+func (nw *Network) PerRouterTraversals() []uint64 {
+	return append([]uint64(nil), nw.perRouter...)
+}
+
+// coord maps a node id to mesh coordinates.
+func (nw *Network) coord(id int) (x, y int) { return id % nw.cfg.Width, id / nw.cfg.Width }
+
+// NodeAt maps mesh coordinates to a node id.
+func (nw *Network) NodeAt(x, y int) (int, error) {
+	if x < 0 || x >= nw.cfg.Width || y < 0 || y >= nw.cfg.Height {
+		return 0, fmt.Errorf("noc: coordinates (%d,%d) outside %dx%d mesh", x, y, nw.cfg.Width, nw.cfg.Height)
+	}
+	return y*nw.cfg.Width + x, nil
+}
+
+// route returns the output port chosen by the configured routing
+// algorithm at router id for a packet toward dst.
+func (nw *Network) route(id, dst int) int {
+	cx, cy := nw.coord(id)
+	dx, dy := nw.coord(dst)
+	switch nw.cfg.Routing {
+	case RoutingYX:
+		switch {
+		case dy > cy:
+			return PortSouth
+		case dy < cy:
+			return PortNorth
+		case dx > cx:
+			return PortEast
+		case dx < cx:
+			return PortWest
+		default:
+			return PortLocal
+		}
+	case RoutingWestFirst:
+		// Turn model: any turn into west is forbidden, so all westward
+		// hops happen first; the remaining east/vertical moves are chosen
+		// adaptively by downstream credit.
+		if dx < cx {
+			return PortWest
+		}
+		var candidates []int
+		if dx > cx {
+			candidates = append(candidates, PortEast)
+		}
+		if dy > cy {
+			candidates = append(candidates, PortSouth)
+		} else if dy < cy {
+			candidates = append(candidates, PortNorth)
+		}
+		if len(candidates) == 0 {
+			return PortLocal
+		}
+		best, bestFree := candidates[0], -1
+		for _, p := range candidates {
+			nid, nport, ok := nw.neighbor(id, p)
+			if !ok {
+				continue
+			}
+			occupied := 0
+			for k := range nw.routers[nid].in[nport].vcs {
+				occupied += len(nw.routers[nid].in[nport].vcs[k].buf)
+			}
+			free := nw.cfg.vcs()*nw.cfg.BufferDepth - occupied
+			if free > bestFree {
+				best, bestFree = p, free
+			}
+		}
+		return best
+	default: // RoutingXY, the paper's configuration
+		switch {
+		case dx > cx:
+			return PortEast
+		case dx < cx:
+			return PortWest
+		case dy > cy:
+			return PortSouth
+		case dy < cy:
+			return PortNorth
+		default:
+			return PortLocal
+		}
+	}
+}
+
+// neighbor returns the router on the other side of output port p of
+// router id, and the input port it arrives on; ok=false at mesh edges.
+func (nw *Network) neighbor(id, p int) (nid, nport int, ok bool) {
+	x, y := nw.coord(id)
+	switch p {
+	case PortNorth:
+		y--
+		nport = PortSouth
+	case PortSouth:
+		y++
+		nport = PortNorth
+	case PortEast:
+		x++
+		nport = PortWest
+	case PortWest:
+		x--
+		nport = PortEast
+	default:
+		return 0, 0, false
+	}
+	if x < 0 || x >= nw.cfg.Width || y < 0 || y >= nw.cfg.Height {
+		return 0, 0, false
+	}
+	return y*nw.cfg.Width + x, nport, true
+}
+
+// Inject queues a packet at its source node's network interface. The NI
+// segments it into flits immediately; flits enter the router's local input
+// port as buffer space allows, one per cycle.
+func (nw *Network) Inject(p Packet) error {
+	if p.Src < 0 || p.Src >= len(nw.routers) || p.Dst < 0 || p.Dst >= len(nw.routers) {
+		return fmt.Errorf("noc: packet endpoints %d->%d outside mesh", p.Src, p.Dst)
+	}
+	if p.Src == p.Dst {
+		return fmt.Errorf("noc: self-addressed packet at node %d", p.Src)
+	}
+	if p.Flits < 1 {
+		return fmt.Errorf("noc: packet with %d flits", p.Flits)
+	}
+	if nw.cfg.MaxPacketFlit > 0 && p.Flits > nw.cfg.MaxPacketFlit {
+		return fmt.Errorf("noc: packet of %d flits exceeds max %d (segment at the NI)", p.Flits, nw.cfg.MaxPacketFlit)
+	}
+	p.ID = nw.nextID
+	nw.nextID++
+	nw.pending[p.ID] = p
+	vc := int8(p.ID % uint64(nw.cfg.vcs()))
+	for i := 0; i < p.Flits; i++ {
+		t := BodyFlit
+		switch {
+		case p.Flits == 1:
+			t = HeadTailFlit
+		case i == 0:
+			t = HeadFlit
+		case i == p.Flits-1:
+			t = TailFlit
+		}
+		nw.inject[p.Src] = append(nw.inject[p.Src], flit{
+			ftype: t, packetID: p.ID, src: p.Src, dst: p.Dst, vc: vc, enqueued: nw.cycle,
+		})
+	}
+	nw.stats.PacketsIn++
+	return nil
+}
+
+// SendMessage segments an arbitrarily large message of the given flit
+// count into MaxPacketFlit-sized packets sharing the same Meta, returning
+// the number of packets injected.
+func (nw *Network) SendMessage(src, dst, flits int, meta any) (int, error) {
+	if flits < 1 {
+		return 0, fmt.Errorf("noc: message with %d flits", flits)
+	}
+	maxf := nw.cfg.MaxPacketFlit
+	if maxf == 0 {
+		maxf = 32
+	}
+	packets := 0
+	for flits > 0 {
+		sz := flits
+		if sz > maxf {
+			sz = maxf
+		}
+		if err := nw.Inject(Packet{Src: src, Dst: dst, Flits: sz, Meta: meta}); err != nil {
+			return packets, err
+		}
+		packets++
+		flits -= sz
+	}
+	return packets, nil
+}
+
+// InjectQueueLen returns the number of flits waiting in a node's
+// injection queue (for backpressure-aware clients).
+func (nw *Network) InjectQueueLen(node int) int { return len(nw.inject[node]) }
+
+// Idle reports whether no flits remain anywhere in the network.
+func (nw *Network) Idle() bool {
+	for i := range nw.inject {
+		if len(nw.inject[i]) > 0 {
+			return false
+		}
+	}
+	for r := range nw.routers {
+		for p := 0; p < numPorts; p++ {
+			for k := range nw.routers[r].in[p].vcs {
+				if len(nw.routers[r].in[p].vcs[k].buf) > 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Step advances the network one clock cycle.
+func (nw *Network) Step() {
+	for i := range nw.arrivals {
+		nw.arrivals[i] = 0
+	}
+	v := nw.cfg.vcs()
+	// Phase 1: route computation for fresh heads on every VC lane.
+	for r := range nw.routers {
+		rt := &nw.routers[r]
+		for p := 0; p < numPorts; p++ {
+			for k := range rt.in[p].vcs {
+				lane := &rt.in[p].vcs[k]
+				if lane.route < 0 && len(lane.buf) > 0 {
+					head := lane.buf[0]
+					if head.ftype == HeadFlit || head.ftype == HeadTailFlit {
+						lane.route = nw.route(r, head.dst)
+					}
+				}
+			}
+		}
+	}
+	// Phase 2: VC allocation + switch traversal. Each output physical
+	// channel moves at most one flit per cycle, chosen round-robin among
+	// its output VCs; each output VC is held by one input lane until the
+	// tail passes.
+	for r := range nw.routers {
+		rt := &nw.routers[r]
+		for out := 0; out < numPorts; out++ {
+			// Allocate free output VCs to requesting input lanes (an
+			// input lane on VC k requests output VC k).
+			for k := 0; k < v; k++ {
+				if rt.outOwner[out][k] >= 0 {
+					continue
+				}
+				for step := 1; step <= numPorts; step++ {
+					cand := (rt.rrIn[out][k] + step) % numPorts
+					lane := &rt.in[cand].vcs[k]
+					if lane.route == out && len(lane.buf) > 0 {
+						rt.outOwner[out][k] = cand
+						rt.rrIn[out][k] = cand
+						break
+					}
+				}
+			}
+			// Physical link arbitration: first ready output VC in
+			// round-robin order sends one flit.
+			for step := 1; step <= v; step++ {
+				k := (rt.rrVC[out] + step) % v
+				owner := rt.outOwner[out][k]
+				if owner < 0 {
+					continue
+				}
+				lane := &rt.in[owner].vcs[k]
+				if len(lane.buf) == 0 {
+					continue // next flit not arrived yet
+				}
+				f := lane.buf[0]
+				if out == PortLocal {
+					nw.ejectFlit(r, f)
+				} else {
+					nid, nport, ok := nw.neighbor(r, out)
+					if !ok {
+						// Minimal mesh routing never routes off-mesh; bug guard.
+						panic(fmt.Sprintf("noc: router %d routed off mesh via %s", r, PortName(out)))
+					}
+					dstLane := &nw.routers[nid].in[nport].vcs[k]
+					ai := (nid*numPorts+nport)*v + k
+					if len(dstLane.buf)+nw.arrivals[ai] >= nw.cfg.BufferDepth {
+						continue // no credit downstream on this VC
+					}
+					dstLane.buf = append(dstLane.buf, f)
+					nw.arrivals[ai]++
+					nw.stats.LinkTraverse++
+				}
+				nw.stats.RouterTraverse++
+				nw.perRouter[r]++
+				lane.buf = lane.buf[1:]
+				if f.ftype == TailFlit || f.ftype == HeadTailFlit {
+					rt.outOwner[out][k] = -1
+					lane.route = -1
+				}
+				rt.rrVC[out] = k
+				break // one flit per physical channel per cycle
+			}
+		}
+	}
+	// Phase 3: injection into local input ports (one flit per cycle per
+	// node, into the flit's assigned VC lane).
+	for nidx := range nw.inject {
+		q := nw.inject[nidx]
+		if len(q) == 0 {
+			continue
+		}
+		k := int(q[0].vc)
+		lane := &nw.routers[nidx].in[PortLocal].vcs[k]
+		ai := (nidx*numPorts+PortLocal)*v + k
+		if len(lane.buf)+nw.arrivals[ai] < nw.cfg.BufferDepth {
+			lane.buf = append(lane.buf, q[0])
+			nw.inject[nidx] = q[1:]
+			nw.stats.FlitsInjected++
+		}
+	}
+	nw.cycle++
+	nw.stats.Cycles = nw.cycle
+}
+
+// ejectFlit consumes a flit at its destination NI.
+func (nw *Network) ejectFlit(node int, f flit) {
+	nw.stats.FlitsEjected++
+	if f.ftype != TailFlit && f.ftype != HeadTailFlit {
+		return
+	}
+	// Tail: the packet is fully delivered.
+	nw.stats.PacketsOut++
+	lat := nw.cycle - f.enqueued
+	nw.stats.LatencySum += lat
+	if nw.sink != nil {
+		pkt, ok := nw.pending[f.packetID]
+		if !ok {
+			pkt = Packet{ID: f.packetID}
+		}
+		nw.sink(Delivery{Packet: pkt, Cycle: nw.cycle, Latency: lat})
+	}
+	delete(nw.pending, f.packetID)
+	_ = node
+}
+
+// RunUntilIdle steps the network until it drains or maxCycles elapse,
+// returning the cycles consumed and whether it drained.
+func (nw *Network) RunUntilIdle(maxCycles uint64) (uint64, bool) {
+	start := nw.cycle
+	for !nw.Idle() {
+		if nw.cycle-start >= maxCycles {
+			return nw.cycle - start, false
+		}
+		nw.Step()
+	}
+	return nw.cycle - start, true
+}

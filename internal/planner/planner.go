@@ -1,0 +1,255 @@
+// Package planner implements the paper's stated future work (Sec. V):
+// selecting the set of layers to compress and, for each, the appropriate
+// tolerance threshold, to maximize the overall compression ratio under an
+// accuracy constraint.
+//
+// The planner runs a greedy marginal-benefit search: starting from the
+// uncompressed model, it repeatedly evaluates single-step escalations
+// (compress one more layer at the lowest delta, or raise an already
+// compressed layer to the next delta level), applies the escalation with
+// the best bits-saved-per-accuracy-lost ratio that keeps the model within
+// the accuracy budget, and stops when no escalation fits. The search
+// needs only forward evaluations — consistent with the compression
+// technique's retraining-free philosophy.
+package planner
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+// AccuracyFunc measures the accuracy of the model in its *current*
+// parameter state (e.g. top-1 on a held-out set, or top-5 fidelity).
+type AccuracyFunc func() (float64, error)
+
+// Options configures the search.
+type Options struct {
+	// MaxAccuracyDrop is the budget relative to the uncompressed model's
+	// accuracy (e.g. 0.05 allows a five-point drop).
+	MaxAccuracyDrop float64
+	// DeltaGrid is the escalation ladder of tolerance thresholds, in
+	// percent of each layer's amplitude, ascending.
+	DeltaGrid []float64
+	// Layers restricts the candidate set (nil = every CONV/DWCONV/FC
+	// layer with parameters).
+	Layers []string
+	// MaxEvals bounds the number of accuracy evaluations (0 = 10000).
+	MaxEvals int
+	// Storage is the segment storage accounting.
+	Storage core.StorageModel
+}
+
+// DefaultOptions returns a 5%-drop budget over the paper's delta ladder.
+func DefaultOptions() Options {
+	return Options{
+		MaxAccuracyDrop: 0.05,
+		DeltaGrid:       []float64{2, 5, 10, 15, 20},
+		Storage:         core.DefaultStorage,
+	}
+}
+
+// Assignment is one compressed layer in the final plan.
+type Assignment struct {
+	Layer    string
+	DeltaPct float64
+	CR       float64
+	Params   int
+}
+
+// Plan is the planner's result.
+type Plan struct {
+	Assignments  []Assignment
+	BaseAccuracy float64
+	Accuracy     float64 // accuracy with the plan applied
+	WeightedCR   float64 // whole-model compression ratio
+	Evals        int     // accuracy evaluations spent
+}
+
+// layerState tracks the search state for one candidate layer.
+type layerState struct {
+	name     string
+	original []float64
+	level    int // index into DeltaGrid; -1 = uncompressed
+	bits     int // current compressed bits (original bits if level < 0)
+}
+
+// Greedy searches for the best multi-layer compression plan. The model's
+// parameters are mutated during the search and left in the final plan's
+// state on success (restore the returned originals to undo; see
+// Plan/Assignments). accuracy is called after every trial mutation.
+func Greedy(m *models.Model, accuracy AccuracyFunc, opts Options) (*Plan, error) {
+	if accuracy == nil {
+		return nil, errors.New("planner: nil accuracy function")
+	}
+	if opts.MaxAccuracyDrop < 0 {
+		return nil, fmt.Errorf("planner: negative accuracy budget %v", opts.MaxAccuracyDrop)
+	}
+	if len(opts.DeltaGrid) == 0 {
+		return nil, errors.New("planner: empty delta grid")
+	}
+	for i := 1; i < len(opts.DeltaGrid); i++ {
+		if opts.DeltaGrid[i] <= opts.DeltaGrid[i-1] {
+			return nil, errors.New("planner: delta grid must ascend")
+		}
+	}
+	maxEvals := opts.MaxEvals
+	if maxEvals == 0 {
+		maxEvals = 10000
+	}
+
+	layers, err := candidateLayers(m, opts.Layers)
+	if err != nil {
+		return nil, err
+	}
+	states := make([]*layerState, 0, len(layers))
+	for _, name := range layers {
+		w, err := m.LayerWeights(name)
+		if err != nil {
+			return nil, err
+		}
+		states = append(states, &layerState{
+			name:     name,
+			original: w,
+			level:    -1,
+			bits:     32 * len(w),
+		})
+	}
+
+	base, err := accuracy()
+	if err != nil {
+		return nil, err
+	}
+	evals := 1
+	floor := base - opts.MaxAccuracyDrop
+	current := base
+
+	for {
+		type escalation struct {
+			st    *layerState
+			acc   float64
+			bits  int
+			score float64
+		}
+		var best *escalation
+		for _, st := range states {
+			if st.level+1 >= len(opts.DeltaGrid) {
+				continue
+			}
+			if evals >= maxEvals {
+				break
+			}
+			pct := opts.DeltaGrid[st.level+1]
+			c, err := core.CompressPct(st.original, pct)
+			if err != nil {
+				return nil, fmt.Errorf("planner: %s at %v%%: %w", st.name, pct, err)
+			}
+			newBits := c.CompressedBits(opts.Storage)
+			saved := st.bits - newBits
+			if saved <= 0 {
+				continue // escalation does not help storage
+			}
+			if err := m.SetLayerWeights(st.name, c.Decompress()); err != nil {
+				return nil, err
+			}
+			acc, err := accuracy()
+			evals++
+			// Revert before judging.
+			if rerr := restore(m, st, opts); rerr != nil {
+				return nil, rerr
+			}
+			if err != nil {
+				return nil, err
+			}
+			if acc < floor {
+				continue
+			}
+			drop := current - acc
+			if drop < 1e-6 {
+				drop = 1e-6
+			}
+			score := float64(saved) / drop
+			if best == nil || score > best.score {
+				best = &escalation{st: st, acc: acc, bits: newBits, score: score}
+			}
+		}
+		if best == nil || evals >= maxEvals {
+			break
+		}
+		// Commit the winning escalation.
+		best.st.level++
+		best.st.bits = best.bits
+		pct := opts.DeltaGrid[best.st.level]
+		c, err := core.CompressPct(best.st.original, pct)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.SetLayerWeights(best.st.name, c.Decompress()); err != nil {
+			return nil, err
+		}
+		current = best.acc
+	}
+
+	// Assemble the plan.
+	plan := &Plan{BaseAccuracy: base, Accuracy: current, Evals: evals}
+	var totalBits, planBits float64
+	totalBits = float64(m.TotalParams()) * 32
+	planBits = totalBits
+	for _, st := range states {
+		origBits := float64(32 * len(st.original))
+		planBits -= origBits - float64(st.bits)
+		if st.level < 0 {
+			continue
+		}
+		plan.Assignments = append(plan.Assignments, Assignment{
+			Layer:    st.name,
+			DeltaPct: opts.DeltaGrid[st.level],
+			CR:       origBits / float64(st.bits),
+			Params:   len(st.original),
+		})
+	}
+	if planBits > 0 {
+		plan.WeightedCR = totalBits / planBits
+	}
+	return plan, nil
+}
+
+// restore reinstalls a layer's committed state: its original weights if
+// uncompressed, or the decompressed stream at its committed level.
+func restore(m *models.Model, st *layerState, opts Options) error {
+	if st.level < 0 {
+		return m.SetLayerWeights(st.name, st.original)
+	}
+	c, err := core.CompressPct(st.original, opts.DeltaGrid[st.level])
+	if err != nil {
+		return err
+	}
+	return m.SetLayerWeights(st.name, c.Decompress())
+}
+
+// candidateLayers resolves the layer filter to parameterized layers.
+func candidateLayers(m *models.Model, filter []string) ([]string, error) {
+	if len(filter) > 0 {
+		for _, name := range filter {
+			if m.Graph.Layer(name) == nil {
+				return nil, fmt.Errorf("planner: unknown layer %q", name)
+			}
+		}
+		return filter, nil
+	}
+	var out []string
+	for _, l := range m.Graph.Layers() {
+		switch l.Kind() {
+		case "CONV", "DWCONV", "FC":
+			if len(l.Params()) > 0 {
+				out = append(out, l.Name())
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("planner: no compressible layers")
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+package planner
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/train"
+)
+
+// trainedLeNet returns a quickly trained LeNet with its test set.
+func trainedLeNet(t *testing.T) (*models.Model, []dataset.Sample) {
+	t.Helper()
+	m, err := models.LeNet5(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := dataset.Digits(450, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainSet, testSet, err := dataset.Split(samples, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := train.NewSGD(0.05, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := train.NewTrainer(m.Graph, opt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Fit(trainSet, 3); err != nil {
+		t.Fatal(err)
+	}
+	return m, testSet
+}
+
+func TestGreedyValidation(t *testing.T) {
+	m, testSet := trainedLeNet(t)
+	acc := func() (float64, error) { return train.Accuracy(m.Graph, testSet) }
+	if _, err := Greedy(m, nil, DefaultOptions()); err == nil {
+		t.Error("nil accuracy func should error")
+	}
+	bad := DefaultOptions()
+	bad.MaxAccuracyDrop = -1
+	if _, err := Greedy(m, acc, bad); err == nil {
+		t.Error("negative budget should error")
+	}
+	bad = DefaultOptions()
+	bad.DeltaGrid = nil
+	if _, err := Greedy(m, acc, bad); err == nil {
+		t.Error("empty grid should error")
+	}
+	bad = DefaultOptions()
+	bad.DeltaGrid = []float64{10, 5}
+	if _, err := Greedy(m, acc, bad); err == nil {
+		t.Error("descending grid should error")
+	}
+	bad = DefaultOptions()
+	bad.Layers = []string{"ghost"}
+	if _, err := Greedy(m, acc, bad); err == nil {
+		t.Error("unknown layer should error")
+	}
+}
+
+func TestGreedyRespectsBudgetAndBeatsSingleLayer(t *testing.T) {
+	m, testSet := trainedLeNet(t)
+	acc := func() (float64, error) { return train.Accuracy(m.Graph, testSet) }
+
+	// Single-layer reference: the paper's policy (dense_1 only) at the
+	// largest delta of the ladder that satisfies the same accuracy budget.
+	base, err := acc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := m.SelectedWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 0.05
+	singleWCR := 1.0
+	for _, pct := range DefaultOptions().DeltaGrid {
+		c, err := core.CompressPct(orig, pct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetSelectedWeights(c.Decompress()); err != nil {
+			t.Fatal(err)
+		}
+		a, err := acc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a >= base-budget {
+			singleWCR = core.WeightedCR(c.CompressionRatio(core.DefaultStorage), len(orig), m.TotalParams())
+		}
+	}
+	if err := m.SetSelectedWeights(orig); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := DefaultOptions()
+	opts.MaxAccuracyDrop = budget
+	opts.MaxEvals = 400
+	plan, err := Greedy(m, acc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Accuracy < plan.BaseAccuracy-opts.MaxAccuracyDrop-1e-9 {
+		t.Errorf("plan accuracy %v violates budget (base %v)", plan.Accuracy, plan.BaseAccuracy)
+	}
+	if len(plan.Assignments) == 0 {
+		t.Fatal("planner compressed nothing")
+	}
+	if plan.WeightedCR <= 1 {
+		t.Errorf("plan WCR = %v", plan.WeightedCR)
+	}
+	// Multi-layer planning should match or beat the single-layer policy
+	// under the same budget (single-layer is a point in its search space;
+	// greedy is not exhaustive, so allow a small slack).
+	if plan.WeightedCR < singleWCR*0.95 {
+		t.Errorf("plan WCR %v well below single-layer %v under the same budget",
+			plan.WeightedCR, singleWCR)
+	}
+	// The final model state must reflect the plan: measured accuracy
+	// matches the reported one.
+	got, err := acc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != plan.Accuracy {
+		t.Errorf("model state accuracy %v != plan accuracy %v", got, plan.Accuracy)
+	}
+	if plan.Evals <= 1 || plan.Evals > opts.MaxEvals {
+		t.Errorf("evals = %d", plan.Evals)
+	}
+}
+
+func TestGreedyZeroBudgetStaysConservative(t *testing.T) {
+	m, testSet := trainedLeNet(t)
+	acc := func() (float64, error) { return train.Accuracy(m.Graph, testSet) }
+	opts := DefaultOptions()
+	opts.MaxAccuracyDrop = 0
+	opts.MaxEvals = 200
+	plan, err := Greedy(m, acc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a zero budget every committed escalation must keep accuracy at
+	// or above the baseline.
+	if plan.Accuracy < plan.BaseAccuracy {
+		t.Errorf("zero budget violated: %v < %v", plan.Accuracy, plan.BaseAccuracy)
+	}
+}
+
+func TestGreedyLayerFilter(t *testing.T) {
+	m, testSet := trainedLeNet(t)
+	acc := func() (float64, error) { return train.Accuracy(m.Graph, testSet) }
+	opts := DefaultOptions()
+	opts.Layers = []string{"dense_2"}
+	opts.MaxEvals = 100
+	plan, err := Greedy(m, acc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range plan.Assignments {
+		if a.Layer != "dense_2" {
+			t.Errorf("assignment outside filter: %s", a.Layer)
+		}
+	}
+}

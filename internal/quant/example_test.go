@@ -1,0 +1,30 @@
+package quant_test
+
+import (
+	"fmt"
+
+	"repro/internal/quant"
+)
+
+// Example quantizes a weight vector to int8 and bounds the error by
+// scale/2, the TFLite guarantee.
+func Example() {
+	w := []float64{-0.5, -0.25, 0, 0.25, 0.5}
+	q, err := quant.Quantize(w)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	deq := q.Dequantize()
+	worst := 0.0
+	for i := range w {
+		if e := deq[i] - w[i]; e > worst {
+			worst = e
+		} else if -e > worst {
+			worst = -e
+		}
+	}
+	fmt.Printf("max error within scale/2: %v\n", worst <= q.P.MaxQuantError())
+	// Output:
+	// max error within scale/2: true
+}

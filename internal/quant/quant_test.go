@@ -1,0 +1,196 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestCalibrate(t *testing.T) {
+	p, err := Calibrate([]float64{-1, 0, 1.55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Scale <= 0 {
+		t.Errorf("scale = %v", p.Scale)
+	}
+	if _, err := Calibrate(nil); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := Calibrate([]float64{math.NaN()}); err == nil {
+		t.Error("NaN should error")
+	}
+	if _, err := Calibrate([]float64{math.Inf(1)}); err == nil {
+		t.Error("Inf should error")
+	}
+	// Constant tensor degenerates gracefully.
+	p, err = Calibrate([]float64{0, 0, 0})
+	if err != nil || p.Scale != 1 {
+		t.Errorf("constant calibration = %+v, %v", p, err)
+	}
+}
+
+func TestQuantizeRoundTripBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := make([]float64, 5000)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.05
+	}
+	q, err := Quantize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deq := q.Dequantize()
+	maxErr := q.P.MaxQuantError()
+	for i := range w {
+		if e := math.Abs(deq[i] - w[i]); e > maxErr+1e-12 {
+			t.Fatalf("value %d: error %v exceeds scale/2 = %v", i, e, maxErr)
+		}
+	}
+}
+
+func TestQuantizeRoundTripProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		w := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				w = append(w, v)
+			}
+		}
+		if len(w) == 0 {
+			return true
+		}
+		q, err := Quantize(w)
+		if err != nil {
+			return false
+		}
+		deq := q.Dequantize()
+		for i := range w {
+			if math.Abs(deq[i]-w[i]) > q.P.MaxQuantError()*1.01+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroIsRepresentable(t *testing.T) {
+	// TFLite requires exact zero representation; all-positive tensors
+	// must still include 0 in the range.
+	q, err := Quantize([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroCode := q.P.quantizeOne(0)
+	if got := q.P.dequantizeOne(zeroCode); math.Abs(got) > 1e-12 {
+		t.Errorf("zero dequantizes to %v", got)
+	}
+}
+
+func TestStreamAndFromStream(t *testing.T) {
+	q, err := Quantize([]float64{-0.5, 0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := q.Stream()
+	back, err := FromStream(stream, q.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q.Vals {
+		if back.Vals[i] != q.Vals[i] {
+			t.Errorf("code %d: %d != %d", i, back.Vals[i], q.Vals[i])
+		}
+	}
+	// Out-of-range codes clamp.
+	clamped, err := FromStream([]float64{-500, 500, 0.4}, q.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clamped.Vals[0] != -128 || clamped.Vals[1] != 127 || clamped.Vals[2] != 0 {
+		t.Errorf("clamping = %v", clamped.Vals)
+	}
+	if _, err := FromStream(nil, q.P); err == nil {
+		t.Error("empty stream should error")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	q, _ := Quantize(make([]float64, 100))
+	if q.Bytes() != 108 {
+		t.Errorf("Bytes = %d", q.Bytes())
+	}
+}
+
+// TestCompressionOnTopOfQuantization is the Table III pipeline: the core
+// compression applied to the int8 code stream still compresses, and the
+// composed reconstruction error stays bounded by quantization plus the
+// compression's delta-scale error.
+func TestCompressionOnTopOfQuantization(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := make([]float64, 20000)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.02
+	}
+	q, err := Quantize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pct := range []float64{0, 10, 20} {
+		c, err := core.CompressPct(q.Stream(), pct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cr := c.CompressionRatio(core.DefaultStorage); pct > 0 && cr <= 1 {
+			t.Errorf("delta %v%%: CR %v on int8 codes", pct, cr)
+		}
+		back, err := FromStream(c.Decompress(), q.P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deq := back.Dequantize()
+		var mse float64
+		for i := range w {
+			d := deq[i] - w[i]
+			mse += d * d
+		}
+		mse /= float64(len(w))
+		// The composed error grows with delta but must stay finite and in
+		// the scale of the data.
+		if mse > 0.02 {
+			t.Errorf("delta %v%%: composed MSE %v too large", pct, mse)
+		}
+	}
+}
+
+// TestQuantizedCompressionRatioGrows mirrors Table III: weighted CR grows
+// with delta even when the input is already quantized.
+func TestQuantizedCompressionRatioGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	w := make([]float64, 30000)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	q, _ := Quantize(w)
+	prev := 0.0
+	for _, pct := range []float64{0, 5, 10, 15, 20} {
+		c, err := core.CompressPct(q.Stream(), pct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr := c.CompressionRatio(core.DefaultStorage)
+		if cr < prev {
+			t.Errorf("CR fell at delta %v%%: %v < %v", pct, cr, prev)
+		}
+		prev = cr
+	}
+	if prev < 2 {
+		t.Errorf("CR at delta 20%% on int8 codes = %v, expected growth", prev)
+	}
+}

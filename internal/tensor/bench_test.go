@@ -1,0 +1,51 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMatMul256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := MustNew(256, 256)
+	a.RandNormal(rng, 0, 1)
+	c := MustNew(256, 256)
+	c.RandNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMul(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// 2 flops per MAC.
+	b.SetBytes(int64(256 * 256 * 256 * 2))
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := MustNew(56, 56, 64)
+	x.RandNormal(rng, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Im2Col(x, 3, 3, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatVec(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := MustNew(1024, 1024)
+	a.RandNormal(rng, 0, 1)
+	x := make([]float32, 1024)
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatVec(a, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

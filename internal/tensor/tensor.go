@@ -1,0 +1,341 @@
+// Package tensor provides the dense numeric arrays used by the CNN
+// substrate: row-major float32 tensors with shape/stride bookkeeping,
+// initialization helpers, and the im2col transformation that turns
+// convolutions into matrix multiplies.
+//
+// float32 is the storage type throughout — it matches the accelerator's
+// datapath width and halves the memory footprint of the 138M-parameter
+// VGG-16 model; accumulations are performed in float64 where it matters.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major array of float32 values.
+type Tensor struct {
+	shape   []int
+	strides []int
+	Data    []float32
+}
+
+// New allocates a zero-filled tensor with the given shape. All dimensions
+// must be positive.
+func New(shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("tensor: non-positive dimension %d in %v", d, shape)
+		}
+		n *= d
+	}
+	t := &Tensor{
+		shape: append([]int(nil), shape...),
+		Data:  make([]float32, n),
+	}
+	t.computeStrides()
+	return t, nil
+}
+
+// MustNew is New but panics on error; for statically correct shapes.
+func MustNew(shape ...int) *Tensor {
+	t, err := New(shape...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// FromSlice wraps data in a tensor of the given shape. The data is not
+// copied; the caller must not alias it unexpectedly. The element count
+// must match the shape volume.
+func FromSlice(data []float32, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("tensor: non-positive dimension %d in %v", d, shape)
+		}
+		n *= d
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("tensor: %d elements for shape %v (want %d)", len(data), shape, n)
+	}
+	t := &Tensor{shape: append([]int(nil), shape...), Data: data}
+	t.computeStrides()
+	return t, nil
+}
+
+func (t *Tensor) computeStrides() {
+	t.strides = make([]int, len(t.shape))
+	s := 1
+	for i := len(t.shape) - 1; i >= 0; i-- {
+		t.strides[i] = s
+		s *= t.shape[i]
+	}
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Size returns the total element count.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// Dim returns the i-th dimension.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// At returns the element at the given multi-index. It panics on rank
+// mismatch or out-of-range indices (programming errors, like slice
+// indexing).
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: %d indices for rank-%d tensor", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) in dim %d", x, t.shape[i], i))
+		}
+		off += x * t.strides[i]
+	}
+	return off
+}
+
+// Reshape returns a view of t with a new shape of equal volume. The data
+// is shared.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	return FromSlice(t.Data, shape...)
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	data := make([]float32, len(t.Data))
+	copy(data, t.Data)
+	out, _ := FromSlice(data, t.shape...)
+	return out
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// RandNormal fills the tensor with N(mean, std) samples from rng.
+func (t *Tensor) RandNormal(rng *rand.Rand, mean, std float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64()*std + mean)
+	}
+}
+
+// RandUniform fills the tensor with uniform samples in [lo, hi).
+func (t *Tensor) RandUniform(rng *rand.Rand, lo, hi float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+}
+
+// Float64s returns a copy of the data widened to float64 — the parameter
+// succession form consumed by the compression core.
+func (t *Tensor) Float64s() []float64 {
+	out := make([]float64, len(t.Data))
+	for i, v := range t.Data {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// SetFloat64s overwrites the tensor data from a float64 slice (narrowing
+// to float32), e.g. to install decompressed approximated parameters.
+func (t *Tensor) SetFloat64s(vals []float64) error {
+	if len(vals) != len(t.Data) {
+		return fmt.Errorf("tensor: SetFloat64s got %d values for %d elements", len(vals), len(t.Data))
+	}
+	for i, v := range vals {
+		t.Data[i] = float32(v)
+	}
+	return nil
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if a.Rank() != b.Rank() {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add computes a + b elementwise into a new tensor.
+func Add(a, b *Tensor) (*Tensor, error) {
+	if !SameShape(a, b) {
+		return nil, fmt.Errorf("tensor: Add shape mismatch %v vs %v", a.shape, b.shape)
+	}
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] += v
+	}
+	return out, nil
+}
+
+// Scale multiplies every element by s, in place, and returns t.
+func (t *Tensor) Scale(s float32) *Tensor {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+	return t
+}
+
+// Dot returns the float64-accumulated dot product of two equal-length
+// float32 slices.
+func Dot(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// ErrShape reports incompatible operand shapes in MatMul and friends.
+var ErrShape = errors.New("tensor: incompatible shapes")
+
+// MatMul multiplies a (m x k) by b (k x n) into a new (m x n) tensor.
+// The inner loop is written ikj-order over the raw slices so the compiler
+// keeps the hot path free of bounds checks and the b row stays in cache.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 || a.shape[1] != b.shape[0] {
+		return nil, fmt.Errorf("%w: matmul %v x %v", ErrShape, a.shape, b.shape)
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	out := MustNew(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatVec multiplies a (m x k) matrix by a length-k vector into a length-m
+// vector, accumulating in float64.
+func MatVec(a *Tensor, x []float32) ([]float32, error) {
+	if a.Rank() != 2 || a.shape[1] != len(x) {
+		return nil, fmt.Errorf("%w: matvec %v x vec(%d)", ErrShape, a.shape, len(x))
+	}
+	m, k := a.shape[0], a.shape[1]
+	out := make([]float32, m)
+	for i := 0; i < m; i++ {
+		out[i] = float32(Dot(a.Data[i*k:(i+1)*k], x))
+	}
+	return out, nil
+}
+
+// Im2Col lowers a [H, W, C] input into a matrix of shape
+// [outH*outW, kh*kw*C] where each row is the receptive field of one output
+// position, for convolution stride and symmetric zero padding pad.
+// Out-of-bounds taps read as zero.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) (*Tensor, int, int, error) {
+	return Im2ColRect(x, kh, kw, stride, pad, pad)
+}
+
+// Im2ColRect is Im2Col with independent vertical (padH) and horizontal
+// (padW) zero padding, needed by the factorized 1x7/7x1 Inception kernels.
+func Im2ColRect(x *Tensor, kh, kw, stride, padH, padW int) (*Tensor, int, int, error) {
+	if x.Rank() != 3 {
+		return nil, 0, 0, fmt.Errorf("%w: im2col wants [H W C], got %v", ErrShape, x.shape)
+	}
+	if stride <= 0 || kh <= 0 || kw <= 0 || padH < 0 || padW < 0 {
+		return nil, 0, 0, fmt.Errorf("tensor: bad im2col geometry kh=%d kw=%d stride=%d padH=%d padW=%d", kh, kw, stride, padH, padW)
+	}
+	h, w, c := x.shape[0], x.shape[1], x.shape[2]
+	outH := ConvOutDim(h, kh, stride, padH)
+	outW := ConvOutDim(w, kw, stride, padW)
+	if outH <= 0 || outW <= 0 {
+		return nil, 0, 0, fmt.Errorf("tensor: im2col output collapses: in %v kernel %dx%d stride %d pad %d,%d", x.shape, kh, kw, stride, padH, padW)
+	}
+	cols := MustNew(outH*outW, kh*kw*c)
+	row := 0
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			dst := cols.Data[row*kh*kw*c : (row+1)*kh*kw*c]
+			di := 0
+			for ky := 0; ky < kh; ky++ {
+				iy := oy*stride + ky - padH
+				if iy < 0 || iy >= h {
+					di += kw * c // stays zero
+					continue
+				}
+				for kx := 0; kx < kw; kx++ {
+					ix := ox*stride + kx - padW
+					if ix < 0 || ix >= w {
+						di += c
+						continue
+					}
+					src := x.Data[(iy*w+ix)*c : (iy*w+ix)*c+c]
+					copy(dst[di:di+c], src)
+					di += c
+				}
+			}
+			row++
+		}
+	}
+	return cols, outH, outW, nil
+}
+
+// ConvOutDim returns the output spatial size for one dimension, or 0 when
+// the kernel does not fit even once.
+func ConvOutDim(in, k, stride, pad int) int {
+	num := in + 2*pad - k
+	if num < 0 {
+		return 0
+	}
+	return num/stride + 1
+}
+
+// AllFinite reports whether every element is a finite number.
+func (t *Tensor) AllFinite() bool {
+	for _, v := range t.Data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the tensor for debugging.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v[%d elems]", t.shape, len(t.Data))
+}

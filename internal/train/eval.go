@@ -1,0 +1,178 @@
+package train
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Accuracy returns the top-1 accuracy of the network on labelled samples.
+func Accuracy(g *nn.Graph, samples []dataset.Sample) (float64, error) {
+	return TopKAccuracy(g, samples, 1)
+}
+
+// TopKAccuracy returns the fraction of samples whose true label appears in
+// the network's k highest-scoring classes.
+func TopKAccuracy(g *nn.Graph, samples []dataset.Sample, k int) (float64, error) {
+	if len(samples) == 0 {
+		return 0, errors.New("train: no samples")
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("train: non-positive k %d", k)
+	}
+	correct := 0
+	for _, s := range samples {
+		y, err := g.Forward(s.Image)
+		if err != nil {
+			return 0, err
+		}
+		for _, idx := range stats.TopK(y.Float64s(), k) {
+			if idx == s.Label {
+				correct++
+				break
+			}
+		}
+	}
+	return float64(correct) / float64(len(samples)), nil
+}
+
+// Fidelity measures top-k agreement between a modified network and
+// reference predictions: the fraction of probe inputs whose top-1 class
+// under the modified network appears in the reference top-k. With the
+// original network as its own reference it is 1.0 by construction, so the
+// paper's normalized accuracy series for the large (untrainable offline)
+// models are reproduced as fidelity curves; see DESIGN.md.
+type Fidelity struct {
+	refTopK [][]int
+	k       int
+}
+
+// NewFidelity captures the reference top-k predictions of g over the probe
+// inputs.
+func NewFidelity(g *nn.Graph, probes []*tensor.Tensor, k int) (*Fidelity, error) {
+	if len(probes) == 0 {
+		return nil, errors.New("train: no probe inputs")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("train: non-positive k %d", k)
+	}
+	f := &Fidelity{k: k, refTopK: make([][]int, len(probes))}
+	for i, x := range probes {
+		y, err := g.Forward(x)
+		if err != nil {
+			return nil, err
+		}
+		f.refTopK[i] = stats.TopK(y.Float64s(), k)
+	}
+	return f, nil
+}
+
+// Score evaluates the modified network on the same probes and returns the
+// agreement fraction in [0, 1].
+func (f *Fidelity) Score(g *nn.Graph, probes []*tensor.Tensor) (float64, error) {
+	if len(probes) != len(f.refTopK) {
+		return 0, fmt.Errorf("train: %d probes, reference has %d", len(probes), len(f.refTopK))
+	}
+	agree := 0
+	for i, x := range probes {
+		y, err := g.Forward(x)
+		if err != nil {
+			return 0, err
+		}
+		top1 := stats.ArgMax(y.Float64s())
+		for _, ref := range f.refTopK[i] {
+			if ref == top1 {
+				agree++
+				break
+			}
+		}
+	}
+	return float64(agree) / float64(len(probes)), nil
+}
+
+// Overlap is a finer-grained agreement measure than Score: the mean
+// fraction of the reference top-k classes that remain in the modified
+// network's top-k. It resolves small perturbations that leave the top-1
+// prediction inside the reference top-k (where Score saturates at 1),
+// which the sensitivity analysis of Fig. 9 needs.
+func (f *Fidelity) Overlap(g *nn.Graph, probes []*tensor.Tensor) (float64, error) {
+	if len(probes) != len(f.refTopK) {
+		return 0, fmt.Errorf("train: %d probes, reference has %d", len(probes), len(f.refTopK))
+	}
+	var total float64
+	for i, x := range probes {
+		y, err := g.Forward(x)
+		if err != nil {
+			return 0, err
+		}
+		newTop := stats.TopK(y.Float64s(), f.k)
+		inNew := make(map[int]bool, len(newTop))
+		for _, idx := range newTop {
+			inNew[idx] = true
+		}
+		kept := 0
+		for _, ref := range f.refTopK[i] {
+			if inNew[ref] {
+				kept++
+			}
+		}
+		total += float64(kept) / float64(len(f.refTopK[i]))
+	}
+	return total / float64(len(probes)), nil
+}
+
+// OverlapFrom is Overlap using cached prefix activations (see ScoreFrom).
+func (f *Fidelity) OverlapFrom(g *nn.Graph, acts []map[string]*tensor.Tensor, from string) (float64, error) {
+	if len(acts) != len(f.refTopK) {
+		return 0, fmt.Errorf("train: %d cached activations, reference has %d", len(acts), len(f.refTopK))
+	}
+	var total float64
+	for i, a := range acts {
+		y, err := g.ForwardFrom(a, from)
+		if err != nil {
+			return 0, err
+		}
+		newTop := stats.TopK(y.Float64s(), f.k)
+		inNew := make(map[int]bool, len(newTop))
+		for _, idx := range newTop {
+			inNew[idx] = true
+		}
+		kept := 0
+		for _, ref := range f.refTopK[i] {
+			if inNew[ref] {
+				kept++
+			}
+		}
+		total += float64(kept) / float64(len(f.refTopK[i]))
+	}
+	return total / float64(len(f.refTopK)), nil
+}
+
+// ScoreFrom is Score using cached prefix activations: acts[i] must be the
+// ForwardAll result of probe i on the *unmodified* prefix, and from names
+// the first layer whose parameters changed. Only the suffix re-runs, which
+// is what makes the delta sweeps on the very deep models tractable.
+func (f *Fidelity) ScoreFrom(g *nn.Graph, acts []map[string]*tensor.Tensor, from string) (float64, error) {
+	if len(acts) != len(f.refTopK) {
+		return 0, fmt.Errorf("train: %d cached activations, reference has %d", len(acts), len(f.refTopK))
+	}
+	agree := 0
+	for i, a := range acts {
+		y, err := g.ForwardFrom(a, from)
+		if err != nil {
+			return 0, err
+		}
+		top1 := stats.ArgMax(y.Float64s())
+		for _, ref := range f.refTopK[i] {
+			if ref == top1 {
+				agree++
+				break
+			}
+		}
+	}
+	return float64(agree) / float64(len(f.refTopK)), nil
+}
