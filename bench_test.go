@@ -184,7 +184,10 @@ func BenchmarkAblationLeastSquaresVsEndpoint(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		approx := c.Decompress()
+		approx, err := c.Decompress()
+		if err != nil {
+			b.Fatal(err)
+		}
 		mseLSQ, _ = stats.MSE(w, approx)
 		// Endpoint interpolation over the same segmentation.
 		runs := core.SegmentBounds(w, c.Delta)

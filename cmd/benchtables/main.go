@@ -8,7 +8,11 @@
 //
 //	benchtables -experiment all|table1|table2|table3|fig2|fig3|fig9|fig10 \
 //	            [-models LeNet-5,AlexNet,...] [-probes 8] [-seed 2020] \
-//	            [-epochs 10] [-samples 2000] [-fast]
+//	            [-epochs 10] [-samples 2000] [-fast] [-workers N]
+//
+// Independent work items (models, sweep points, accelerator layers) run
+// on -workers goroutines; results are collected by index, so the output
+// is byte-identical for every worker count.
 //
 // The large models (VGG-16, Inception-v3, ResNet50) take minutes and
 // hundreds of megabytes each; use -models to restrict a run.
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -66,6 +71,7 @@ func main() {
 		samples    = flag.Int("samples", 2000, "LeNet-5 training samples")
 		fast       = flag.Bool("fast", false, "LeNet-scale smoke run")
 		csvOut     = flag.String("csv", "", "also write machine-readable CSVs to this directory")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent workers (output is identical for any value)")
 	)
 	flag.Parse()
 	csvDir = *csvOut
@@ -83,6 +89,7 @@ func main() {
 	if *modelsFlag != "" {
 		opts.Models = strings.Split(*modelsFlag, ",")
 	}
+	opts.Workers = *workers
 
 	runners := map[string]func(experiments.Options) error{
 		"table1": runTable1,

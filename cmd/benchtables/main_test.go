@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestByteIdenticalAcrossWorkers is the end-to-end determinism guarantee:
+// the formatted stdout tables and the -csv files must be byte-identical
+// between a serial run and a 4-worker run.
+func TestByteIdenticalAcrossWorkers(t *testing.T) {
+	runners := map[string]func(experiments.Options) error{
+		"table1": runTable1,
+		"table2": runTable2,
+		"fig2":   runFig2,
+		"fig3":   runFig3,
+	}
+	for name, run := range runners {
+		t.Run(name, func(t *testing.T) {
+			serialOpts := experiments.FastOptions()
+			serialOpts.Workers = 1
+			serialOut, serialCSV := captureOutput(t, run, serialOpts)
+
+			parOpts := experiments.FastOptions()
+			parOpts.Workers = 4
+			parOut, parCSV := captureOutput(t, run, parOpts)
+
+			if !bytes.Equal(serialOut, parOut) {
+				t.Errorf("stdout differs between workers 1 and 4:\n--- serial ---\n%s\n--- parallel ---\n%s", serialOut, parOut)
+			}
+			if len(serialCSV) == 0 {
+				t.Fatal("no CSV files written")
+			}
+			for fname, data := range serialCSV {
+				if !bytes.Equal(data, parCSV[fname]) {
+					t.Errorf("%s differs between workers 1 and 4", fname)
+				}
+			}
+		})
+	}
+}
+
+// captureOutput runs one runner into a fresh temp CSV dir and captured
+// stdout.
+func captureOutput(t *testing.T, run func(experiments.Options) error, opts experiments.Options) ([]byte, map[string][]byte) {
+	t.Helper()
+	dir := t.TempDir()
+	oldDir := csvDir
+	csvDir = dir
+	defer func() { csvDir = oldDir }()
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStdout := os.Stdout
+	os.Stdout = w
+	runErr := run(opts)
+	w.Close()
+	os.Stdout = oldStdout
+	out, readErr := io.ReadAll(r)
+	r.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+
+	files := map[string][]byte{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = data
+	}
+	return out, files
+}

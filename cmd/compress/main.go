@@ -132,7 +132,10 @@ func runDecompress(in, out string) error {
 	if err != nil {
 		return err
 	}
-	w := c.Decompress()
+	w, err := c.Decompress()
+	if err != nil {
+		return err
+	}
 	fmt.Printf("decompressed %d parameters from %d segments (delta was %.4g)\n",
 		len(w), len(c.Segments), c.Delta)
 	if out == "" {

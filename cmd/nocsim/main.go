@@ -7,12 +7,17 @@
 //	nocsim -model LeNet-5                 # original network
 //	nocsim -model LeNet-5 -delta 15       # compressed selected layer
 //	nocsim -model AlexNet -delta 20 -layers
+//
+// Layers are simulated concurrently on -workers goroutines; the results
+// are collected in layer order, so every worker count prints the same
+// numbers.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/accel"
 	"repro/internal/core"
@@ -27,6 +32,7 @@ func main() {
 		seed      = flag.Int64("seed", 2020, "model weight seed")
 		weights   = flag.String("weights", "", "load trained weights (.nnwt from cmd/trainer)")
 		perLayer  = flag.Bool("layers", false, "print per-layer results")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent layer simulations (output is identical for any value)")
 	)
 	flag.Parse()
 
@@ -71,6 +77,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sim.SetWorkers(*workers)
 	res, err := sim.SimulateModel(m.Name, specs)
 	if err != nil {
 		fatal(err)

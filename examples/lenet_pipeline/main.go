@@ -83,7 +83,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := m.SetSelectedWeights(c.Decompress()); err != nil {
+		approx, err := c.Decompress()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.SetSelectedWeights(approx); err != nil {
 			log.Fatal(err)
 		}
 		acc, err := train.Accuracy(m.Graph, testSet)
@@ -99,7 +103,6 @@ func main() {
 			log.Fatal(err)
 		}
 		var mse float64
-		approx := c.Decompress()
 		for i := range orig {
 			d := orig[i] - approx[i]
 			mse += d * d

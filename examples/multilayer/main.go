@@ -58,7 +58,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := m.SetSelectedWeights(c.Decompress()); err != nil {
+	approx, err := c.Decompress()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.SetSelectedWeights(approx); err != nil {
 		log.Fatal(err)
 	}
 	singleAcc, err := accuracy()

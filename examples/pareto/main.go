@@ -6,14 +6,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
 	"repro/internal/accel"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/models"
+	"repro/internal/parallel"
 	"repro/internal/train"
 )
 
@@ -34,9 +37,10 @@ func dominates(a, b point) bool {
 
 func main() {
 	var (
-		epochs = flag.Int("epochs", 10, "training epochs")
-		step   = flag.Float64("step", 2.5, "delta sweep step (percent)")
-		maxD   = flag.Float64("max", 25, "delta sweep maximum (percent)")
+		epochs  = flag.Int("epochs", 10, "training epochs")
+		step    = flag.Float64("step", 2.5, "delta sweep step (percent)")
+		maxD    = flag.Float64("max", 25, "delta sweep maximum (percent)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations (output is identical for any value)")
 	)
 	flag.Parse()
 
@@ -87,13 +91,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pts := []point{{delta: -1, accuracy: baseAcc, latency: 1, energy: 1}}
+	// Pass 1 (serial): accuracy evaluation mutates the shared model's
+	// selected layer, so each delta point installs its approximation,
+	// measures accuracy, and snapshots the layer specs. The specs depend
+	// only on shapes, costs and the compressed segment table — not on the
+	// weight values — so they stay valid after the weights are restored.
+	type sweepPoint struct {
+		delta    float64
+		accuracy float64
+		specs    []accel.LayerSpec
+	}
+	var sweep []sweepPoint
 	for d := 0.0; d <= *maxD; d += *step {
 		c, err := core.CompressPct(orig, d)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := m.SetSelectedWeights(c.Decompress()); err != nil {
+		approx, err := c.Decompress()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.SetSelectedWeights(approx); err != nil {
 			log.Fatal(err)
 		}
 		acc, err := train.Accuracy(m.Graph, testSet)
@@ -104,20 +122,31 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := sim.SimulateModel(m.Name, specs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		pts = append(pts, point{
-			delta:    d,
-			accuracy: acc,
-			latency:  float64(res.Cycles) / float64(base.Cycles),
-			energy:   res.Energy.Total() / base.Energy.Total(),
-		})
+		sweep = append(sweep, sweepPoint{delta: d, accuracy: acc, specs: specs})
 	}
 	if err := m.SetSelectedWeights(orig); err != nil {
 		log.Fatal(err)
 	}
+
+	// Pass 2 (parallel): the cycle-accurate simulations are independent,
+	// one per delta point; results come back in sweep order.
+	simPts, err := parallel.Map(context.Background(), *workers, len(sweep),
+		func(_ context.Context, i int) (point, error) {
+			res, err := sim.SimulateModel(m.Name, sweep[i].specs)
+			if err != nil {
+				return point{}, err
+			}
+			return point{
+				delta:    sweep[i].delta,
+				accuracy: sweep[i].accuracy,
+				latency:  float64(res.Cycles) / float64(base.Cycles),
+				energy:   res.Energy.Total() / base.Energy.Total(),
+			}, nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pts := append([]point{{delta: -1, accuracy: baseAcc, latency: 1, energy: 1}}, simPts...)
 
 	fmt.Printf("%8s %10s %9s %8s  %s\n", "delta", "accuracy", "latency", "energy", "pareto")
 	for _, p := range pts {

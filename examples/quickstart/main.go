@@ -29,7 +29,10 @@ func main() {
 	for i, s := range c.Segments {
 		fmt.Printf("  M%d: m=%+.4f q=%.4f len=%d\n", i+1, s.M, s.Q, s.Len)
 	}
-	approx := c.Decompress()
+	approx, err := c.Decompress()
+	if err != nil {
+		log.Fatal(err)
+	}
 	mse, _ := stats.MSE(w, approx)
 	fmt.Printf("  CR %.2fx, MSE %.2e\n\n", c.CompressionRatio(core.DefaultStorage), mse)
 
@@ -67,7 +70,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		approx := c.Decompress()
+		approx, err := c.Decompress()
+		if err != nil {
+			log.Fatal(err)
+		}
 		mse, _ := stats.MSE(weights, approx)
 		fmt.Printf("delta %3.0f%%: CR %5.2f  avg run %5.2f  MSE %.2e\n",
 			pct, c.CompressionRatio(core.DefaultStorage), c.AvgRunLength(), mse)

@@ -76,7 +76,11 @@ func TestEndToEndHeadlineClaim(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := m.SetSelectedWeights(c.Decompress()); err != nil {
+		approx, err := c.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetSelectedWeights(approx); err != nil {
 			t.Fatal(err)
 		}
 		acc, err := train.Accuracy(m.Graph, testSet)
@@ -172,7 +176,11 @@ func TestQuantizeThenCompressPipeline(t *testing.T) {
 	}
 	// And the reconstruction error stays bounded: quantization error plus
 	// delta-scale compression error.
-	back, err := quant.FromStream(c.Decompress(), q.P)
+	approx, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := quant.FromStream(approx, q.P)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package accel
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -324,6 +326,57 @@ func TestSimulateModelEmpty(t *testing.T) {
 	}
 }
 
+// TestSimulateModelParallelDeterministic pins the pool contract at the
+// simulator level: any worker count yields a Result deeply equal to the
+// serial run, layers in spec order included.
+func TestSimulateModelParallelDeterministic(t *testing.T) {
+	m, err := models.LeNet5(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := SpecsFromModel(m, nil, core.DefaultStorage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := defaultSim(t)
+	base, err := serial.SimulateModel(m.Name, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4, 0} { // 0 = all cores
+		sim := defaultSim(t)
+		sim.SetWorkers(n)
+		got, err := sim.SimulateModel(m.Name, specs)
+		if err != nil {
+			t.Fatalf("workers %d: %v", n, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers %d: result differs from serial run", n)
+		}
+	}
+}
+
+// TestSimulateModelParallelError: a failing layer surfaces with its name
+// in the error regardless of worker count.
+func TestSimulateModelParallelError(t *testing.T) {
+	m, err := models.LeNet5(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := SpecsFromModel(m, nil, core.DefaultStorage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs[3] = LayerSpec{Name: "broken"} // moves no data: Validate fails
+	sim := defaultSim(t)
+	sim.SetWorkers(4)
+	if _, err := sim.SimulateModel(m.Name, specs); err == nil {
+		t.Fatal("invalid spec accepted")
+	} else if !strings.Contains(err.Error(), `"broken"`) {
+		t.Errorf("error %q does not name the failing layer", err)
+	}
+}
+
 func TestResultAccumulate(t *testing.T) {
 	var r Result
 	r.accumulate(LayerResult{Name: "a", Cycles: 10, Latency: LatencyBreakdown{Memory: 10}})
@@ -356,14 +409,36 @@ func TestEnergyBreakdownOps(t *testing.T) {
 }
 
 func TestDramServiceCycles(t *testing.T) {
-	if got := dramServiceCycles(8, 0.25); got != 32 {
-		t.Errorf("dramServiceCycles(8, 0.25) = %d, want 32", got)
+	cases := []struct {
+		name      string
+		words     uint64
+		wordsPerC float64
+		want      uint64
+	}{
+		// Exact multiples at every bandwidth shape.
+		{"exact reciprocal", 8, 0.25, 32},
+		{"exact integer", 12, 4, 3},
+		{"exact unit", 7, 1, 7},
+		// Fractional quotients round up.
+		{"fractional integer bw", 10, 3, 4},
+		{"fractional sub-unit bw", 10, 0.3, 34}, // 33.33 cycles
+		{"just over one cycle", 5, 4, 2},
+		// Degenerate inputs.
+		{"zero words still a beat", 0, 1, 1},
+		{"zero bandwidth fallback", 5, 0, 5},
+		{"sub-cycle burst", 1, 8, 1},
+		// Regressions against the old +0.999999 epsilon ceiling. At 1e15
+		// the epsilon rounds up to a full extra cycle on an exact
+		// multiple; a fractional part below 1e-6 used to be dropped.
+		{"huge exact multiple not overshot", 1_000_000_000_000_000, 1, 1_000_000_000_000_000},
+		{"tiny fraction not lost", 1_000_000_001, 1e9, 2},
+		{"huge exact multiple, wide bw", 1 << 40, 8, 1 << 37},
 	}
-	if got := dramServiceCycles(0, 1); got != 1 {
-		t.Errorf("zero words should still take a beat, got %d", got)
-	}
-	if got := dramServiceCycles(5, 0); got != 5 {
-		t.Errorf("degenerate bandwidth fallback = %d", got)
+	for _, c := range cases {
+		if got := dramServiceCycles(c.words, c.wordsPerC); got != c.want {
+			t.Errorf("%s: dramServiceCycles(%d, %v) = %d, want %d",
+				c.name, c.words, c.wordsPerC, got, c.want)
+		}
 	}
 }
 

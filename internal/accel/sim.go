@@ -1,16 +1,27 @@
 package accel
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/noc"
+	"repro/internal/parallel"
 )
 
 // Simulator executes layer specs on the accelerator platform.
+//
+// A Simulator is immutable after construction apart from SetWorkers and is
+// safe for concurrent use: SimulateLayer builds a fresh noc.Network and
+// fresh per-layer runtime state (peState/miState maps) on every call, and
+// only reads the shared cfg/pes/assign fields. Config and LayerSpec are
+// plain value types with no interior mutability, so specs may be shared
+// freely across goroutines.
 type Simulator struct {
-	cfg    Config
-	pes    []int
-	assign map[int]int // PE node -> memory interface node
+	cfg     Config
+	pes     []int
+	assign  map[int]int // PE node -> memory interface node
+	workers int
 }
 
 // NewSimulator validates the configuration and precomputes the PE to
@@ -19,23 +30,40 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Simulator{cfg: cfg, pes: cfg.peNodes(), assign: cfg.assignPEs()}, nil
+	return &Simulator{cfg: cfg, pes: cfg.peNodes(), assign: cfg.assignPEs(), workers: 1}, nil
 }
 
 // Config returns the platform configuration.
 func (s *Simulator) Config() Config { return s.cfg }
 
-// SimulateModel runs every layer in sequence and aggregates the results.
+// SetWorkers sets the number of goroutines SimulateModel uses to simulate
+// independent layers; n < 1 selects runtime.GOMAXPROCS(0). Call before
+// handing the Simulator to concurrent users — it is the one mutating
+// method.
+func (s *Simulator) SetWorkers(n int) { s.workers = parallel.Workers(n) }
+
+// SimulateModel runs every layer and aggregates the results. Layers are
+// independent — each SimulateLayer call owns its noc.Network — so they are
+// simulated concurrently on the configured worker count; results are
+// collected by layer index, making the aggregate identical to a serial
+// run regardless of worker count.
 func (s *Simulator) SimulateModel(modelName string, specs []LayerSpec) (*Result, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("accel: no layer specs")
 	}
+	layers, err := parallel.Map(context.Background(), s.workers, len(specs),
+		func(_ context.Context, i int) (LayerResult, error) {
+			lr, err := s.SimulateLayer(specs[i])
+			if err != nil {
+				return LayerResult{}, fmt.Errorf("accel: layer %q: %w", specs[i].Name, err)
+			}
+			return lr, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Model: modelName}
-	for _, spec := range specs {
-		lr, err := s.SimulateLayer(spec)
-		if err != nil {
-			return nil, fmt.Errorf("accel: layer %q: %w", spec.Name, err)
-		}
+	for _, lr := range layers {
 		res.accumulate(lr)
 	}
 	return res, nil
@@ -111,12 +139,31 @@ func ceilDiv(a, b uint64) uint64 {
 }
 
 // dramServiceCycles returns the transfer time of a burst at the sustained
-// DRAM bandwidth (words per cycle, possibly fractional).
+// DRAM bandwidth (words per cycle, possibly fractional): the exact ceiling
+// of words/wordsPerCy, never below one cycle.
+//
+// Integer and reciprocal-integer bandwidths — every configuration the
+// platform uses — are computed in exact integer arithmetic; other
+// fractional rates fall back to math.Ceil. The former float-epsilon
+// ceiling (quotient + 0.999999 truncated) was wrong at both ends: above
+// ~1e15 the added epsilon rounds an exact multiple up a full cycle, and a
+// quotient with a fractional part under 1e-6 loses its partial cycle
+// entirely — for large bursts the epsilon vanishes into the float64
+// granularity.
 func dramServiceCycles(words uint64, wordsPerCy float64) uint64 {
 	if wordsPerCy <= 0 {
 		return words
 	}
-	c := uint64(float64(words)/wordsPerCy + 0.999999)
+	var c uint64
+	inv := 1 / wordsPerCy
+	switch {
+	case wordsPerCy >= 1 && wordsPerCy <= 1e15 && wordsPerCy == math.Trunc(wordsPerCy):
+		c = ceilDiv(words, uint64(wordsPerCy))
+	case wordsPerCy < 1 && inv <= 1e9 && inv == math.Trunc(inv) && words < (1<<54):
+		c = words * uint64(inv)
+	default:
+		c = uint64(math.Ceil(float64(words) / wordsPerCy))
+	}
 	if c < 1 {
 		c = 1
 	}

@@ -48,7 +48,10 @@ func BenchmarkDecompress1M(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out := c.Decompress()
+		out, err := c.Decompress()
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(out) != len(w) {
 			b.Fatal("length mismatch")
 		}

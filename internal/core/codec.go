@@ -97,7 +97,6 @@ func ReadCompressed(r io.Reader) (*Compressed, error) {
 		return nil, fmt.Errorf("%w: %d segments for %d params", ErrCorrupt, nseg, n)
 	}
 	segs := make([]Segment, nseg)
-	total := 0
 	for i := range segs {
 		var rec [12]byte
 		if _, err := io.ReadFull(r, rec[:]); err != nil {
@@ -111,12 +110,12 @@ func ReadCompressed(r io.Reader) (*Compressed, error) {
 		if segs[i].Len <= 0 {
 			return nil, fmt.Errorf("%w: segment %d has length %d", ErrCorrupt, i, segs[i].Len)
 		}
-		total += segs[i].Len
 	}
-	if total != n {
-		return nil, fmt.Errorf("%w: segment lengths sum to %d, want %d", ErrCorrupt, total, n)
+	c := &Compressed{N: n, Delta: delta, Segments: segs}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	return &Compressed{N: n, Delta: delta, Segments: segs}, nil
+	return c, nil
 }
 
 // Unmarshal parses a compressed succession from a byte slice.

@@ -49,7 +49,11 @@ func TestCodecRoundTripProperty(t *testing.T) {
 		if got.N != c.N || len(got.Segments) != len(c.Segments) {
 			return false
 		}
-		a, b := c.Decompress(), got.Decompress()
+		a, errA := c.Decompress()
+		b, errB := got.Decompress()
+		if errA != nil || errB != nil {
+			return false
+		}
 		for i := range a {
 			if a[i] != b[i] {
 				return false

@@ -123,10 +123,48 @@ func CompressPct(w []float64, deltaPct float64) (*Compressed, error) {
 	return Compress(w, delta)
 }
 
+// Validate checks the internal consistency of a compressed succession:
+// a positive parameter count, a non-negative tolerance, and segments
+// whose positive lengths sum exactly to N. Successions produced by
+// Compress are valid by construction; anything decoded from an external
+// stream or assembled by hand must be validated before decompression,
+// because inconsistent segment lengths silently regenerate a
+// wrong-length weight slice.
+func (c *Compressed) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("core: invalid compressed succession: N = %d", c.N)
+	}
+	if c.Delta < 0 || c.Delta != c.Delta {
+		return fmt.Errorf("core: invalid compressed succession: delta = %v", c.Delta)
+	}
+	if len(c.Segments) == 0 {
+		return fmt.Errorf("core: invalid compressed succession: no segments for %d params", c.N)
+	}
+	total := 0
+	for i, s := range c.Segments {
+		if s.Len <= 0 {
+			return fmt.Errorf("core: invalid compressed succession: segment %d has length %d", i, s.Len)
+		}
+		if total > c.N-s.Len {
+			return fmt.Errorf("core: invalid compressed succession: segment lengths exceed %d params", c.N)
+		}
+		total += s.Len
+	}
+	if total != c.N {
+		return fmt.Errorf("core: invalid compressed succession: segment lengths sum to %d, want %d", total, c.N)
+	}
+	return nil
+}
+
 // Decompress regenerates the approximated parameter succession by the
 // accumulation recurrence of Eq. 2, in float32 arithmetic exactly as the
-// hardware unit computes it, widened to float64 on output.
-func (c *Compressed) Decompress() []float64 {
+// hardware unit computes it, widened to float64 on output. The
+// succession is validated first: segments that do not cover exactly N
+// parameters yield an error, never a silently wrong-length slice.
+func (c *Compressed) Decompress() ([]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
 	out := make([]float64, 0, c.N)
 	for _, s := range c.Segments {
 		acc := s.Q
@@ -137,7 +175,7 @@ func (c *Compressed) Decompress() []float64 {
 			out = append(out, float64(acc))
 		}
 	}
-	return out
+	return out, nil
 }
 
 // CompressedBits returns the storage size of the compressed succession in
@@ -193,7 +231,10 @@ func Assess(w []float64, deltaPct float64, totalParams int, sm StorageModel) (Re
 	if err != nil {
 		return Report{}, nil, err
 	}
-	approx := c.Decompress()
+	approx, err := c.Decompress()
+	if err != nil {
+		return Report{}, nil, err
+	}
 	mse, err := stats.MSE(w, approx)
 	if err != nil {
 		return Report{}, nil, err

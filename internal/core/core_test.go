@@ -34,7 +34,10 @@ func TestCompressExactLine(t *testing.T) {
 	if len(c.Segments) != 1 {
 		t.Fatalf("segments = %d, want 1", len(c.Segments))
 	}
-	got := c.Decompress()
+	got, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != len(w) {
 		t.Fatalf("decompressed length = %d", len(got))
 	}
@@ -54,7 +57,11 @@ func TestCompressConstant(t *testing.T) {
 	if len(c.Segments) != 1 || math.Abs(float64(c.Segments[0].M)) > 1e-7 {
 		t.Errorf("constant compression = %+v", c.Segments)
 	}
-	mse, _ := stats.MSE(w, c.Decompress())
+	approx, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse, _ := stats.MSE(w, approx)
 	if mse > 1e-12 {
 		t.Errorf("constant MSE = %v", mse)
 	}
@@ -81,7 +88,8 @@ func TestDecompressLengthInvariant(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return len(c.Decompress()) == len(w)
+		got, err := c.Decompress()
+		return err == nil && len(got) == len(w)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
 		t.Error(err)
@@ -101,7 +109,10 @@ func TestDecompressMatchesHardwareUnit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw := c.Decompress()
+	sw, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var unit DecompressionUnit
 	hw, cycles, err := unit.Run(c)
 	if err != nil {
@@ -210,7 +221,11 @@ func TestMSEGrowsWithDelta(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mse, err := stats.MSE(w, c.Decompress())
+		approx, err := c.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mse, err := stats.MSE(w, approx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,6 +233,72 @@ func TestMSEGrowsWithDelta(t *testing.T) {
 			t.Errorf("MSE at delta=%v%% = %v dropped far below previous %v", pct, mse, prev)
 		}
 		prev = mse
+	}
+}
+
+// TestValidate covers the consistency checks on hand-assembled
+// successions: Decompress must refuse inconsistent segment metadata
+// instead of regenerating a wrong-length weight slice.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Compressed
+		ok   bool
+	}{
+		{"valid", Compressed{N: 5, Segments: []Segment{{Len: 2}, {Len: 3}}}, true},
+		{"zero params", Compressed{N: 0, Segments: []Segment{{Len: 1}}}, false},
+		{"negative params", Compressed{N: -3, Segments: []Segment{{Len: 1}}}, false},
+		{"negative delta", Compressed{N: 1, Delta: -0.1, Segments: []Segment{{Len: 1}}}, false},
+		{"NaN delta", Compressed{N: 1, Delta: math.NaN(), Segments: []Segment{{Len: 1}}}, false},
+		{"no segments", Compressed{N: 4}, false},
+		{"zero-length segment", Compressed{N: 4, Segments: []Segment{{Len: 4}, {Len: 0}}}, false},
+		{"negative-length segment", Compressed{N: 4, Segments: []Segment{{Len: -1}, {Len: 5}}}, false},
+		{"lengths undershoot N", Compressed{N: 10, Segments: []Segment{{Len: 4}, {Len: 5}}}, false},
+		{"lengths overshoot N", Compressed{N: 3, Segments: []Segment{{Len: 2}, {Len: 2}}}, false},
+		{"overflowing lengths", Compressed{N: 8, Segments: []Segment{
+			{Len: math.MaxInt}, {Len: math.MaxInt}, {Len: 10},
+		}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.c.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+			got, derr := tc.c.Decompress()
+			if tc.ok && derr != nil {
+				t.Errorf("Decompress() err = %v, want nil", derr)
+			}
+			if !tc.ok {
+				if derr == nil {
+					t.Error("Decompress() accepted an inconsistent succession")
+				}
+				if got != nil {
+					t.Errorf("Decompress() returned %d weights alongside an error", len(got))
+				}
+			}
+		})
+	}
+}
+
+// TestDecompressRejectsTamperedSegments is the end-to-end regression for
+// the blind-trust bug: a succession that was valid when compressed but
+// whose segment table is later tampered with must yield an error, not a
+// silently wrong-length output.
+func TestDecompressRejectsTamperedSegments(t *testing.T) {
+	c, err := Compress([]float64{1, 2, 3, 2, 1, 0.5, 0.25, 0.7}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decompress(); err != nil {
+		t.Fatalf("valid succession rejected: %v", err)
+	}
+	c.Segments[0].Len += 3 // lengths no longer sum to N
+	if _, err := c.Decompress(); err == nil {
+		t.Error("tampered succession decompressed without error")
 	}
 }
 
@@ -319,9 +400,13 @@ func TestCompressDecompressPreservesScale(t *testing.T) {
 		if err != nil {
 			return false
 		}
+		approx, err := c.Decompress()
+		if err != nil {
+			return false
+		}
 		min, max, _ := stats.MinMax(w)
 		span := max - min
-		for _, v := range c.Decompress() {
+		for _, v := range approx {
 			if v < min-span-1e-3 || v > max+span+1e-3 {
 				return false
 			}
@@ -349,7 +434,11 @@ func TestPaperFig4Example(t *testing.T) {
 	if len(c.Segments) != 6 {
 		t.Errorf("segments = %d, want 6 as in Fig. 4", len(c.Segments))
 	}
-	mse, _ := stats.MSE(w, c.Decompress())
+	approx, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse, _ := stats.MSE(w, approx)
 	if mse > 0.01 {
 		t.Errorf("Fig. 4 example MSE = %v, too large", mse)
 	}

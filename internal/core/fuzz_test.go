@@ -62,7 +62,10 @@ func FuzzCompressDecompress(f *testing.F) {
 		if err != nil {
 			t.Fatalf("finite input rejected: %v", err)
 		}
-		out := c.Decompress()
+		out, err := c.Decompress()
+		if err != nil {
+			t.Fatalf("compressed output failed validation: %v", err)
+		}
 		if len(out) != len(w) {
 			t.Fatalf("length %d != %d", len(out), len(w))
 		}

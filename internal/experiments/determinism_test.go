@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// assertDeterministic runs an experiment at workers 1 and 4 and requires
+// the row slices to be deeply equal AND identically formatted — the
+// formatted comparison is what guarantees cmd/benchtables prints
+// byte-identical tables for every worker count.
+func assertDeterministic[T any](t *testing.T, fn func(Options) ([]T, error), opts Options) {
+	t.Helper()
+	serialOpts := opts
+	serialOpts.Workers = 1
+	serial, err := fn(serialOpts)
+	if err != nil {
+		t.Fatalf("workers 1: %v", err)
+	}
+	parOpts := opts
+	parOpts.Workers = 4
+	par, err := fn(parOpts)
+	if err != nil {
+		t.Fatalf("workers 4: %v", err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("rows differ between workers 1 and 4:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+	if a, b := fmt.Sprintf("%+v", serial), fmt.Sprintf("%+v", par); a != b {
+		t.Fatalf("formatted rows differ between workers 1 and 4")
+	}
+}
+
+func TestTable1Deterministic(t *testing.T) {
+	o := FastOptions()
+	o.Models = []string{"LeNet-5", "MobileNet"}
+	assertDeterministic(t, Table1, o)
+}
+
+func TestTable2Deterministic(t *testing.T) {
+	// FastOptions sweeps 5 delta points on LeNet-5 — the flattened
+	// (model, delta) stage has real parallelism to get wrong.
+	assertDeterministic(t, Table2, FastOptions())
+}
+
+func TestFig2Deterministic(t *testing.T) {
+	// 7 layers fan out inside accel.SimulateModel via sim.SetWorkers.
+	assertDeterministic(t, Fig2, FastOptions())
+}
+
+func TestFig3Deterministic(t *testing.T) {
+	assertDeterministic(t, Fig3, FastOptions())
+}
+
+func TestFig10Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains LeNet twice in -short mode")
+	}
+	// Minimal training budget: the point is worker-count invariance of
+	// the whole pipeline (train, sweep, simulate), not accuracy.
+	o := FastOptions()
+	o.TrainSamples = 100
+	o.TrainEpochs = 1
+	assertDeterministic(t, Fig10, o)
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/entropy"
 	"repro/internal/models"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -35,6 +37,7 @@ func Fig2(opts Options) ([]Fig2Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	sim.SetWorkers(opts.Workers)
 	specs, err := accel.SpecsFromModel(m, nil, opts.Storage)
 	if err != nil {
 		return nil, err
@@ -82,22 +85,26 @@ func Fig3(opts Options) ([]Fig3Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, b := range builders {
-		m, err := b.Build(opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		w, err := m.SelectedWeights()
-		if err != nil {
-			return nil, err
-		}
-		if len(w) > corpusBytes/4 {
-			w = w[:corpusBytes/4]
-		}
-		data := entropy.Float32Bytes(w)
-		rows = append(rows, Fig3Row{Corpus: m.Name, Bytes: len(data), EntropyBits: entropy.Shannon(data)})
+	modelRows, err := parallel.Map(context.Background(), opts.workers(), len(builders),
+		func(_ context.Context, i int) (Fig3Row, error) {
+			m, err := builders[i].Build(opts.Seed)
+			if err != nil {
+				return Fig3Row{}, err
+			}
+			w, err := m.SelectedWeights()
+			if err != nil {
+				return Fig3Row{}, err
+			}
+			if len(w) > corpusBytes/4 {
+				w = w[:corpusBytes/4]
+			}
+			data := entropy.Float32Bytes(w)
+			return Fig3Row{Corpus: m.Name, Bytes: len(data), EntropyBits: entropy.Shannon(data)}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return append(rows, modelRows...), nil
 }
 
 // Fig9Row is one layer's sensitivity measurement (Fig. 9).
@@ -136,79 +143,93 @@ func Fig9(opts Options) ([]Fig9Row, error) {
 	} else if opts.Fast {
 		names = []string{"LeNet-5"}
 	}
+	perModel, err := parallel.Map(context.Background(), opts.workers(), len(names),
+		func(_ context.Context, ni int) ([]Fig9Row, error) {
+			return fig9Model(names[ni], opts)
+		})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig9Row
-	for _, name := range names {
-		b, err := models.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		m, err := b.Build(opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		ev, err := newEvaluator(m, opts)
-		if err != nil {
-			return nil, err
-		}
-		base, err := ev.baseline(m)
-		if err != nil {
-			return nil, err
-		}
-		var drops []float64
-		var layerRows []Fig9Row
-		for _, level := range []float64{0.05, 0.10, 0.20, 0.40} {
-			rng := rand.New(rand.NewSource(opts.Seed ^ 0xf19))
-			drops = drops[:0]
-			layerRows = layerRows[:0]
-			maxDrop := 0.0
-			for _, l := range layerParamTensors(m.Graph) {
-				wt := l.Params()[0].T
-				orig := wt.Float64s()
-				amp := stats.Amplitude(orig)
-				noisy := make([]float64, len(orig))
-				for i, v := range orig {
-					noisy[i] = v + (rng.Float64()*2-1)*amp*level
-				}
-				if err := wt.SetFloat64s(noisy); err != nil {
-					return nil, err
-				}
-				acc, err := ev.fineAccuracy(m)
-				if err != nil {
-					return nil, err
-				}
-				if err := wt.SetFloat64s(orig); err != nil {
-					return nil, err
-				}
-				drop := base - acc
-				if drop < 0 {
-					drop = 0
-				}
-				if drop > maxDrop {
-					maxDrop = drop
-				}
-				drops = append(drops, drop)
-				layerRows = append(layerRows, Fig9Row{
-					Model: m.Name, Layer: l.Name(), Kind: l.Kind(),
-					Params: l.Params()[0].T.Size(),
-				})
-			}
-			if maxDrop >= 0.02 {
-				break // this level resolves the profile
-			}
-		}
-		norm := stats.Normalize(drops)
-		perParam := make([]float64, len(drops))
-		for i := range drops {
-			perParam[i] = drops[i] / float64(layerRows[i].Params)
-		}
-		perParam = stats.Normalize(perParam)
-		for i := range layerRows {
-			layerRows[i].Sensitivity = norm[i]
-			layerRows[i].PerParam = perParam[i]
-		}
-		rows = append(rows, layerRows...)
+	for _, mr := range perModel {
+		rows = append(rows, mr...)
 	}
 	return rows, nil
+}
+
+// fig9Model runs the sensitivity sweep for one model. The perturbation
+// loop mutates the model's weight tensors in place, so it stays serial
+// within one model.
+func fig9Model(name string, opts Options) ([]Fig9Row, error) {
+	b, err := models.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	m, err := b.Build(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := newEvaluator(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	base, err := ev.baseline(m)
+	if err != nil {
+		return nil, err
+	}
+	var drops []float64
+	var layerRows []Fig9Row
+	for _, level := range []float64{0.05, 0.10, 0.20, 0.40} {
+		rng := rand.New(rand.NewSource(opts.Seed ^ 0xf19))
+		drops = drops[:0]
+		layerRows = layerRows[:0]
+		maxDrop := 0.0
+		for _, l := range layerParamTensors(m.Graph) {
+			wt := l.Params()[0].T
+			orig := wt.Float64s()
+			amp := stats.Amplitude(orig)
+			noisy := make([]float64, len(orig))
+			for i, v := range orig {
+				noisy[i] = v + (rng.Float64()*2-1)*amp*level
+			}
+			if err := wt.SetFloat64s(noisy); err != nil {
+				return nil, err
+			}
+			acc, err := ev.fineAccuracy(m)
+			if err != nil {
+				return nil, err
+			}
+			if err := wt.SetFloat64s(orig); err != nil {
+				return nil, err
+			}
+			drop := base - acc
+			if drop < 0 {
+				drop = 0
+			}
+			if drop > maxDrop {
+				maxDrop = drop
+			}
+			drops = append(drops, drop)
+			layerRows = append(layerRows, Fig9Row{
+				Model: m.Name, Layer: l.Name(), Kind: l.Kind(),
+				Params: l.Params()[0].T.Size(),
+			})
+		}
+		if maxDrop >= 0.02 {
+			break // this level resolves the profile
+		}
+	}
+	norm := stats.Normalize(drops)
+	perParam := make([]float64, len(drops))
+	for i := range drops {
+		perParam[i] = drops[i] / float64(layerRows[i].Params)
+	}
+	perParam = stats.Normalize(perParam)
+	for i := range layerRows {
+		layerRows[i].Sensitivity = norm[i]
+		layerRows[i].PerParam = perParam[i]
+	}
+	return layerRows, nil
 }
 
 // Fig10Point is one configuration of a model's trade-off plot (Fig. 10):
@@ -241,72 +262,95 @@ func Fig10(opts Options) ([]Fig10Point, error) {
 	if err != nil {
 		return nil, err
 	}
+	sim.SetWorkers(opts.Workers)
+	// One work item per model: the delta sweep mutates the model's
+	// selected layer in place, so points within a model are produced
+	// serially, while the models themselves fan out. The shared Simulator
+	// is safe for concurrent use and additionally parallelizes over the
+	// layers of each simulated configuration.
+	perModel, err := parallel.Map(context.Background(), opts.workers(), len(builders),
+		func(_ context.Context, bi int) ([]Fig10Point, error) {
+			return fig10Model(builders[bi], sim, opts)
+		})
+	if err != nil {
+		return nil, err
+	}
 	var points []Fig10Point
-	for _, b := range builders {
-		m, err := b.Build(opts.Seed)
+	for _, mp := range perModel {
+		points = append(points, mp...)
+	}
+	return points, nil
+}
+
+// fig10Model runs the Fig. 10 trade-off sweep for one model.
+func fig10Model(b models.Builder, sim *accel.Simulator, opts Options) ([]Fig10Point, error) {
+	m, err := b.Build(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := newEvaluator(m, opts) // trains LeNet for real
+	if err != nil {
+		return nil, err
+	}
+	baseAcc, err := ev.baseline(m)
+	if err != nil {
+		return nil, err
+	}
+	baseSpecs, err := accel.SpecsFromModel(m, nil, opts.Storage)
+	if err != nil {
+		return nil, err
+	}
+	baseRes, err := sim.SimulateModel(m.Name, baseSpecs)
+	if err != nil {
+		return nil, err
+	}
+	points := []Fig10Point{{
+		Model: m.Name, Config: "orig", Accuracy: baseAcc,
+		Cycles: baseRes.Cycles, LatencyNorm: 1, EnergyNorm: 1,
+		Latency: baseRes.Latency, Energy: baseRes.Energy,
+	}}
+	orig, err := snapshotSelected(m)
+	if err != nil {
+		return nil, err
+	}
+	for _, pct := range DeltaGrid(m.Name) {
+		c, err := core.CompressPct(orig, pct)
 		if err != nil {
 			return nil, err
 		}
-		ev, err := newEvaluator(m, opts) // trains LeNet for real
+		approx, err := c.Decompress()
 		if err != nil {
 			return nil, err
 		}
-		baseAcc, err := ev.baseline(m)
+		if err := m.SetSelectedWeights(approx); err != nil {
+			return nil, err
+		}
+		acc, err := ev.accuracy(m)
 		if err != nil {
 			return nil, err
 		}
-		baseSpecs, err := accel.SpecsFromModel(m, nil, opts.Storage)
+		specs, err := accel.SpecsFromModel(m, map[string]*core.Compressed{m.SelectedLayer: c}, opts.Storage)
 		if err != nil {
 			return nil, err
 		}
-		baseRes, err := sim.SimulateModel(m.Name, baseSpecs)
+		res, err := sim.SimulateModel(m.Name, specs)
 		if err != nil {
 			return nil, err
 		}
 		points = append(points, Fig10Point{
-			Model: m.Name, Config: "orig", Accuracy: baseAcc,
-			Cycles: baseRes.Cycles, LatencyNorm: 1, EnergyNorm: 1,
-			Latency: baseRes.Latency, Energy: baseRes.Energy,
+			Model:       m.Name,
+			Config:      fmt.Sprintf("x-%g", pct),
+			DeltaPct:    pct,
+			Accuracy:    acc,
+			Cycles:      res.Cycles,
+			LatencyNorm: float64(res.Cycles) / float64(baseRes.Cycles),
+			EnergyNorm:  res.Energy.Total() / baseRes.Energy.Total(),
+			Latency:     res.Latency,
+			Energy:      res.Energy,
 		})
-		orig, err := snapshotSelected(m)
-		if err != nil {
-			return nil, err
-		}
-		for _, pct := range DeltaGrid(m.Name) {
-			c, err := core.CompressPct(orig, pct)
-			if err != nil {
-				return nil, err
-			}
-			if err := m.SetSelectedWeights(c.Decompress()); err != nil {
-				return nil, err
-			}
-			acc, err := ev.accuracy(m)
-			if err != nil {
-				return nil, err
-			}
-			specs, err := accel.SpecsFromModel(m, map[string]*core.Compressed{m.SelectedLayer: c}, opts.Storage)
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.SimulateModel(m.Name, specs)
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, Fig10Point{
-				Model:       m.Name,
-				Config:      fmt.Sprintf("x-%g", pct),
-				DeltaPct:    pct,
-				Accuracy:    acc,
-				Cycles:      res.Cycles,
-				LatencyNorm: float64(res.Cycles) / float64(baseRes.Cycles),
-				EnergyNorm:  res.Energy.Total() / baseRes.Energy.Total(),
-				Latency:     res.Latency,
-				Energy:      res.Energy,
-			})
-		}
-		if err := m.SetSelectedWeights(orig); err != nil {
-			return nil, err
-		}
+	}
+	if err := m.SetSelectedWeights(orig); err != nil {
+		return nil, err
 	}
 	return points, nil
 }

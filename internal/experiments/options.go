@@ -14,6 +14,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/core"
 	"repro/internal/models"
+	"repro/internal/parallel"
 )
 
 // Options configures an experiment run.
@@ -21,6 +22,11 @@ type Options struct {
 	Seed int64
 	// Models filters which networks run (nil = the paper's full set).
 	Models []string
+	// Workers bounds the goroutines used for independent work items
+	// (models, (model, delta) sweep points, accelerator layers); values
+	// below 1 select runtime.GOMAXPROCS(0). Results are collected by
+	// index, so every worker count produces identical output.
+	Workers int
 	// Probes is the number of synthetic probe inputs for the top-5
 	// fidelity metric on the large models.
 	Probes int
@@ -90,6 +96,9 @@ func (o Options) selectedBuilders() ([]models.Builder, error) {
 	}
 	return out, nil
 }
+
+// workers resolves the worker-count option to a concrete bound.
+func (o Options) workers() int { return parallel.Workers(o.Workers) }
 
 func (o Options) validate() error {
 	if o.Probes < 1 {

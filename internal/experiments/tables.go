@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/models"
+	"repro/internal/parallel"
 	"repro/internal/quant"
 )
 
@@ -29,23 +31,22 @@ func Table1(opts Options) ([]Table1Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]Table1Row, 0, len(builders))
-	for _, b := range builders {
-		m, err := b.Build(opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table1Row{
-			Model:         m.Name,
-			Params:        m.TotalParams(),
-			PaperParamsK:  m.PaperParamsK,
-			Layer:         m.SelectedLayer,
-			Kind:          m.SelectedKind,
-			Fraction:      m.SelectedFraction(),
-			PaperFraction: m.PaperFraction,
+	return parallel.Map(context.Background(), opts.workers(), len(builders),
+		func(_ context.Context, i int) (Table1Row, error) {
+			m, err := builders[i].Build(opts.Seed)
+			if err != nil {
+				return Table1Row{}, err
+			}
+			return Table1Row{
+				Model:         m.Name,
+				Params:        m.TotalParams(),
+				PaperParamsK:  m.PaperParamsK,
+				Layer:         m.SelectedLayer,
+				Kind:          m.SelectedKind,
+				Fraction:      m.SelectedFraction(),
+				PaperFraction: m.PaperFraction,
+			}, nil
 		})
-	}
-	return rows, nil
 }
 
 // Table2Row is one compression-efficiency row (paper Table II).
@@ -69,32 +70,57 @@ func Table2(opts Options) ([]Table2Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Table2Row
-	for _, b := range builders {
-		m, err := b.Build(opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		w, err := m.SelectedWeights()
-		if err != nil {
-			return nil, err
-		}
-		for _, pct := range DeltaGrid(m.Name) {
-			r, _, err := core.Assess(w, pct, m.TotalParams(), opts.Storage)
+	// Stage 1: build the models and pull out the selected weight streams
+	// (one work item per model).
+	type t2model struct {
+		name   string
+		w      []float64
+		total  int
+		deltas []float64
+	}
+	ms, err := parallel.Map(context.Background(), opts.workers(), len(builders),
+		func(_ context.Context, i int) (t2model, error) {
+			m, err := builders[i].Build(opts.Seed)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %s delta %v%%: %w", m.Name, pct, err)
+				return t2model{}, err
 			}
-			rows = append(rows, Table2Row{
-				Model:          m.Name,
-				DeltaPct:       pct,
+			w, err := m.SelectedWeights()
+			if err != nil {
+				return t2model{}, err
+			}
+			return t2model{name: m.Name, w: w, total: m.TotalParams(), deltas: DeltaGrid(m.Name)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Stage 2: the flattened (model, delta) sweep, one work item per
+	// point. The weight streams are only read from here on.
+	type t2point struct {
+		model int
+		pct   float64
+	}
+	var pts []t2point
+	for mi, tm := range ms {
+		for _, pct := range tm.deltas {
+			pts = append(pts, t2point{model: mi, pct: pct})
+		}
+	}
+	return parallel.Map(context.Background(), opts.workers(), len(pts),
+		func(_ context.Context, k int) (Table2Row, error) {
+			tm := ms[pts[k].model]
+			r, _, err := core.Assess(tm.w, pts[k].pct, tm.total, opts.Storage)
+			if err != nil {
+				return Table2Row{}, fmt.Errorf("experiments: %s delta %v%%: %w", tm.name, pts[k].pct, err)
+			}
+			return Table2Row{
+				Model:          tm.name,
+				DeltaPct:       pts[k].pct,
 				CR:             r.CR,
 				WeightedCR:     r.WeightedCR,
 				MemFpReduction: r.MemFpReduction,
 				MSE:            r.MSE,
-			})
-		}
-	}
-	return rows, nil
+			}, nil
+		})
 }
 
 // Table3Row is one quantization-plus-compression row (paper Table III).
@@ -125,71 +151,92 @@ func Table3(opts Options) ([]Table3Row, error) {
 	} else if opts.Fast {
 		names = []string{"LeNet-5"}
 	}
+	// One work item per model: the delta loop inside mutates the model's
+	// weights, so it stays serial within the item, but the models
+	// themselves are independent.
+	perModel, err := parallel.Map(context.Background(), opts.workers(), len(names),
+		func(_ context.Context, ni int) ([]Table3Row, error) {
+			return table3Model(names[ni], opts)
+		})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Table3Row
-	for _, name := range names {
-		b, err := models.ByName(name)
+	for _, mr := range perModel {
+		rows = append(rows, mr...)
+	}
+	return rows, nil
+}
+
+// table3Model runs the Table III delta sweep for one model.
+func table3Model(name string, opts Options) ([]Table3Row, error) {
+	b, err := models.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	m, err := b.Build(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := newEvaluator(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Hybrid quantization: every CONV/DWCONV/FC weight tensor.
+	qt, err := quantizeModel(m)
+	if err != nil {
+		return nil, err
+	}
+	// Every quantizable layer changed: rebuild the cached prefix.
+	if err := ev.recache(); err != nil {
+		return nil, err
+	}
+	qtAcc, err := ev.accuracy(m)
+	if err != nil {
+		return nil, err
+	}
+	selCodes := qt.selected.Stream()
+	selParams := qt.selected.P
+	var rows []Table3Row
+	for _, pct := range DeltaGrid(m.Name) {
+		c, err := core.CompressPct(selCodes, pct)
 		if err != nil {
 			return nil, err
 		}
-		m, err := b.Build(opts.Seed)
+		// Install the approximated codes.
+		approx, err := c.Decompress()
 		if err != nil {
 			return nil, err
 		}
-		ev, err := newEvaluator(m, opts)
+		back, err := quant.FromStream(approx, selParams)
 		if err != nil {
 			return nil, err
 		}
-		// Hybrid quantization: every CONV/DWCONV/FC weight tensor.
-		qt, err := quantizeModel(m)
+		if err := m.SetSelectedWeights(back.Dequantize()); err != nil {
+			return nil, err
+		}
+		acc, err := ev.accuracy(m)
 		if err != nil {
 			return nil, err
 		}
-		// Every quantizable layer changed: rebuild the cached prefix.
-		if err := ev.recache(); err != nil {
-			return nil, err
-		}
-		qtAcc, err := ev.accuracy(m)
-		if err != nil {
-			return nil, err
-		}
-		selCodes := qt.selected.Stream()
-		selParams := qt.selected.P
-		for _, pct := range DeltaGrid(m.Name) {
-			c, err := core.CompressPct(selCodes, pct)
-			if err != nil {
-				return nil, err
-			}
-			// Install the approximated codes.
-			back, err := quant.FromStream(c.Decompress(), selParams)
-			if err != nil {
-				return nil, err
-			}
-			if err := m.SetSelectedWeights(back.Dequantize()); err != nil {
-				return nil, err
-			}
-			acc, err := ev.accuracy(m)
-			if err != nil {
-				return nil, err
-			}
-			// Combined weighted CR: int8 everywhere quantizable, plus the
-			// selected layer's codes compressed under the 8-bit-coefficient
-			// segment layout (the codes and slopes are int8-scale values).
-			cr8 := float64(c.N*8) / float64(c.CompressedBits(core.QuantizedStorage))
-			combinedSelBytes := float64(qt.selectedBytes) / cr8
-			wcr := float64(m.TotalParams()*4) / (qt.otherBytes + combinedSelBytes)
-			rows = append(rows, Table3Row{
-				Model:      m.Name,
-				QTCR:       qt.weightedCR,
-				QTAccuracy: qtAcc,
-				DeltaPct:   pct,
-				WeightedCR: wcr,
-				Accuracy:   acc,
-			})
-		}
-		// Restore the unquantized selected layer for hygiene.
-		if err := m.SetSelectedWeights(qt.selected.Dequantize()); err != nil {
-			return nil, err
-		}
+		// Combined weighted CR: int8 everywhere quantizable, plus the
+		// selected layer's codes compressed under the 8-bit-coefficient
+		// segment layout (the codes and slopes are int8-scale values).
+		cr8 := float64(c.N*8) / float64(c.CompressedBits(core.QuantizedStorage))
+		combinedSelBytes := float64(qt.selectedBytes) / cr8
+		wcr := float64(m.TotalParams()*4) / (qt.otherBytes + combinedSelBytes)
+		rows = append(rows, Table3Row{
+			Model:      m.Name,
+			QTCR:       qt.weightedCR,
+			QTAccuracy: qtAcc,
+			DeltaPct:   pct,
+			WeightedCR: wcr,
+			Accuracy:   acc,
+		})
+	}
+	// Restore the unquantized selected layer for hygiene.
+	if err := m.SetSelectedWeights(qt.selected.Dequantize()); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

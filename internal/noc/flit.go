@@ -58,7 +58,7 @@ type flit struct {
 // Delivery reports a packet fully received at its destination.
 type Delivery struct {
 	Packet  Packet
-	Cycle   uint64 // cycle the tail flit was ejected
+	Cycle   uint64 // cycle count when the tail ejection completed (the ejection cycle is counted)
 	Latency uint64 // Cycle minus injection-queue entry cycle
 }
 

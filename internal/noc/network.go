@@ -493,16 +493,20 @@ func (nw *Network) ejectFlit(node int, f flit) {
 	if f.ftype != TailFlit && f.ftype != HeadTailFlit {
 		return
 	}
-	// Tail: the packet is fully delivered.
+	// Tail: the packet is fully delivered. Ejection happens during the
+	// current cycle (nw.cycle increments at the end of Step), so the
+	// delivery completes at cycle nw.cycle+1 — counting the delivery
+	// cycle itself, consistently with the injection cycle being counted.
 	nw.stats.PacketsOut++
-	lat := nw.cycle - f.enqueued
+	delivered := nw.cycle + 1
+	lat := delivered - f.enqueued
 	nw.stats.LatencySum += lat
 	if nw.sink != nil {
 		pkt, ok := nw.pending[f.packetID]
 		if !ok {
 			pkt = Packet{ID: f.packetID}
 		}
-		nw.sink(Delivery{Packet: pkt, Cycle: nw.cycle, Latency: lat})
+		nw.sink(Delivery{Packet: pkt, Cycle: delivered, Latency: lat})
 	}
 	delete(nw.pending, f.packetID)
 	_ = node

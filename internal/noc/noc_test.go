@@ -276,6 +276,52 @@ func TestWormholeIntegrity(t *testing.T) {
 	}
 }
 
+// TestSingleFlitOneHopLatency pins the exact latency of the minimal
+// transfer: a single-flit packet to an adjacent node. The flit spends one
+// cycle entering the local input port (phase 3), one crossing the link
+// (phase 2 of the next cycle), and one being ejected at the destination —
+// three cycles, with the delivery cycle itself counted. A tail ejected
+// during cycle N completes at cycle N+1; crediting it N cycles (the
+// pre-fix accounting, which read the cycle counter before its end-of-Step
+// increment) undercounts every packet by one.
+func TestSingleFlitOneHopLatency(t *testing.T) {
+	nw := newTestNet(t, DefaultConfig())
+	var got []Delivery
+	nw.SetSink(func(d Delivery) { got = append(got, d) })
+	if err := nw.Inject(Packet{Src: 1, Dst: 2, Flits: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := nw.RunUntilIdle(100); !ok {
+		t.Fatal("did not drain")
+	}
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %d", len(got))
+	}
+	if got[0].Latency != 3 {
+		t.Errorf("one-hop single-flit latency = %d cycles, want exactly 3", got[0].Latency)
+	}
+	if got[0].Cycle != 3 {
+		t.Errorf("delivery cycle = %d, want 3", got[0].Cycle)
+	}
+	if sum := nw.Stats().LatencySum; sum != 3 {
+		t.Errorf("LatencySum = %d, want 3", sum)
+	}
+	// The same invariant away from cycle zero: latency is position
+	// independent.
+	for i := 0; i < 10; i++ {
+		nw.Step()
+	}
+	if err := nw.Inject(Packet{Src: 1, Dst: 2, Flits: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := nw.RunUntilIdle(100); !ok {
+		t.Fatal("did not drain")
+	}
+	if got[1].Latency != 3 {
+		t.Errorf("delayed one-hop latency = %d cycles, want 3", got[1].Latency)
+	}
+}
+
 func TestIdleAndStats(t *testing.T) {
 	nw := newTestNet(t, DefaultConfig())
 	if !nw.Idle() {

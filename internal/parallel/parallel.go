@@ -1,0 +1,115 @@
+// Package parallel provides the bounded worker pool that fans the
+// evaluation stack's embarrassingly parallel sweeps — per-layer
+// accelerator simulations, per-model table rows, per-delta compression
+// points — across CPU cores.
+//
+// Determinism is the design constraint: work items are identified by
+// index, results are collected into an index-ordered slice, and on
+// failure the error of the lowest-indexed failing item is returned. A
+// run with N workers therefore produces output byte-identical to the
+// serial run, regardless of scheduling.
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count request: n >= 1 is used as given; zero
+// or negative means one worker per available CPU (runtime.GOMAXPROCS).
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines and returns the results ordered by index.
+//
+// The context passed to fn is canceled as soon as any item fails, so
+// long-running items can abort early; items not yet started are skipped.
+// When one or more items fail, Map returns a nil result slice and the
+// error of the lowest-indexed item whose failure was recorded, preferring
+// real errors over the cancellations it induced in items interrupted
+// mid-flight. With workers == 1 items run strictly in index order, so the
+// reported error is fully deterministic. If the parent context is
+// canceled before all items complete, Map reports the context error.
+//
+// fn must be safe for concurrent invocation with distinct indices;
+// Map never invokes it twice for the same index.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]T, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				r, err := fn(ctx, i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					cancel()
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+
+	if failed.Load() {
+		// Return the lowest-indexed real failure; cancellation errors
+		// recorded by items interrupted mid-flight are a consequence of
+		// that failure, not the cause.
+		var first error
+		for _, err := range errs {
+			if err == nil {
+				continue
+			}
+			if first == nil {
+				first = err
+			}
+			if !errors.Is(err, context.Canceled) {
+				return nil, err
+			}
+		}
+		return nil, first
+	}
+	// A canceled parent context with no item error still aborts the run.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ForEach is Map without per-item results: it runs fn(ctx, i) for every
+// i in [0, n) on at most workers goroutines and returns the error of the
+// lowest-indexed failing item, if any.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, workers, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}

@@ -151,7 +151,11 @@ func Greedy(m *models.Model, accuracy AccuracyFunc, opts Options) (*Plan, error)
 			if saved <= 0 {
 				continue // escalation does not help storage
 			}
-			if err := m.SetLayerWeights(st.name, c.Decompress()); err != nil {
+			approx, err := c.Decompress()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.SetLayerWeights(st.name, approx); err != nil {
 				return nil, err
 			}
 			acc, err := accuracy()
@@ -186,7 +190,11 @@ func Greedy(m *models.Model, accuracy AccuracyFunc, opts Options) (*Plan, error)
 		if err != nil {
 			return nil, err
 		}
-		if err := m.SetLayerWeights(best.st.name, c.Decompress()); err != nil {
+		approx, err := c.Decompress()
+		if err != nil {
+			return nil, err
+		}
+		if err := m.SetLayerWeights(best.st.name, approx); err != nil {
 			return nil, err
 		}
 		current = best.acc
@@ -226,7 +234,11 @@ func restore(m *models.Model, st *layerState, opts Options) error {
 	if err != nil {
 		return err
 	}
-	return m.SetLayerWeights(st.name, c.Decompress())
+	approx, err := c.Decompress()
+	if err != nil {
+		return err
+	}
+	return m.SetLayerWeights(st.name, approx)
 }
 
 // candidateLayers resolves the layer filter to parameterized layers.

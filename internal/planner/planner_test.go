@@ -87,7 +87,11 @@ func TestGreedyRespectsBudgetAndBeatsSingleLayer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := m.SetSelectedWeights(c.Decompress()); err != nil {
+		approx, err := c.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetSelectedWeights(approx); err != nil {
 			t.Fatal(err)
 		}
 		a, err := acc()

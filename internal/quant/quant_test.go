@@ -150,7 +150,11 @@ func TestCompressionOnTopOfQuantization(t *testing.T) {
 		if cr := c.CompressionRatio(core.DefaultStorage); pct > 0 && cr <= 1 {
 			t.Errorf("delta %v%%: CR %v on int8 codes", pct, cr)
 		}
-		back, err := FromStream(c.Decompress(), q.P)
+		approx, err := c.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := FromStream(approx, q.P)
 		if err != nil {
 			t.Fatal(err)
 		}

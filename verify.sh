@@ -1,0 +1,23 @@
+#!/bin/sh
+# verify.sh — the repository's full verification gate: build, vet, the
+# test suite, and the race-enabled suite (the parallel experiment engine
+# makes the race run mandatory, not optional).
+#
+# Usage: ./verify.sh [-short]   (-short is forwarded to both test runs)
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test $* ./..."
+go test "$@" ./...
+
+echo "== go test -race $* ./..."
+go test -race "$@" ./...
+
+echo "verify.sh: all checks passed"
