@@ -65,6 +65,7 @@ func BenchmarkDecompressionUnit(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var u DecompressionUnit

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 	"repro/internal/train"
 )
@@ -18,8 +20,9 @@ import (
 // For delta sweeps that only modify the selected layer, the prefix
 // activations are cached so only the network suffix re-runs.
 type evaluator struct {
-	m      *models.Model
-	isTop1 bool
+	m       *models.Model
+	isTop1  bool
+	workers int // sample-level sharding bound for batch evaluation
 
 	// top-1 path (LeNet).
 	testSet []dataset.Sample
@@ -35,7 +38,7 @@ type evaluator struct {
 // values); for other models it records the fidelity reference and caches
 // prefix activations.
 func newEvaluator(m *models.Model, opts Options) (*evaluator, error) {
-	ev := &evaluator{m: m, isTop1: m.Name == "LeNet-5"}
+	ev := &evaluator{m: m, isTop1: m.Name == "LeNet-5", workers: opts.workers()}
 	if ev.isTop1 {
 		samples, err := dataset.Digits(opts.TrainSamples, opts.Seed)
 		if err != nil {
@@ -76,30 +79,53 @@ func newEvaluator(m *models.Model, opts Options) (*evaluator, error) {
 	return ev, nil
 }
 
-// recache recomputes and prunes the cached prefix activations. Call after
-// modifying any layer other than the selected one.
+// recache recomputes and prunes the cached prefix activations, sharding
+// the probes over the worker pool with one scratch Runner per chunk. The
+// kept activations are cloned out of the Runner-owned buffers (the prune
+// set is kilobytes, so the copies are cheap) and are therefore stable
+// across later forwards.
 func (ev *evaluator) recache() error {
 	if ev.isTop1 {
 		return nil
 	}
 	needed := ev.neededActivations()
 	ev.acts = make([]map[string]*tensor.Tensor, len(ev.probes))
-	for i, x := range ev.probes {
-		all, err := ev.m.Graph.ForwardAll(x)
-		if err != nil {
-			return err
-		}
-		pruned := make(map[string]*tensor.Tensor, len(needed))
-		for name := range needed {
-			a, ok := all[name]
-			if !ok {
-				return fmt.Errorf("experiments: missing activation %q", name)
-			}
-			pruned[name] = a
-		}
-		ev.acts[i] = pruned
+	workers := ev.workers
+	if workers > len(ev.probes) {
+		workers = len(ev.probes)
 	}
-	return nil
+	return parallel.ForEach(context.Background(), workers, workers, func(_ context.Context, w int) error {
+		lo, hi := chunkRange(len(ev.probes), workers, w)
+		r := ev.m.Graph.WithScratch()
+		for i := lo; i < hi; i++ {
+			all, err := r.ForwardAll(ev.probes[i])
+			if err != nil {
+				return err
+			}
+			pruned := make(map[string]*tensor.Tensor, len(needed))
+			for name := range needed {
+				a, ok := all[name]
+				if !ok {
+					return fmt.Errorf("experiments: missing activation %q", name)
+				}
+				pruned[name] = a.Clone()
+			}
+			ev.acts[i] = pruned
+		}
+		return nil
+	})
+}
+
+// chunkRange returns the half-open range [lo, hi) of chunk w out of
+// `chunks` over n items.
+func chunkRange(n, chunks, w int) (lo, hi int) {
+	size := (n + chunks - 1) / chunks
+	lo = w * size
+	hi = min(lo+size, n)
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
 }
 
 // neededActivations returns the node names whose activations the suffix
@@ -139,9 +165,9 @@ func (ev *evaluator) neededActivations() map[string]bool {
 // DESIGN.md's accuracy-metric substitution).
 func (ev *evaluator) accuracy(m *models.Model) (float64, error) {
 	if ev.isTop1 {
-		return train.Accuracy(m.Graph, ev.testSet)
+		return train.AccuracyWorkers(m.Graph, ev.testSet, ev.workers)
 	}
-	return ev.fid.OverlapFrom(m.Graph, ev.acts, m.SelectedLayer)
+	return ev.fid.OverlapFromWorkers(m.Graph, ev.acts, m.SelectedLayer, ev.workers)
 }
 
 // fullAccuracy measures accuracy with complete forward passes — needed
@@ -149,25 +175,25 @@ func (ev *evaluator) accuracy(m *models.Model) (float64, error) {
 // wanted.
 func (ev *evaluator) fullAccuracy(m *models.Model) (float64, error) {
 	if ev.isTop1 {
-		return train.Accuracy(m.Graph, ev.testSet)
+		return train.AccuracyWorkers(m.Graph, ev.testSet, ev.workers)
 	}
-	return ev.fid.Score(m.Graph, ev.probes)
+	return ev.fid.ScoreWorkers(m.Graph, ev.probes, ev.workers)
 }
 
 // fineAccuracy is fullAccuracy with the finer top-5 overlap metric for
 // fidelity models — the sensitivity analysis needs sub-top-1 resolution.
 func (ev *evaluator) fineAccuracy(m *models.Model) (float64, error) {
 	if ev.isTop1 {
-		return train.Accuracy(m.Graph, ev.testSet)
+		return train.AccuracyWorkers(m.Graph, ev.testSet, ev.workers)
 	}
-	return ev.fid.Overlap(m.Graph, ev.probes)
+	return ev.fid.OverlapWorkers(m.Graph, ev.probes, ev.workers)
 }
 
 // baseline returns the unmodified network's score: measured top-1 for
 // LeNet, 1.0 by construction for fidelity.
 func (ev *evaluator) baseline(m *models.Model) (float64, error) {
 	if ev.isTop1 {
-		return train.Accuracy(m.Graph, ev.testSet)
+		return train.AccuracyWorkers(m.Graph, ev.testSet, ev.workers)
 	}
 	return 1.0, nil
 }

@@ -45,6 +45,24 @@ func (r *ReLU) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
 	return out, nil
 }
 
+// ForwardScratch implements ScratchLayer.
+func (r *ReLU) ForwardScratch(xs []*tensor.Tensor, s *Scratch) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	out := s.TensorLike(r.name, "/out", x)
+	for i, v := range x.Data {
+		if v < 0 {
+			v = 0
+		} else if r.Max > 0 && v > r.Max {
+			v = r.Max
+		}
+		out.Data[i] = v
+	}
+	return out, nil
+}
+
 // Params implements Layer.
 func (r *ReLU) Params() []Param { return nil }
 
@@ -96,25 +114,40 @@ func (s *Softmax) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, err
 	}
 	out := tensor.MustNew(x.Shape()...)
-	maxv := x.Data[0]
-	for _, v := range x.Data {
+	softmaxInto(out.Data, x.Data)
+	return out, nil
+}
+
+// ForwardScratch implements ScratchLayer.
+func (s *Softmax) ForwardScratch(xs []*tensor.Tensor, sc *Scratch) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	out := sc.TensorLike(s.name, "/out", x)
+	softmaxInto(out.Data, x.Data)
+	return out, nil
+}
+
+func softmaxInto(dst, src []float32) {
+	maxv := src[0]
+	for _, v := range src {
 		if v > maxv {
 			maxv = v
 		}
 	}
 	var sum float64
-	for i, v := range x.Data {
+	for i, v := range src {
 		e := math.Exp(float64(v - maxv))
-		out.Data[i] = float32(e)
+		dst[i] = float32(e)
 		sum += e
 	}
 	if sum == 0 {
 		sum = 1
 	}
-	for i := range out.Data {
-		out.Data[i] = float32(float64(out.Data[i]) / sum)
+	for i := range dst {
+		dst[i] = float32(float64(dst[i]) / sum)
 	}
-	return out, nil
 }
 
 // Params implements Layer.
@@ -153,6 +186,16 @@ func (f *Flatten) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, err
 	}
 	return x.Reshape(x.Size())
+}
+
+// ForwardScratch implements ScratchLayer: a cached flat view of the
+// input data (no copy, like Forward).
+func (f *Flatten) ForwardScratch(xs []*tensor.Tensor, s *Scratch) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	return s.View(f.name, "/out", x.Data, x.Size())
 }
 
 // Params implements Layer.

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/tensor"
@@ -13,9 +14,69 @@ func BenchmarkConvForward(b *testing.B) {
 	}
 	x := tensor.MustNew(28, 28, 64)
 	x.RandNormal(rng(2), 0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Forward([]*tensor.Tensor{x}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvForwardScratch is the steady-state arena path at VGG- and
+// LeNet-layer shapes: after the first pass every buffer is warm, so the
+// loop body allocates (almost) nothing.
+func BenchmarkConvForwardScratch(b *testing.B) {
+	shapes := []struct {
+		name           string
+		h, w, inC, out int
+	}{
+		{"vgg28x28x64", 28, 28, 64, 64},
+		{"lenet14x14x6", 14, 14, 6, 16},
+	}
+	for _, sh := range shapes {
+		b.Run(sh.name, func(b *testing.B) {
+			c, err := NewConv2D("c", 3, 3, sh.inC, sh.out, 1, 1, rng(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := tensor.MustNew(sh.h, sh.w, sh.inC)
+			x.RandNormal(rng(2), 0, 1)
+			s := NewScratch()
+			xs := []*tensor.Tensor{x}
+			if _, err := c.ForwardScratch(xs, s); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.ForwardScratch(xs, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConvForwardScratchParallel adds the row-sharded matmul kernel
+// (one worker per CPU) on top of the scratch arena.
+func BenchmarkConvForwardScratchParallel(b *testing.B) {
+	c, err := NewConv2D("c", 3, 3, 64, 64, 1, 1, rng(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.MustNew(28, 28, 64)
+	x.RandNormal(rng(2), 0, 1)
+	s := NewScratch()
+	s.Workers = runtime.GOMAXPROCS(0)
+	xs := []*tensor.Tensor{x}
+	if _, err := c.ForwardScratch(xs, s); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ForwardScratch(xs, s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -28,9 +89,33 @@ func BenchmarkDenseForward(b *testing.B) {
 	}
 	x := tensor.MustNew(4096)
 	x.RandNormal(rng(4), 0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := d.Forward([]*tensor.Tensor{x}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDenseForwardScratch is the VGG-classifier-shaped dense layer
+// through the arena.
+func BenchmarkDenseForwardScratch(b *testing.B) {
+	d, err := NewDense("d", 4096, 1024, rng(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.MustNew(4096)
+	x.RandNormal(rng(4), 0, 1)
+	s := NewScratch()
+	xs := []*tensor.Tensor{x}
+	if _, err := d.ForwardScratch(xs, s); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ForwardScratch(xs, s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -43,9 +128,66 @@ func BenchmarkDepthwiseForward(b *testing.B) {
 	}
 	x := tensor.MustNew(28, 28, 128)
 	x.RandNormal(rng(6), 0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := d.Forward([]*tensor.Tensor{x}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDepthwiseForwardScratch is the MobileNet depthwise stage
+// through the arena.
+func BenchmarkDepthwiseForwardScratch(b *testing.B) {
+	d, err := NewDepthwiseConv2D("dw", 3, 3, 128, 1, 1, rng(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.MustNew(28, 28, 128)
+	x.RandNormal(rng(6), 0, 1)
+	s := NewScratch()
+	xs := []*tensor.Tensor{x}
+	if _, err := d.ForwardScratch(xs, s); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ForwardScratch(xs, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphForwardScratch runs the whole LeNet-5-topology graph
+// through one warm Runner — the per-sample unit of every accuracy sweep.
+func BenchmarkGraphForwardScratch(b *testing.B) {
+	g := lenetLikeGraph(b)
+	r := g.WithScratch()
+	x := tensor.MustNew(28, 28, 1)
+	x.RandNormal(rng(9), 0, 1)
+	if _, err := r.Forward(x); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphForward is the allocating baseline of the same graph.
+func BenchmarkGraphForward(b *testing.B) {
+	g := lenetLikeGraph(b)
+	x := tensor.MustNew(28, 28, 1)
+	x.RandNormal(rng(9), 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Forward(x); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -64,6 +206,7 @@ func BenchmarkConvBackward(b *testing.B) {
 	}
 	dy := tensor.MustNew(y.Shape()...)
 	dy.Fill(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Backward(x, dy); err != nil {

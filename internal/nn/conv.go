@@ -63,6 +63,19 @@ func (c *Conv2D) checkShape(s []int) error {
 	return nil
 }
 
+// checkInput is checkShape reading dimensions straight off the tensor,
+// keeping the forward hot path free of shape-slice allocations.
+func (c *Conv2D) checkInput(x *tensor.Tensor) error {
+	if x.Rank() != 3 || x.Dim(2) != c.InC {
+		return fmt.Errorf("%w: conv %q wants [H W %d], got %v", ErrShape, c.name, c.InC, x.Shape())
+	}
+	if tensor.ConvOutDim(x.Dim(0), c.KH, c.Stride, c.PadH) <= 0 ||
+		tensor.ConvOutDim(x.Dim(1), c.KW, c.Stride, c.PadW) <= 0 {
+		return fmt.Errorf("%w: conv %q output collapses on input %v", ErrShape, c.name, x.Shape())
+	}
+	return nil
+}
+
 // OutShape implements Layer.
 func (c *Conv2D) OutShape(in [][]int) ([]int, error) {
 	s, err := wantOneShape(in)
@@ -85,7 +98,7 @@ func (c *Conv2D) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := c.checkShape(x.Shape()); err != nil {
+	if err := c.checkInput(x); err != nil {
 		return nil, err
 	}
 	cols, oh, ow, err := tensor.Im2ColRect(x, c.KH, c.KW, c.Stride, c.PadH, c.PadW)
@@ -96,13 +109,54 @@ func (c *Conv2D) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
 	if err != nil {
 		return nil, err
 	}
-	for r := 0; r < oh*ow; r++ {
-		row := y.Data[r*c.OutC : (r+1)*c.OutC]
+	c.addBias(y.Data, oh*ow)
+	return y.Reshape(oh, ow, c.OutC)
+}
+
+// ForwardScratch implements ScratchLayer: the same im2col + matmul
+// lowering through reused arena buffers. With s.Workers > 1 the matrix
+// multiply row-shards across workers; output is bit-identical to Forward
+// for every worker count.
+func (c *Conv2D) ForwardScratch(xs []*tensor.Tensor, s *Scratch) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.checkInput(x); err != nil {
+		return nil, err
+	}
+	oh := tensor.ConvOutDim(x.Dim(0), c.KH, c.Stride, c.PadH)
+	ow := tensor.ConvOutDim(x.Dim(1), c.KW, c.Stride, c.PadW)
+	k := c.KH * c.KW * c.InC
+	cols := s.Floats(c.name, "/cols", oh*ow*k)
+	if _, _, err := tensor.Im2ColInto(cols, x, c.KH, c.KW, c.Stride, c.PadH, c.PadW); err != nil {
+		return nil, err
+	}
+	colsT, err := s.View(c.name, "/colsT", cols, oh*ow, k)
+	if err != nil {
+		return nil, err
+	}
+	y := s.Tensor(c.name, "/y", oh*ow, c.OutC)
+	if s.Workers > 1 {
+		err = tensor.MatMulParallel(y, colsT, c.W, s.Workers)
+	} else {
+		err = tensor.MatMulInto(y, colsT, c.W)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.addBias(y.Data, oh*ow)
+	return s.View(c.name, "/out", y.Data, oh, ow, c.OutC)
+}
+
+// addBias adds the per-channel bias to rows of the lowered output.
+func (c *Conv2D) addBias(data []float32, rows int) {
+	for r := 0; r < rows; r++ {
+		row := data[r*c.OutC : (r+1)*c.OutC]
 		for j := range row {
 			row[j] += c.B.Data[j]
 		}
 	}
-	return y.Reshape(oh, ow, c.OutC)
 }
 
 // Params implements Layer.
@@ -246,22 +300,57 @@ func (d *DepthwiseConv2D) OutShape(in [][]int) ([]int, error) {
 	return []int{oh, ow, d.C}, nil
 }
 
+// checkInput validates a depthwise input without allocating shape slices.
+func (d *DepthwiseConv2D) checkInput(x *tensor.Tensor) (oh, ow int, err error) {
+	if x.Rank() != 3 || x.Dim(2) != d.C {
+		return 0, 0, fmt.Errorf("%w: dwconv %q wants [H W %d], got %v", ErrShape, d.name, d.C, x.Shape())
+	}
+	oh = tensor.ConvOutDim(x.Dim(0), d.KH, d.Stride, d.Pad)
+	ow = tensor.ConvOutDim(x.Dim(1), d.KW, d.Stride, d.Pad)
+	if oh <= 0 || ow <= 0 {
+		return 0, 0, fmt.Errorf("%w: dwconv %q output collapses on %v", ErrShape, d.name, x.Shape())
+	}
+	return oh, ow, nil
+}
+
 // Forward implements Layer.
 func (d *DepthwiseConv2D) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
 	x, err := wantOne(xs)
 	if err != nil {
 		return nil, err
 	}
-	outShape, err := d.OutShape([][]int{x.Shape()})
+	oh, ow, err := d.checkInput(x)
 	if err != nil {
 		return nil, err
 	}
-	h, w := x.Dim(0), x.Dim(1)
-	oh, ow := outShape[0], outShape[1]
 	out := tensor.MustNew(oh, ow, d.C)
+	d.forwardInto(out.Data, x, oh, ow)
+	return out, nil
+}
+
+// ForwardScratch implements ScratchLayer.
+func (d *DepthwiseConv2D) ForwardScratch(xs []*tensor.Tensor, s *Scratch) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	oh, ow, err := d.checkInput(x)
+	if err != nil {
+		return nil, err
+	}
+	out := s.Tensor(d.name, "/out", oh, ow, d.C)
+	clear(out.Data) // forwardInto accumulates; match a fresh allocation
+	d.forwardInto(out.Data, x, oh, ow)
+	return out, nil
+}
+
+// forwardInto accumulates the depthwise convolution into dst, which must
+// be zeroed, matching the reference accumulation order exactly.
+func (d *DepthwiseConv2D) forwardInto(dst []float32, x *tensor.Tensor, oh, ow int) {
+	h, w := x.Dim(0), x.Dim(1)
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
-			dst := out.Data[(oy*ow+ox)*d.C : (oy*ow+ox)*d.C+d.C]
+			orow := dst[(oy*ow+ox)*d.C : (oy*ow+ox)*d.C+d.C]
 			for ky := 0; ky < d.KH; ky++ {
 				iy := oy*d.Stride + ky - d.Pad
 				if iy < 0 || iy >= h {
@@ -275,16 +364,15 @@ func (d *DepthwiseConv2D) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
 					src := x.Data[(iy*w+ix)*d.C : (iy*w+ix)*d.C+d.C]
 					ker := d.W.Data[(ky*d.KW+kx)*d.C : (ky*d.KW+kx)*d.C+d.C]
 					for ch := 0; ch < d.C; ch++ {
-						dst[ch] += src[ch] * ker[ch]
+						orow[ch] += src[ch] * ker[ch]
 					}
 				}
 			}
 			for ch := 0; ch < d.C; ch++ {
-				dst[ch] += d.B.Data[ch]
+				orow[ch] += d.B.Data[ch]
 			}
 		}
 	}
-	return out, nil
 }
 
 // Params implements Layer.

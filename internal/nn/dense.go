@@ -64,8 +64,31 @@ func (d *Dense) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("%w: dense %q wants %d inputs, got %d", ErrShape, d.name, d.In, x.Size())
 	}
 	out := tensor.MustNew(d.Out)
-	// y_j = sum_i x_i W_ij + b_j. Iterate i-major so W rows stream.
-	acc := make([]float64, d.Out)
+	d.forwardInto(out.Data, x, make([]float64, d.Out))
+	return out, nil
+}
+
+// ForwardScratch implements ScratchLayer: the same float64-accumulated
+// product through reused arena buffers.
+func (d *Dense) ForwardScratch(xs []*tensor.Tensor, s *Scratch) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	if x.Size() != d.In {
+		return nil, fmt.Errorf("%w: dense %q wants %d inputs, got %d", ErrShape, d.name, d.In, x.Size())
+	}
+	out := s.Tensor(d.name, "/out", d.Out)
+	acc := s.Float64s(d.name, "/acc", d.Out)
+	clear(acc)
+	d.forwardInto(out.Data, x, acc)
+	return out, nil
+}
+
+// forwardInto computes y = x·W + b into dst using the zeroed float64
+// accumulator acc. y_j = sum_i x_i W_ij + b_j; iterate i-major so W rows
+// stream.
+func (d *Dense) forwardInto(dst []float32, x *tensor.Tensor, acc []float64) {
 	for i := 0; i < d.In; i++ {
 		xv := float64(x.Data[i])
 		if xv == 0 {
@@ -77,9 +100,8 @@ func (d *Dense) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
 		}
 	}
 	for j := 0; j < d.Out; j++ {
-		out.Data[j] = float32(acc[j] + float64(d.B.Data[j]))
+		dst[j] = float32(acc[j] + float64(d.B.Data[j]))
 	}
-	return out, nil
 }
 
 // Params implements Layer.

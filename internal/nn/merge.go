@@ -56,6 +56,25 @@ func (a *Add) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
 	return out, nil
 }
 
+// ForwardScratch implements ScratchLayer: identical accumulation order to
+// Forward (copy of xs[0], then += each later operand in turn).
+func (a *Add) ForwardScratch(xs []*tensor.Tensor, s *Scratch) (*tensor.Tensor, error) {
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("%w: add %q wants >= 2 inputs, got %d", ErrArity, a.name, len(xs))
+	}
+	out := s.TensorLike(a.name, "/out", xs[0])
+	copy(out.Data, xs[0].Data)
+	for _, x := range xs[1:] {
+		if !tensor.SameShape(out, x) {
+			return nil, fmt.Errorf("%w: add %q operands %v vs %v", ErrShape, a.name, out.Shape(), x.Shape())
+		}
+		for i, v := range x.Data {
+			out.Data[i] += v
+		}
+	}
+	return out, nil
+}
+
 // Params implements Layer.
 func (a *Add) Params() []Param { return nil }
 
@@ -98,25 +117,55 @@ func (c *Concat) OutShape(in [][]int) ([]int, error) {
 
 // Forward implements Layer.
 func (c *Concat) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
-	shapes := make([][]int, len(xs))
-	for i, x := range xs {
-		shapes[i] = x.Shape()
-	}
-	outShape, err := c.OutShape(shapes)
+	h, w, totalC, err := c.checkInputs(xs)
 	if err != nil {
 		return nil, err
 	}
-	h, w, totalC := outShape[0], outShape[1], outShape[2]
 	out := tensor.MustNew(h, w, totalC)
-	for p := 0; p < h*w; p++ {
+	c.forwardInto(out.Data, xs, h*w, totalC)
+	return out, nil
+}
+
+// ForwardScratch implements ScratchLayer.
+func (c *Concat) ForwardScratch(xs []*tensor.Tensor, s *Scratch) (*tensor.Tensor, error) {
+	h, w, totalC, err := c.checkInputs(xs)
+	if err != nil {
+		return nil, err
+	}
+	out := s.Tensor(c.name, "/out", h, w, totalC)
+	c.forwardInto(out.Data, xs, h*w, totalC)
+	return out, nil
+}
+
+// checkInputs validates merge operands without allocating shape slices.
+func (c *Concat) checkInputs(xs []*tensor.Tensor) (h, w, totalC int, err error) {
+	if len(xs) < 2 {
+		return 0, 0, 0, fmt.Errorf("%w: concat %q wants >= 2 inputs, got %d", ErrArity, c.name, len(xs))
+	}
+	first := xs[0]
+	if first.Rank() != 3 {
+		return 0, 0, 0, fmt.Errorf("%w: concat %q wants [H W C] inputs, got %v", ErrShape, c.name, first.Shape())
+	}
+	h, w, totalC = first.Dim(0), first.Dim(1), first.Dim(2)
+	for _, x := range xs[1:] {
+		if x.Rank() != 3 || x.Dim(0) != h || x.Dim(1) != w {
+			return 0, 0, 0, fmt.Errorf("%w: concat %q spatial mismatch %v vs %v", ErrShape, c.name, first.Shape(), x.Shape())
+		}
+		totalC += x.Dim(2)
+	}
+	return h, w, totalC, nil
+}
+
+// forwardInto interleaves the operands' channel slabs into dst.
+func (c *Concat) forwardInto(dst []float32, xs []*tensor.Tensor, pixels, totalC int) {
+	for p := 0; p < pixels; p++ {
 		off := 0
 		for _, x := range xs {
 			ci := x.Dim(2)
-			copy(out.Data[p*totalC+off:p*totalC+off+ci], x.Data[p*ci:(p+1)*ci])
+			copy(dst[p*totalC+off:p*totalC+off+ci], x.Data[p*ci:(p+1)*ci])
 			off += ci
 		}
 	}
-	return out, nil
 }
 
 // Params implements Layer.

@@ -67,33 +67,59 @@ func (b *BatchNorm) OutShape(in [][]int) ([]int, error) {
 	return s, nil
 }
 
+// checkInput validates the trailing channel dimension without allocating
+// shape slices.
+func (b *BatchNorm) checkInput(x *tensor.Tensor) error {
+	if x.Rank() == 0 || x.Dim(x.Rank()-1) != b.C {
+		return fmt.Errorf("%w: batchnorm %q wants trailing dim %d, got %v", ErrShape, b.name, b.C, x.Shape())
+	}
+	return nil
+}
+
 // Forward implements Layer.
 func (b *BatchNorm) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
 	x, err := wantOne(xs)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := b.OutShape([][]int{x.Shape()}); err != nil {
+	if err := b.checkInput(x); err != nil {
 		return nil, err
 	}
-	// Precompute per-channel scale and shift.
-	scale := make([]float32, b.C)
-	shift := make([]float32, b.C)
+	out := tensor.MustNew(x.Shape()...)
+	b.forwardInto(out.Data, x, make([]float32, b.C), make([]float32, b.C))
+	return out, nil
+}
+
+// ForwardScratch implements ScratchLayer.
+func (b *BatchNorm) ForwardScratch(xs []*tensor.Tensor, s *Scratch) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.checkInput(x); err != nil {
+		return nil, err
+	}
+	out := s.TensorLike(b.name, "/out", x)
+	b.forwardInto(out.Data, x, s.Floats(b.name, "/scale", b.C), s.Floats(b.name, "/shift", b.C))
+	return out, nil
+}
+
+// forwardInto normalizes x into dst; scale and shift are overwritten
+// per-channel work buffers.
+func (b *BatchNorm) forwardInto(dst []float32, x *tensor.Tensor, scale, shift []float32) {
 	for ch := 0; ch < b.C; ch++ {
 		inv := float32(1 / math.Sqrt(float64(b.Var.Data[ch]+b.Eps)))
 		scale[ch] = b.Gamma.Data[ch] * inv
 		shift[ch] = b.Beta.Data[ch] - b.Mean.Data[ch]*scale[ch]
 	}
-	out := tensor.MustNew(x.Shape()...)
 	n := x.Size() / b.C
 	for i := 0; i < n; i++ {
 		src := x.Data[i*b.C : (i+1)*b.C]
-		dst := out.Data[i*b.C : (i+1)*b.C]
+		drow := dst[i*b.C : (i+1)*b.C]
 		for ch := 0; ch < b.C; ch++ {
-			dst[ch] = src[ch]*scale[ch] + shift[ch]
+			drow[ch] = src[ch]*scale[ch] + shift[ch]
 		}
 	}
-	return out, nil
 }
 
 // Params implements Layer.

@@ -78,19 +78,52 @@ func (p *Pool2D) OutShape(in [][]int) ([]int, error) {
 	return []int{oh, ow, s[2]}, nil
 }
 
+// checkInput validates a pooling input without allocating shape slices.
+func (p *Pool2D) checkInput(x *tensor.Tensor) (oh, ow int, err error) {
+	if x.Rank() != 3 {
+		return 0, 0, fmt.Errorf("%w: pool %q wants [H W C], got %v", ErrShape, p.name, x.Shape())
+	}
+	oh = tensor.ConvOutDim(x.Dim(0), p.Size, p.Stride, p.Pad)
+	ow = tensor.ConvOutDim(x.Dim(1), p.Size, p.Stride, p.Pad)
+	if oh <= 0 || ow <= 0 {
+		return 0, 0, fmt.Errorf("%w: pool %q output collapses on %v", ErrShape, p.name, x.Shape())
+	}
+	return oh, ow, nil
+}
+
 // Forward implements Layer.
 func (p *Pool2D) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
 	x, err := wantOne(xs)
 	if err != nil {
 		return nil, err
 	}
-	outShape, err := p.OutShape([][]int{x.Shape()})
+	oh, ow, err := p.checkInput(x)
 	if err != nil {
 		return nil, err
 	}
+	out := tensor.MustNew(oh, ow, x.Dim(2))
+	p.forwardInto(out.Data, x, oh, ow)
+	return out, nil
+}
+
+// ForwardScratch implements ScratchLayer.
+func (p *Pool2D) ForwardScratch(xs []*tensor.Tensor, s *Scratch) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	oh, ow, err := p.checkInput(x)
+	if err != nil {
+		return nil, err
+	}
+	out := s.Tensor(p.name, "/out", oh, ow, x.Dim(2))
+	p.forwardInto(out.Data, x, oh, ow) // every element is assigned
+	return out, nil
+}
+
+// forwardInto writes the pooled output into dst.
+func (p *Pool2D) forwardInto(dst []float32, x *tensor.Tensor, oh, ow int) {
 	h, w, c := x.Dim(0), x.Dim(1), x.Dim(2)
-	oh, ow := outShape[0], outShape[1]
-	out := tensor.MustNew(oh, ow, c)
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
 			for ch := 0; ch < c; ch++ {
@@ -123,11 +156,10 @@ func (p *Pool2D) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
 				} else {
 					v = float32(sum / float64(count))
 				}
-				out.Data[(oy*ow+ox)*c+ch] = v
+				dst[(oy*ow+ox)*c+ch] = v
 			}
 		}
 	}
-	return out, nil
 }
 
 // Params implements Layer.
@@ -250,9 +282,31 @@ func (g *GlobalAvgPool) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
 	if x.Rank() != 3 {
 		return nil, fmt.Errorf("%w: gap %q wants [H W C], got %v", ErrShape, g.name, x.Shape())
 	}
+	out := tensor.MustNew(x.Dim(2))
+	g.forwardInto(out.Data, x, make([]float64, x.Dim(2)))
+	return out, nil
+}
+
+// ForwardScratch implements ScratchLayer.
+func (g *GlobalAvgPool) ForwardScratch(xs []*tensor.Tensor, s *Scratch) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	if x.Rank() != 3 {
+		return nil, fmt.Errorf("%w: gap %q wants [H W C], got %v", ErrShape, g.name, x.Shape())
+	}
+	out := s.Tensor(g.name, "/out", x.Dim(2))
+	acc := s.Float64s(g.name, "/acc", x.Dim(2))
+	clear(acc)
+	g.forwardInto(out.Data, x, acc)
+	return out, nil
+}
+
+// forwardInto computes channel means into dst using the zeroed float64
+// accumulator acc.
+func (g *GlobalAvgPool) forwardInto(dst []float32, x *tensor.Tensor, acc []float64) {
 	h, w, c := x.Dim(0), x.Dim(1), x.Dim(2)
-	out := tensor.MustNew(c)
-	acc := make([]float64, c)
 	for i := 0; i < h*w; i++ {
 		px := x.Data[i*c : (i+1)*c]
 		for ch := 0; ch < c; ch++ {
@@ -260,9 +314,8 @@ func (g *GlobalAvgPool) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
 		}
 	}
 	for ch := 0; ch < c; ch++ {
-		out.Data[ch] = float32(acc[ch] / float64(h*w))
+		dst[ch] = float32(acc[ch] / float64(h*w))
 	}
-	return out, nil
 }
 
 // Params implements Layer.

@@ -55,6 +55,16 @@ func (r *Reshape) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
 	return x.Reshape(r.shape...)
 }
 
+// ForwardScratch implements ScratchLayer: a cached view over the input's
+// backing data with the target shape (no copy, like Forward).
+func (r *Reshape) ForwardScratch(xs []*tensor.Tensor, s *Scratch) (*tensor.Tensor, error) {
+	x, err := wantOne(xs)
+	if err != nil {
+		return nil, err
+	}
+	return s.View(r.name, "/out", x.Data, r.shape...)
+}
+
 // Params implements Layer.
 func (r *Reshape) Params() []Param { return nil }
 

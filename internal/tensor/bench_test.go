@@ -2,15 +2,22 @@ package tensor
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
-func BenchmarkMatMul256(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	a := MustNew(256, 256)
+func benchMats(seed int64, m, k, n int) (a, bm *Tensor) {
+	rng := rand.New(rand.NewSource(seed))
+	a = MustNew(m, k)
 	a.RandNormal(rng, 0, 1)
-	c := MustNew(256, 256)
-	c.RandNormal(rng, 0, 1)
+	bm = MustNew(k, n)
+	bm.RandNormal(rng, 0, 1)
+	return a, bm
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	a, c := benchMats(1, 256, 256, 256)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := MatMul(a, c); err != nil {
@@ -19,6 +26,67 @@ func BenchmarkMatMul256(b *testing.B) {
 	}
 	// 2 flops per MAC.
 	b.SetBytes(int64(256 * 256 * 256 * 2))
+}
+
+// BenchmarkMatMulInto256 is the steady-state blocked kernel: the
+// destination is caller-owned and reused, so the loop is allocation-free.
+func BenchmarkMatMulInto256(b *testing.B) {
+	a, c := benchMats(1, 256, 256, 256)
+	dst := MustNew(256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := MatMulInto(dst, a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(256 * 256 * 256 * 2))
+}
+
+// BenchmarkMatMulParallel256 row-shards the blocked kernel across one
+// worker per CPU (identical bytes out; the gain scales with cores).
+func BenchmarkMatMulParallel256(b *testing.B) {
+	a, c := benchMats(1, 256, 256, 256)
+	dst := MustNew(256, 256)
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := MatMulParallel(dst, a, c, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(256 * 256 * 256 * 2))
+}
+
+// BenchmarkMatMulIntoVGGShape is the im2col product of a VGG-style
+// 3x3x64->128 convolution on a 28x28 map: [784 x 576] x [576 x 128].
+func BenchmarkMatMulIntoVGGShape(b *testing.B) {
+	a, c := benchMats(2, 784, 576, 128)
+	dst := MustNew(784, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := MatMulInto(dst, a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(784 * 576 * 128 * 2))
+}
+
+// BenchmarkMatMulIntoLeNetShape is LeNet-5's largest conv product:
+// [100 x 150] x [150 x 16] (conv_2 on the 14x14x6 map).
+func BenchmarkMatMulIntoLeNetShape(b *testing.B) {
+	a, c := benchMats(3, 100, 150, 16)
+	dst := MustNew(100, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := MatMulInto(dst, a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(100 * 150 * 16 * 2))
 }
 
 func BenchmarkIm2Col(b *testing.B) {
@@ -34,6 +102,21 @@ func BenchmarkIm2Col(b *testing.B) {
 	}
 }
 
+// BenchmarkIm2ColInto lowers into a reused caller-owned scratch buffer.
+func BenchmarkIm2ColInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := MustNew(56, 56, 64)
+	x.RandNormal(rng, 0, 1)
+	dst := make([]float32, 56*56*3*3*64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Im2ColInto(dst, x, 3, 3, 1, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMatVec(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	a := MustNew(1024, 1024)
@@ -42,6 +125,7 @@ func BenchmarkMatVec(b *testing.B) {
 	for i := range x {
 		x[i] = rng.Float32()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := MatVec(a, x); err != nil {

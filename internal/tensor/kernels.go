@@ -1,0 +1,224 @@
+// Cache-blocked, allocation-free compute kernels. These are the hot path
+// of every accuracy sweep: the naive MatMul/Im2Col entry points remain as
+// the reference semantics, while the *Into variants write into
+// caller-owned buffers and block the loops for cache reuse.
+//
+// Bit-identity is a hard contract, not an aspiration: for every output
+// element the contributions along the shared dimension are accumulated in
+// exactly the same order (ascending p, one float32 add per term, zero
+// terms skipped) as the reference ikj kernel, so tiling, buffer reuse and
+// row sharding all produce byte-identical results. The equivalence tests
+// in kernels_test.go pin this with math.Float32bits comparisons.
+package tensor
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// Default tile sizes for the blocked matrix multiply. The a-panel
+// (tileI x tileK floats = 32 KiB) fits L1; the b-panel
+// (tileK x tileJ floats = 256 KiB) fits L2 and is reused across the
+// tileI rows of the a-panel before being evicted. tileJ keeps the
+// destination row segment and the b rows streaming within a bounded
+// footprint even for the 4096-wide VGG dense layers.
+const (
+	defaultTileI = 64
+	defaultTileK = 128
+	defaultTileJ = 512
+)
+
+// MatMulInto computes dst = a·b for a (m x k) and b (k x n), writing into
+// the caller-supplied dst (m x n). dst is zeroed first, so a reused
+// scratch buffer needs no clearing by the caller. dst must not alias a or
+// b. The result is bit-identical to MatMul.
+func MatMulInto(dst, a, b *Tensor) error {
+	return MatMulIntoTiles(dst, a, b, defaultTileI, defaultTileK, defaultTileJ)
+}
+
+// MatMulIntoTiles is MatMulInto with explicit tile sizes (exported so the
+// property tests can sweep degenerate tilings); sizes below 1 select the
+// defaults. Every tiling produces bit-identical output because tiles only
+// regroup the loop nest — the per-element accumulation order along the
+// shared dimension is unchanged.
+func MatMulIntoTiles(dst, a, b *Tensor, tileI, tileK, tileJ int) error {
+	if a.Rank() != 2 || b.Rank() != 2 || a.shape[1] != b.shape[0] {
+		return fmt.Errorf("%w: matmul %v x %v", ErrShape, a.shape, b.shape)
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("%w: matmul dst %v, want [%d %d]", ErrShape, dst.shape, m, n)
+	}
+	if &dst.Data[0] == &a.Data[0] || &dst.Data[0] == &b.Data[0] {
+		return fmt.Errorf("tensor: matmul dst aliases an operand")
+	}
+	clear(dst.Data)
+	matMulBlocked(dst.Data, a.Data, b.Data, 0, m, k, n, tileI, tileK, tileJ)
+	return nil
+}
+
+// MatMulParallel is MatMulInto with the destination rows sharded across
+// workers (values below 1 select one worker per CPU). Each row is owned
+// by exactly one worker and rows are independent, so the output is
+// bit-identical for every worker count — the same index-ordered
+// discipline the experiment pool uses.
+func MatMulParallel(dst, a, b *Tensor, workers int) error {
+	if a.Rank() != 2 || b.Rank() != 2 || a.shape[1] != b.shape[0] {
+		return fmt.Errorf("%w: matmul %v x %v", ErrShape, a.shape, b.shape)
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("%w: matmul dst %v, want [%d %d]", ErrShape, dst.shape, m, n)
+	}
+	if &dst.Data[0] == &a.Data[0] || &dst.Data[0] == &b.Data[0] {
+		return fmt.Errorf("tensor: matmul dst aliases an operand")
+	}
+	workers = parallel.Workers(workers)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		clear(dst.Data)
+		matMulBlocked(dst.Data, a.Data, b.Data, 0, m, k, n, defaultTileI, defaultTileK, defaultTileJ)
+		return nil
+	}
+	clear(dst.Data)
+	chunk := (m + workers - 1) / workers
+	return parallel.ForEach(context.Background(), workers, workers,
+		func(_ context.Context, w int) error {
+			lo := w * chunk
+			hi := min(lo+chunk, m)
+			if lo >= hi {
+				return nil
+			}
+			matMulBlocked(dst.Data, a.Data, b.Data, lo, hi, k, n, defaultTileI, defaultTileK, defaultTileJ)
+			return nil
+		})
+}
+
+// matMulBlocked accumulates dst[rowLo:rowHi] += a[rowLo:rowHi]·b with a
+// three-level i/k/j tiling. dst rows in the range must be zero on entry.
+// For a fixed output element the k-blocks are visited in ascending order
+// and p ascends within each block, so the float32 accumulation sequence
+// matches the reference ikj kernel exactly (including the skip of zero
+// a-elements, which contribute no term there either).
+//
+// The inner kernel additionally unrolls four consecutive p terms into one
+// j-sweep. The four adds stay separate sequential float32 operations in
+// ascending p order (Go's amd64 backend does not contract them into
+// FMAs), so the rounding sequence per element is unchanged — the unroll
+// only saves three quarters of the dst loads and stores. Any zero among
+// the four falls back to the per-p loop with its zero skip.
+func matMulBlocked(dst, a, b []float32, rowLo, rowHi, k, n, tileI, tileK, tileJ int) {
+	if tileI < 1 {
+		tileI = defaultTileI
+	}
+	if tileK < 1 {
+		tileK = defaultTileK
+	}
+	if tileJ < 1 {
+		tileJ = defaultTileJ
+	}
+	for ii := rowLo; ii < rowHi; ii += tileI {
+		iMax := min(ii+tileI, rowHi)
+		for kk := 0; kk < k; kk += tileK {
+			kMax := min(kk+tileK, k)
+			for jj := 0; jj < n; jj += tileJ {
+				jMax := min(jj+tileJ, n)
+				for i := ii; i < iMax; i++ {
+					abase := i * k
+					orow := dst[i*n+jj : i*n+jMax]
+					p := kk
+					for ; p+3 < kMax; p += 4 {
+						a0, a1, a2, a3 := a[abase+p], a[abase+p+1], a[abase+p+2], a[abase+p+3]
+						if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
+							b0 := b[(p+0)*n+jj : (p+0)*n+jMax]
+							b1 := b[(p+1)*n+jj : (p+1)*n+jMax][:len(b0)]
+							b2 := b[(p+2)*n+jj : (p+2)*n+jMax][:len(b0)]
+							b3 := b[(p+3)*n+jj : (p+3)*n+jMax][:len(b0)]
+							for j := range b0 {
+								v := orow[j]
+								v += a0 * b0[j]
+								v += a1 * b1[j]
+								v += a2 * b2[j]
+								v += a3 * b3[j]
+								orow[j] = v
+							}
+						} else {
+							matMulTail(orow, a, b, abase, p, p+4, n, jj, jMax)
+						}
+					}
+					matMulTail(orow, a, b, abase, p, kMax, n, jj, jMax)
+				}
+			}
+		}
+	}
+}
+
+// matMulTail applies the reference per-p accumulation (with the zero
+// skip) for p in [pLo, pHi) against one destination row segment.
+func matMulTail(orow, a, b []float32, abase, pLo, pHi, n, jj, jMax int) {
+	for p := pLo; p < pHi; p++ {
+		av := a[abase+p]
+		if av == 0 {
+			continue
+		}
+		brow := b[p*n+jj : p*n+jMax]
+		for j, bv := range brow {
+			orow[j] += av * bv
+		}
+	}
+}
+
+// Im2ColInto is Im2ColRect writing into a caller-supplied scratch buffer
+// of at least outH*outW*kh*kw*c elements. Out-of-bounds taps are written
+// as explicit zeros, so a dirty reused buffer produces the same bytes as
+// a fresh allocation. Returns the output spatial dimensions.
+func Im2ColInto(dst []float32, x *Tensor, kh, kw, stride, padH, padW int) (int, int, error) {
+	if x.Rank() != 3 {
+		return 0, 0, fmt.Errorf("%w: im2col wants [H W C], got %v", ErrShape, x.shape)
+	}
+	if stride <= 0 || kh <= 0 || kw <= 0 || padH < 0 || padW < 0 {
+		return 0, 0, fmt.Errorf("tensor: bad im2col geometry kh=%d kw=%d stride=%d padH=%d padW=%d", kh, kw, stride, padH, padW)
+	}
+	h, w, c := x.shape[0], x.shape[1], x.shape[2]
+	outH := ConvOutDim(h, kh, stride, padH)
+	outW := ConvOutDim(w, kw, stride, padW)
+	if outH <= 0 || outW <= 0 {
+		return 0, 0, fmt.Errorf("tensor: im2col output collapses: in %v kernel %dx%d stride %d pad %d,%d", x.shape, kh, kw, stride, padH, padW)
+	}
+	rowLen := kh * kw * c
+	if len(dst) < outH*outW*rowLen {
+		return 0, 0, fmt.Errorf("tensor: im2col dst has %d elements, need %d", len(dst), outH*outW*rowLen)
+	}
+	row := 0
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			drow := dst[row*rowLen : (row+1)*rowLen]
+			di := 0
+			for ky := 0; ky < kh; ky++ {
+				iy := oy*stride + ky - padH
+				if iy < 0 || iy >= h {
+					clear(drow[di : di+kw*c])
+					di += kw * c
+					continue
+				}
+				for kx := 0; kx < kw; kx++ {
+					ix := ox*stride + kx - padW
+					if ix < 0 || ix >= w {
+						clear(drow[di : di+c])
+						di += c
+						continue
+					}
+					src := x.Data[(iy*w+ix)*c : (iy*w+ix)*c+c]
+					copy(drow[di:di+c], src)
+					di += c
+				}
+			}
+			row++
+		}
+	}
+	return outH, outW, nil
+}

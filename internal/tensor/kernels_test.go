@@ -1,0 +1,200 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refMatMul is the naive reference ikj kernel the blocked/parallel
+// variants must match bit-for-bit: ascending p, one float32 add per term,
+// zero a-elements skipped.
+func refMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	out := MustNew(m, n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a.Data[i*k+p]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += av * b.Data[p*n+j]
+			}
+		}
+	}
+	return out
+}
+
+// randMat fills a matrix with values where roughly a quarter are exact
+// zeros, exercising the zero-skip paths of both kernels.
+func randMat(rng *rand.Rand, rows, cols int) *Tensor {
+	t := MustNew(rows, cols)
+	for i := range t.Data {
+		if rng.Intn(4) == 0 {
+			continue
+		}
+		t.Data[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+func assertBitIdentical(t *testing.T, got, want *Tensor, label string) {
+	t.Helper()
+	if got.Size() != want.Size() {
+		t.Fatalf("%s: size %d, want %d", label, got.Size(), want.Size())
+	}
+	for i := range want.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%s: element %d = %x, want %x", label,
+				i, math.Float32bits(got.Data[i]), math.Float32bits(want.Data[i]))
+		}
+	}
+}
+
+func TestMatMulIntoTilesBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dims := []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 5, 2}, {17, 9, 33}, {64, 64, 64}, {70, 130, 520},
+	}
+	for _, d := range dims {
+		a := randMat(rng, d.m, d.k)
+		b := randMat(rng, d.k, d.n)
+		want := refMatMul(a, b)
+		tiles := []int{1, 3, 8, 17, d.k, d.k + 5, 0 /* defaults */}
+		for _, ti := range tiles {
+			for _, tk := range tiles {
+				dst := MustNew(d.m, d.n)
+				// Dirty the destination: MatMulInto must zero it.
+				for i := range dst.Data {
+					dst.Data[i] = float32(math.NaN())
+				}
+				if err := MatMulIntoTiles(dst, a, b, ti, tk, tk); err != nil {
+					t.Fatalf("MatMulIntoTiles(%dx%dx%d, tiles %d,%d): %v", d.m, d.k, d.n, ti, tk, err)
+				}
+				assertBitIdentical(t, dst, want, "tiles")
+			}
+		}
+	}
+}
+
+func TestMatMulParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randMat(rng, 37, 53)
+	b := randMat(rng, 53, 29)
+	want := refMatMul(a, b)
+	for _, workers := range []int{1, 2, 4, 64 /* > rows */} {
+		dst := MustNew(37, 29)
+		for i := range dst.Data {
+			dst.Data[i] = -1
+		}
+		if err := MatMulParallel(dst, a, b, workers); err != nil {
+			t.Fatalf("MatMulParallel(workers=%d): %v", workers, err)
+		}
+		assertBitIdentical(t, dst, want, "parallel")
+	}
+}
+
+func TestMatMulMatchesInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randMat(rng, 12, 40)
+	b := randMat(rng, 40, 7)
+	viaAlloc, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, viaAlloc, refMatMul(a, b), "MatMul")
+}
+
+func TestMatMulIntoErrors(t *testing.T) {
+	a := MustNew(2, 3)
+	b := MustNew(3, 4)
+	if err := MatMulInto(MustNew(2, 5), a, b); err == nil {
+		t.Fatal("wrong dst shape accepted")
+	}
+	if err := MatMulInto(MustNew(4, 2), b, a); err == nil {
+		t.Fatal("inner dim mismatch accepted")
+	}
+	sq := MustNew(3, 3)
+	if err := MatMulInto(sq, sq, MustNew(3, 3)); err == nil {
+		t.Fatal("aliased dst accepted")
+	}
+	if err := MatMulParallel(MustNew(2, 5), a, b, 2); err == nil {
+		t.Fatal("parallel wrong dst shape accepted")
+	}
+	if err := MatMulParallel(sq, MustNew(3, 3), sq, 2); err == nil {
+		t.Fatal("parallel aliased dst accepted")
+	}
+}
+
+func TestIm2ColIntoMatchesIm2ColRect(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	cases := []struct{ h, w, c, kh, kw, stride, padH, padW int }{
+		{5, 5, 1, 3, 3, 1, 0, 0},
+		{6, 7, 3, 3, 3, 1, 1, 1},
+		{9, 9, 2, 5, 5, 2, 2, 2},
+		{4, 4, 8, 1, 1, 1, 0, 0},
+		{8, 6, 3, 3, 2, 2, 1, 0},
+	}
+	for _, tc := range cases {
+		x := MustNew(tc.h, tc.w, tc.c)
+		for i := range x.Data {
+			x.Data[i] = float32(rng.NormFloat64())
+		}
+		want, wantOH, wantOW, err := Im2ColRect(x, tc.kh, tc.kw, tc.stride, tc.padH, tc.padW)
+		if err != nil {
+			t.Fatalf("Im2ColRect(%+v): %v", tc, err)
+		}
+		// Dirty scratch: explicit zero-writes must make reuse identical.
+		dst := make([]float32, want.Size())
+		for i := range dst {
+			dst[i] = float32(math.NaN())
+		}
+		oh, ow, err := Im2ColInto(dst, x, tc.kh, tc.kw, tc.stride, tc.padH, tc.padW)
+		if err != nil {
+			t.Fatalf("Im2ColInto(%+v): %v", tc, err)
+		}
+		if oh != wantOH || ow != wantOW {
+			t.Fatalf("Im2ColInto(%+v): out %dx%d, want %dx%d", tc, oh, ow, wantOH, wantOW)
+		}
+		for i := range want.Data {
+			if math.Float32bits(dst[i]) != math.Float32bits(want.Data[i]) {
+				t.Fatalf("Im2ColInto(%+v): element %d = %v, want %v", tc, i, dst[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestIm2ColIntoErrors(t *testing.T) {
+	x := MustNew(5, 5, 2)
+	if _, _, err := Im2ColInto(make([]float32, 4), x, 3, 3, 1, 0, 0); err == nil {
+		t.Fatal("undersized dst accepted")
+	}
+	if _, _, err := Im2ColInto(make([]float32, 1024), x, 3, 3, 0, 0, 0); err == nil {
+		t.Fatal("zero stride accepted")
+	}
+	if _, _, err := Im2ColInto(make([]float32, 1024), MustNew(5, 5), 3, 3, 1, 0, 0); err == nil {
+		t.Fatal("rank-2 input accepted")
+	}
+	if _, _, err := Im2ColInto(make([]float32, 1024), x, 9, 9, 1, 0, 0); err == nil {
+		t.Fatal("collapsing geometry accepted")
+	}
+}
+
+// TestShapeDefensiveCopy pins the fix for Shape() returning the internal
+// slice: callers mutating the returned shape must not corrupt the tensor.
+func TestShapeDefensiveCopy(t *testing.T) {
+	x := MustNew(2, 3, 4)
+	s := x.Shape()
+	s[0], s[1], s[2] = 99, 99, 99
+	if x.Dim(0) != 2 || x.Dim(1) != 3 || x.Dim(2) != 4 {
+		t.Fatalf("mutating Shape() result corrupted dims: %v", x.Shape())
+	}
+	if got := x.At(1, 2, 3); got != x.Data[len(x.Data)-1] {
+		t.Fatalf("indexing broken after Shape() mutation: got %v", got)
+	}
+	y := MustNew(4)
+	if got := y.Shape(); &got[0] == &y.Shape()[0] {
+		t.Fatal("Shape() returned a shared backing array")
+	}
+}

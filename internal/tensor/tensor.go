@@ -56,16 +56,24 @@ func FromSlice(data []float32, shape ...int) (*Tensor, error) {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
-			return nil, fmt.Errorf("tensor: non-positive dimension %d in %v", d, shape)
+			return nil, shapeErr("tensor: non-positive dimension in %v", shape)
 		}
 		n *= d
 	}
 	if n != len(data) {
-		return nil, fmt.Errorf("tensor: %d elements for shape %v (want %d)", len(data), shape, n)
+		return nil, shapeErr(fmt.Sprintf("tensor: %d elements for shape %%v (want %d)", len(data), n), shape)
 	}
 	t := &Tensor{shape: append([]int(nil), shape...), Data: data}
 	t.computeStrides()
 	return t, nil
+}
+
+// shapeErr formats a shape error from a copy of the shape slice. The copy
+// keeps the (rare) error path from leaking the caller's variadic shape
+// argument to the heap, so the zero-allocation fast paths built on
+// FromSlice stay allocation-free.
+func shapeErr(format string, shape []int) error {
+	return fmt.Errorf(format, append([]int(nil), shape...))
 }
 
 func (t *Tensor) computeStrides() {
@@ -77,9 +85,11 @@ func (t *Tensor) computeStrides() {
 	}
 }
 
-// Shape returns the tensor's dimensions. The returned slice must not be
-// modified.
-func (t *Tensor) Shape() []int { return t.shape }
+// Shape returns a copy of the tensor's dimensions. The copy is
+// defensive: mutating it cannot corrupt the tensor's shape/stride
+// bookkeeping. Hot paths that only need single dimensions should use
+// Dim/Rank, which do not allocate.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
 
 // Rank returns the number of dimensions.
 func (t *Tensor) Rank() int { return len(t.shape) }
@@ -223,27 +233,16 @@ func Dot(a, b []float32) float64 {
 var ErrShape = errors.New("tensor: incompatible shapes")
 
 // MatMul multiplies a (m x k) by b (k x n) into a new (m x n) tensor.
-// The inner loop is written ikj-order over the raw slices so the compiler
-// keeps the hot path free of bounds checks and the b row stays in cache.
+// It delegates to the cache-blocked kernel of kernels.go, whose output is
+// bit-identical to the reference ikj loop (per-element accumulation order
+// is preserved; see kernels_test.go).
 func MatMul(a, b *Tensor) (*Tensor, error) {
 	if a.Rank() != 2 || b.Rank() != 2 || a.shape[1] != b.shape[0] {
 		return nil, fmt.Errorf("%w: matmul %v x %v", ErrShape, a.shape, b.shape)
 	}
-	m, k, n := a.shape[0], a.shape[1], b.shape[1]
-	out := MustNew(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j := range brow {
-				orow[j] += av * brow[j]
-			}
-		}
+	out := MustNew(a.shape[0], b.shape[1])
+	if err := MatMulInto(out, a, b); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -272,6 +271,8 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) (*Tensor, int, int, error) {
 
 // Im2ColRect is Im2Col with independent vertical (padH) and horizontal
 // (padW) zero padding, needed by the factorized 1x7/7x1 Inception kernels.
+// It allocates a fresh matrix and delegates to Im2ColInto; hot paths
+// should call Im2ColInto with a reused scratch buffer instead.
 func Im2ColRect(x *Tensor, kh, kw, stride, padH, padW int) (*Tensor, int, int, error) {
 	if x.Rank() != 3 {
 		return nil, 0, 0, fmt.Errorf("%w: im2col wants [H W C], got %v", ErrShape, x.shape)
@@ -286,30 +287,8 @@ func Im2ColRect(x *Tensor, kh, kw, stride, padH, padW int) (*Tensor, int, int, e
 		return nil, 0, 0, fmt.Errorf("tensor: im2col output collapses: in %v kernel %dx%d stride %d pad %d,%d", x.shape, kh, kw, stride, padH, padW)
 	}
 	cols := MustNew(outH*outW, kh*kw*c)
-	row := 0
-	for oy := 0; oy < outH; oy++ {
-		for ox := 0; ox < outW; ox++ {
-			dst := cols.Data[row*kh*kw*c : (row+1)*kh*kw*c]
-			di := 0
-			for ky := 0; ky < kh; ky++ {
-				iy := oy*stride + ky - padH
-				if iy < 0 || iy >= h {
-					di += kw * c // stays zero
-					continue
-				}
-				for kx := 0; kx < kw; kx++ {
-					ix := ox*stride + kx - padW
-					if ix < 0 || ix >= w {
-						di += c
-						continue
-					}
-					src := x.Data[(iy*w+ix)*c : (iy*w+ix)*c+c]
-					copy(dst[di:di+c], src)
-					di += c
-				}
-			}
-			row++
-		}
+	if _, _, err := Im2ColInto(cols.Data, x, kh, kw, stride, padH, padW); err != nil {
+		return nil, 0, 0, err
 	}
 	return cols, outH, outW, nil
 }

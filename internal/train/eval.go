@@ -1,41 +1,93 @@
 package train
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 )
 
+// Batch evaluation is sharded across the deterministic worker pool: the
+// sample range is split into contiguous chunks, each chunk owned by one
+// goroutine with its own scratch Runner over the shared read-only graph.
+// Integer agreement counts are summed exactly; per-probe float scores are
+// written into an index-ordered slice and reduced serially in index
+// order. Together with the bit-identical scratch kernels this makes every
+// result byte-identical for every worker count.
+
+// chunkRange returns the half-open sample range [lo, hi) of chunk w out
+// of `chunks` over n items.
+func chunkRange(n, chunks, w int) (lo, hi int) {
+	size := (n + chunks - 1) / chunks
+	lo = w * size
+	hi = min(lo+size, n)
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
 // Accuracy returns the top-1 accuracy of the network on labelled samples.
 func Accuracy(g *nn.Graph, samples []dataset.Sample) (float64, error) {
-	return TopKAccuracy(g, samples, 1)
+	return TopKAccuracyWorkers(g, samples, 1, 1)
+}
+
+// AccuracyWorkers is Accuracy with the samples sharded over the worker
+// pool (workers <= 0 selects one per CPU). The result is identical for
+// every worker count.
+func AccuracyWorkers(g *nn.Graph, samples []dataset.Sample, workers int) (float64, error) {
+	return TopKAccuracyWorkers(g, samples, 1, workers)
 }
 
 // TopKAccuracy returns the fraction of samples whose true label appears in
 // the network's k highest-scoring classes.
 func TopKAccuracy(g *nn.Graph, samples []dataset.Sample, k int) (float64, error) {
+	return TopKAccuracyWorkers(g, samples, k, 1)
+}
+
+// TopKAccuracyWorkers is TopKAccuracy sharded over the worker pool.
+func TopKAccuracyWorkers(g *nn.Graph, samples []dataset.Sample, k, workers int) (float64, error) {
 	if len(samples) == 0 {
 		return 0, errors.New("train: no samples")
 	}
 	if k <= 0 {
 		return 0, fmt.Errorf("train: non-positive k %d", k)
 	}
-	correct := 0
-	for _, s := range samples {
-		y, err := g.Forward(s.Image)
-		if err != nil {
-			return 0, err
-		}
-		for _, idx := range stats.TopK(y.Float64s(), k) {
-			if idx == s.Label {
-				correct++
-				break
+	workers = parallel.Workers(workers)
+	if workers > len(samples) {
+		workers = len(samples)
+	}
+	counts := make([]int, workers)
+	err := parallel.ForEach(context.Background(), workers, workers, func(_ context.Context, w int) error {
+		lo, hi := chunkRange(len(samples), workers, w)
+		r := g.WithScratch()
+		correct := 0
+		for _, s := range samples[lo:hi] {
+			y, err := r.Forward(s.Image)
+			if err != nil {
+				return err
+			}
+			for _, idx := range stats.TopK(y.Float64s(), k) {
+				if idx == s.Label {
+					correct++
+					break
+				}
 			}
 		}
+		counts[w] = correct
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for _, c := range counts {
+		correct += c
 	}
 	return float64(correct) / float64(len(samples)), nil
 }
@@ -61,8 +113,9 @@ func NewFidelity(g *nn.Graph, probes []*tensor.Tensor, k int) (*Fidelity, error)
 		return nil, fmt.Errorf("train: non-positive k %d", k)
 	}
 	f := &Fidelity{k: k, refTopK: make([][]int, len(probes))}
+	r := g.WithScratch()
 	for i, x := range probes {
-		y, err := g.Forward(x)
+		y, err := r.Forward(x)
 		if err != nil {
 			return nil, err
 		}
@@ -71,25 +124,51 @@ func NewFidelity(g *nn.Graph, probes []*tensor.Tensor, k int) (*Fidelity, error)
 	return f, nil
 }
 
+// top1Agrees reports whether y's top-1 class is in the reference top-k of
+// probe i.
+func (f *Fidelity) top1Agrees(y *tensor.Tensor, i int) bool {
+	top1 := stats.ArgMax(y.Float64s())
+	for _, ref := range f.refTopK[i] {
+		if ref == top1 {
+			return true
+		}
+	}
+	return false
+}
+
+// overlapOf returns the fraction of probe i's reference top-k classes
+// that remain in y's top-k.
+func (f *Fidelity) overlapOf(y *tensor.Tensor, i int) float64 {
+	newTop := stats.TopK(y.Float64s(), f.k)
+	inNew := make(map[int]bool, len(newTop))
+	for _, idx := range newTop {
+		inNew[idx] = true
+	}
+	kept := 0
+	for _, ref := range f.refTopK[i] {
+		if inNew[ref] {
+			kept++
+		}
+	}
+	return float64(kept) / float64(len(f.refTopK[i]))
+}
+
 // Score evaluates the modified network on the same probes and returns the
 // agreement fraction in [0, 1].
 func (f *Fidelity) Score(g *nn.Graph, probes []*tensor.Tensor) (float64, error) {
+	return f.ScoreWorkers(g, probes, 1)
+}
+
+// ScoreWorkers is Score sharded over the worker pool.
+func (f *Fidelity) ScoreWorkers(g *nn.Graph, probes []*tensor.Tensor, workers int) (float64, error) {
 	if len(probes) != len(f.refTopK) {
 		return 0, fmt.Errorf("train: %d probes, reference has %d", len(probes), len(f.refTopK))
 	}
-	agree := 0
-	for i, x := range probes {
-		y, err := g.Forward(x)
-		if err != nil {
-			return 0, err
-		}
-		top1 := stats.ArgMax(y.Float64s())
-		for _, ref := range f.refTopK[i] {
-			if ref == top1 {
-				agree++
-				break
-			}
-		}
+	agree, err := f.countAgree(workers, len(probes), func(r *nn.Runner, i int) (*tensor.Tensor, error) {
+		return r.Forward(probes[i])
+	}, g)
+	if err != nil {
+		return 0, err
 	}
 	return float64(agree) / float64(len(probes)), nil
 }
@@ -100,56 +179,19 @@ func (f *Fidelity) Score(g *nn.Graph, probes []*tensor.Tensor) (float64, error) 
 // prediction inside the reference top-k (where Score saturates at 1),
 // which the sensitivity analysis of Fig. 9 needs.
 func (f *Fidelity) Overlap(g *nn.Graph, probes []*tensor.Tensor) (float64, error) {
+	return f.OverlapWorkers(g, probes, 1)
+}
+
+// OverlapWorkers is Overlap sharded over the worker pool. Per-probe
+// overlap values are collected index-ordered and summed serially, so the
+// float result is byte-identical for every worker count.
+func (f *Fidelity) OverlapWorkers(g *nn.Graph, probes []*tensor.Tensor, workers int) (float64, error) {
 	if len(probes) != len(f.refTopK) {
 		return 0, fmt.Errorf("train: %d probes, reference has %d", len(probes), len(f.refTopK))
 	}
-	var total float64
-	for i, x := range probes {
-		y, err := g.Forward(x)
-		if err != nil {
-			return 0, err
-		}
-		newTop := stats.TopK(y.Float64s(), f.k)
-		inNew := make(map[int]bool, len(newTop))
-		for _, idx := range newTop {
-			inNew[idx] = true
-		}
-		kept := 0
-		for _, ref := range f.refTopK[i] {
-			if inNew[ref] {
-				kept++
-			}
-		}
-		total += float64(kept) / float64(len(f.refTopK[i]))
-	}
-	return total / float64(len(probes)), nil
-}
-
-// OverlapFrom is Overlap using cached prefix activations (see ScoreFrom).
-func (f *Fidelity) OverlapFrom(g *nn.Graph, acts []map[string]*tensor.Tensor, from string) (float64, error) {
-	if len(acts) != len(f.refTopK) {
-		return 0, fmt.Errorf("train: %d cached activations, reference has %d", len(acts), len(f.refTopK))
-	}
-	var total float64
-	for i, a := range acts {
-		y, err := g.ForwardFrom(a, from)
-		if err != nil {
-			return 0, err
-		}
-		newTop := stats.TopK(y.Float64s(), f.k)
-		inNew := make(map[int]bool, len(newTop))
-		for _, idx := range newTop {
-			inNew[idx] = true
-		}
-		kept := 0
-		for _, ref := range f.refTopK[i] {
-			if inNew[ref] {
-				kept++
-			}
-		}
-		total += float64(kept) / float64(len(f.refTopK[i]))
-	}
-	return total / float64(len(f.refTopK)), nil
+	return f.sumOverlap(workers, len(probes), func(r *nn.Runner, i int) (*tensor.Tensor, error) {
+		return r.Forward(probes[i])
+	}, g)
 }
 
 // ScoreFrom is Score using cached prefix activations: acts[i] must be the
@@ -157,22 +199,99 @@ func (f *Fidelity) OverlapFrom(g *nn.Graph, acts []map[string]*tensor.Tensor, fr
 // the first layer whose parameters changed. Only the suffix re-runs, which
 // is what makes the delta sweeps on the very deep models tractable.
 func (f *Fidelity) ScoreFrom(g *nn.Graph, acts []map[string]*tensor.Tensor, from string) (float64, error) {
+	return f.ScoreFromWorkers(g, acts, from, 1)
+}
+
+// ScoreFromWorkers is ScoreFrom sharded over the worker pool.
+func (f *Fidelity) ScoreFromWorkers(g *nn.Graph, acts []map[string]*tensor.Tensor, from string, workers int) (float64, error) {
 	if len(acts) != len(f.refTopK) {
 		return 0, fmt.Errorf("train: %d cached activations, reference has %d", len(acts), len(f.refTopK))
 	}
-	agree := 0
-	for i, a := range acts {
-		y, err := g.ForwardFrom(a, from)
-		if err != nil {
-			return 0, err
-		}
-		top1 := stats.ArgMax(y.Float64s())
-		for _, ref := range f.refTopK[i] {
-			if ref == top1 {
-				agree++
-				break
-			}
-		}
+	agree, err := f.countAgree(workers, len(acts), func(r *nn.Runner, i int) (*tensor.Tensor, error) {
+		return r.ForwardFrom(acts[i], from)
+	}, g)
+	if err != nil {
+		return 0, err
 	}
 	return float64(agree) / float64(len(f.refTopK)), nil
+}
+
+// OverlapFrom is Overlap using cached prefix activations (see ScoreFrom).
+func (f *Fidelity) OverlapFrom(g *nn.Graph, acts []map[string]*tensor.Tensor, from string) (float64, error) {
+	return f.OverlapFromWorkers(g, acts, from, 1)
+}
+
+// OverlapFromWorkers is OverlapFrom sharded over the worker pool.
+func (f *Fidelity) OverlapFromWorkers(g *nn.Graph, acts []map[string]*tensor.Tensor, from string, workers int) (float64, error) {
+	if len(acts) != len(f.refTopK) {
+		return 0, fmt.Errorf("train: %d cached activations, reference has %d", len(acts), len(f.refTopK))
+	}
+	return f.sumOverlap(workers, len(acts), func(r *nn.Runner, i int) (*tensor.Tensor, error) {
+		return r.ForwardFrom(acts[i], from)
+	}, g)
+}
+
+// countAgree shards the probe indices into per-worker chunks, each with
+// its own Runner, and sums the (exact) integer agreement counts.
+func (f *Fidelity) countAgree(workers, n int, eval func(r *nn.Runner, i int) (*tensor.Tensor, error), g *nn.Graph) (int, error) {
+	workers = parallel.Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	counts := make([]int, workers)
+	err := parallel.ForEach(context.Background(), workers, workers, func(_ context.Context, w int) error {
+		lo, hi := chunkRange(n, workers, w)
+		r := g.WithScratch()
+		agree := 0
+		for i := lo; i < hi; i++ {
+			y, err := eval(r, i)
+			if err != nil {
+				return err
+			}
+			if f.top1Agrees(y, i) {
+				agree++
+			}
+		}
+		counts[w] = agree
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	agree := 0
+	for _, c := range counts {
+		agree += c
+	}
+	return agree, nil
+}
+
+// sumOverlap shards the probe indices into per-worker chunks, collects
+// per-probe overlap values index-ordered, and reduces them serially in
+// index order for a worker-count-independent float sum.
+func (f *Fidelity) sumOverlap(workers, n int, eval func(r *nn.Runner, i int) (*tensor.Tensor, error), g *nn.Graph) (float64, error) {
+	workers = parallel.Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	vals := make([]float64, n)
+	err := parallel.ForEach(context.Background(), workers, workers, func(_ context.Context, w int) error {
+		lo, hi := chunkRange(n, workers, w)
+		r := g.WithScratch()
+		for i := lo; i < hi; i++ {
+			y, err := eval(r, i)
+			if err != nil {
+				return err
+			}
+			vals[i] = f.overlapOf(y, i)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, v := range vals {
+		total += v
+	}
+	return total / float64(n), nil
 }

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suites with -benchmem and emit a
+# machine-readable JSON snapshot (iterations, ns/op, B/op, allocs/op and
+# any extra metrics such as MB/s or sim-cycles per benchmark).
+#
+# Usage:
+#   scripts/bench.sh                      # all suites, snapshot to stdout
+#   scripts/bench.sh -o BENCH.json        # write snapshot to a file
+#   scripts/bench.sh -t 2s ./internal/nn  # custom -benchtime and packages
+#
+# Tracking a perf change over time is a two-snapshot diff; for
+# statistically sound comparisons prefer benchstat over raw snapshots:
+#
+#   go test -run '^$' -bench . -benchmem -count 10 ./internal/tensor/ > old.txt
+#   ... apply the change ...
+#   go test -run '^$' -bench . -benchmem -count 10 ./internal/tensor/ > new.txt
+#   benchstat old.txt new.txt
+#
+# (benchstat is golang.org/x/perf/cmd/benchstat; the snapshot JSON needs
+# only the stock toolchain.)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=""
+benchtime="1s"
+while getopts "o:t:" opt; do
+	case "$opt" in
+	o) out="$OPTARG" ;;
+	t) benchtime="$OPTARG" ;;
+	*) exit 2 ;;
+	esac
+done
+shift $((OPTIND - 1))
+
+pkgs=("$@")
+if [ ${#pkgs[@]} -eq 0 ]; then
+	pkgs=(./internal/tensor/ ./internal/nn/ ./internal/core/ ./internal/accel/)
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench . -benchmem -benchtime "$benchtime" "${pkgs[@]}" | tee "$raw" >&2
+
+json="$(awk -v benchtime="$benchtime" '
+function jesc(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return s }
+function metkey(u) { gsub(/\//, "_per_", u); gsub(/[^A-Za-z0-9_]/, "_", u); return u }
+/^goos: /   { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^pkg: /    { pkg = $2 }
+/^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	line = "      \"" jesc(name) "\": {\"iterations\": " $2
+	for (i = 3; i + 1 <= NF; i += 2)
+		line = line ", \"" metkey($(i + 1)) "\": " $i
+	line = line "}"
+	if (pkg in bodies) bodies[pkg] = bodies[pkg] ",\n" line
+	else { bodies[pkg] = line; order[++npkg] = pkg }
+}
+END {
+	printf "{\n"
+	printf "  \"goos\": \"%s\",\n", jesc(goos)
+	printf "  \"goarch\": \"%s\",\n", jesc(goarch)
+	printf "  \"cpu\": \"%s\",\n", jesc(cpu)
+	printf "  \"benchtime\": \"%s\",\n", jesc(benchtime)
+	printf "  \"suites\": {\n"
+	for (p = 1; p <= npkg; p++) {
+		printf "    \"%s\": {\n%s\n    }", jesc(order[p]), bodies[order[p]]
+		printf p < npkg ? ",\n" : "\n"
+	}
+	printf "  }\n}\n"
+}' "$raw")"
+
+if [ -n "$out" ]; then
+	printf '%s\n' "$json" > "$out"
+	echo "wrote $out" >&2
+else
+	printf '%s\n' "$json"
+fi

@@ -15,9 +15,12 @@ echo "== go vet ./..."
 go vet ./...
 
 echo "== go test $* ./..."
-go test "$@" ./...
+go test -timeout 30m "$@" ./...
 
+# The race run needs a raised per-package timeout: the detector's 5-20x
+# slowdown puts internal/experiments past go test's default 10m on
+# low-core machines.
 echo "== go test -race $* ./..."
-go test -race "$@" ./...
+go test -race -timeout 60m "$@" ./...
 
 echo "verify.sh: all checks passed"
