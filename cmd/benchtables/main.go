@@ -6,25 +6,33 @@
 //
 // Usage:
 //
-//	benchtables -experiment all|table1|table2|table3|fig2|fig3|fig9|fig10 \
+//	benchtables -experiment all|table1|table2|table3|fig2|fig3|fig9|fig10|faults \
 //	            [-models LeNet-5,AlexNet,...] [-probes 8] [-seed 2020] \
-//	            [-epochs 10] [-samples 2000] [-fast] [-workers N]
+//	            [-epochs 10] [-samples 2000] [-fast] [-workers N] \
+//	            [-timeout 30m] [-checkpoint run.json]
 //
 // Independent work items (models, sweep points, accelerator layers) run
 // on -workers goroutines; results are collected by index, so the output
 // is byte-identical for every worker count.
+//
+// -timeout bounds the whole run with a context deadline; -checkpoint
+// records completed experiments in a JSON file so an interrupted -all
+// run resumes where it stopped instead of redoing finished work.
 //
 // The large models (VGG-16, Inception-v3, ResNet50) take minutes and
 // hundreds of megabytes each; use -models to restrict a run.
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -61,6 +69,59 @@ func writeCSV(name string, header []string, rows [][]string) error {
 
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
 
+// checkpointFile tracks which experiments of an -experiment=all run have
+// completed, as a sorted JSON name list, so an interrupted run resumes.
+type checkpointFile struct {
+	path string
+	done map[string]bool
+}
+
+// loadCheckpoint reads the done-set (a missing file is an empty set).
+func loadCheckpoint(path string) (*checkpointFile, error) {
+	cp := &checkpointFile{path: path, done: map[string]bool{}}
+	if path == "" {
+		return cp, nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return cp, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	if err := json.Unmarshal(data, &names); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	for _, n := range names {
+		cp.done[n] = true
+	}
+	return cp, nil
+}
+
+// mark records one completed experiment and persists the set atomically
+// (write-to-temp, rename), so a crash mid-write cannot corrupt it.
+func (cp *checkpointFile) mark(name string) error {
+	cp.done[name] = true
+	if cp.path == "" {
+		return nil
+	}
+	names := make([]string, 0, len(cp.done))
+	for n := range cp.done {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	data, err := json.MarshalIndent(names, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := cp.path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, cp.path)
+}
+
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "which table/figure to regenerate")
@@ -72,6 +133,8 @@ func main() {
 		fast       = flag.Bool("fast", false, "LeNet-scale smoke run")
 		csvOut     = flag.String("csv", "", "also write machine-readable CSVs to this directory")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent workers (output is identical for any value)")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
+		checkpoint = flag.String("checkpoint", "", "JSON file recording completed experiments; -experiment all skips them on resume")
 	)
 	flag.Parse()
 	csvDir = *csvOut
@@ -90,6 +153,11 @@ func main() {
 		opts.Models = strings.Split(*modelsFlag, ",")
 	}
 	opts.Workers = *workers
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Context = ctx
+	}
 
 	runners := map[string]func(experiments.Options) error{
 		"table1": runTable1,
@@ -99,12 +167,24 @@ func main() {
 		"fig3":   runFig3,
 		"fig9":   runFig9,
 		"fig10":  runFig10,
+		"faults": runFaults,
 	}
-	order := []string{"table1", "table2", "fig2", "fig3", "fig9", "fig10", "table3"}
+	order := []string{"table1", "table2", "fig2", "fig3", "fig9", "fig10", "table3", "faults"}
 
 	if *experiment == "all" {
+		cp, err := loadCheckpoint(*checkpoint)
+		if err != nil {
+			fatal(err)
+		}
 		for _, name := range order {
+			if cp.done[name] {
+				fmt.Printf("\n=== %s: done (checkpointed), skipping ===\n", name)
+				continue
+			}
 			if err := runners[name](opts); err != nil {
+				fatal(err)
+			}
+			if err := cp.mark(name); err != nil {
 				fatal(err)
 			}
 		}
@@ -303,4 +383,25 @@ func runFig10(opts experiments.Options) error {
 	}
 	return writeCSV("fig10", []string{"model", "config", "delta_pct", "accuracy", "cycles",
 		"latency_norm", "energy_norm", "e_main", "e_comm", "e_comp", "e_local"}, recs)
+}
+
+func runFaults(opts experiments.Options) error {
+	rows, err := experiments.FaultSweep(opts)
+	if err != nil {
+		return err
+	}
+	header("Fault sweep: accuracy vs DRAM word-flip rate, raw vs compressed stream")
+	fmt.Printf("%-14s %-10s %9s %6s %9s %7s %9s %9s %9s\n",
+		"model", "stream", "rate", "delta", "words", "flips", "detected", "baseline", "accuracy")
+	var recs [][]string
+	for _, r := range rows {
+		fmt.Printf("%-14s %-10s %9.2g %5.0f%% %9d %7d %9d %9.4f %9.4f\n",
+			r.Model, r.Stream, r.Rate, r.DeltaPct, r.Words, r.Flips, r.Detected,
+			r.Baseline, r.Accuracy)
+		recs = append(recs, []string{r.Model, r.Stream, ftoa(r.Rate), ftoa(r.DeltaPct),
+			strconv.Itoa(r.Words), strconv.Itoa(r.Flips), strconv.Itoa(r.Detected),
+			ftoa(r.Baseline), ftoa(r.Accuracy)})
+	}
+	return writeCSV("faults", []string{"model", "stream", "rate", "delta_pct",
+		"words", "flips", "detected", "baseline", "accuracy"}, recs)
 }

@@ -19,6 +19,7 @@ func TestByteIdenticalAcrossWorkers(t *testing.T) {
 		"table2": runTable2,
 		"fig2":   runFig2,
 		"fig3":   runFig3,
+		"faults": runFaults,
 	}
 	for name, run := range runners {
 		t.Run(name, func(t *testing.T) {
@@ -85,4 +86,47 @@ func captureOutput(t *testing.T, run func(experiments.Options) error, opts exper
 		files[e.Name()] = data
 	}
 	return out, files
+}
+
+// TestCheckpointRoundTrip: marked experiments persist and reload; a
+// missing file is an empty set; corruption is reported, not ignored.
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	cp, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.done) != 0 {
+		t.Fatalf("fresh checkpoint not empty: %v", cp.done)
+	}
+	for _, name := range []string{"table1", "fig2"} {
+		if err := cp.mark(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.done["table1"] || !re.done["fig2"] || len(re.done) != 2 {
+		t.Fatalf("reloaded set %v, want {table1, fig2}", re.done)
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCheckpoint(path); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+
+	// The empty path disables persistence but still tracks in memory.
+	mem, err := loadCheckpoint("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.mark("fig3"); err != nil {
+		t.Fatal(err)
+	}
+	if !mem.done["fig3"] {
+		t.Fatal("in-memory mark lost")
+	}
 }

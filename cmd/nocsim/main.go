@@ -7,23 +7,49 @@
 //	nocsim -model LeNet-5                 # original network
 //	nocsim -model LeNet-5 -delta 15       # compressed selected layer
 //	nocsim -model AlexNet -delta 20 -layers
+//	nocsim -model LeNet-5 -link-fault-rate 1e-4 -retries 8
+//	nocsim -model LeNet-5 -dead-links 5-6,6-5
 //
 // Layers are simulated concurrently on -workers goroutines; the results
 // are collected in layer order, so every worker count prints the same
 // numbers.
+//
+// The fault flags inject deterministic transient link corruption
+// (recovered by checksum-triggered retransmission, whose traffic shows
+// up in the latency/energy totals) and stuck-at dead links (avoided at
+// route time). -timeout bounds the whole run with a context deadline.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"repro/internal/accel"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/models"
 	"repro/internal/nn"
 )
+
+// parseDeadLinks parses "5-6,6-5" into unidirectional link pairs.
+func parseDeadLinks(s string) ([]faults.Link, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var links []faults.Link
+	for _, part := range strings.Split(s, ",") {
+		var l faults.Link
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d-%d", &l.From, &l.To); err != nil {
+			return nil, fmt.Errorf("bad dead link %q (want from-to)", part)
+		}
+		links = append(links, l)
+	}
+	return links, nil
+}
 
 func main() {
 	var (
@@ -33,6 +59,11 @@ func main() {
 		weights   = flag.String("weights", "", "load trained weights (.nnwt from cmd/trainer)")
 		perLayer  = flag.Bool("layers", false, "print per-layer results")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent layer simulations (output is identical for any value)")
+		timeout   = flag.Duration("timeout", 0, "abort the simulation after this long (0 = no deadline)")
+		faultSeed = flag.Int64("fault-seed", 2020, "seed for the deterministic fault injector")
+		linkRate  = flag.Float64("link-fault-rate", 0, "per-link-traversal flit corruption probability")
+		deadLinks = flag.String("dead-links", "", "comma-separated stuck-at links, e.g. 5-6,6-5")
+		retries   = flag.Int("retries", 0, "retransmission budget per packet (0 = default)")
 	)
 	flag.Parse()
 
@@ -73,12 +104,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sim, err := accel.NewSimulator(accel.DefaultConfig())
+	cfg := accel.DefaultConfig()
+	dead, err := parseDeadLinks(*deadLinks)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Mesh.Faults = faults.Model{
+		Seed:         *faultSeed,
+		LinkFlitRate: *linkRate,
+		DeadLinks:    dead,
+	}
+	cfg.Mesh.MaxRetries = *retries
+	sim, err := accel.NewSimulator(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	sim.SetWorkers(*workers)
-	res, err := sim.SimulateModel(m.Name, specs)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := sim.SimulateModelContext(ctx, m.Name, specs)
 	if err != nil {
 		fatal(err)
 	}
@@ -99,6 +147,10 @@ func main() {
 	fmt.Printf("traffic: DRAM %d+%d words, %d flits, %d flit-hops\n",
 		res.Traffic.DRAMReadWords, res.Traffic.DRAMWriteWords,
 		res.Traffic.NoCFlits, res.Traffic.FlitHops)
+	if cfg.Mesh.Faults.Enabled() {
+		fmt.Printf("faults:  %d corrupted flits, %d packets retransmitted (all recovered)\n",
+			res.Traffic.CorruptFlits, res.Traffic.Retransmits)
+	}
 	if *perLayer {
 		fmt.Printf("\n%-16s %-6s %-5s %12s %8s %10s\n", "layer", "kind", "flow", "cycles", "rounds", "energy(uJ)")
 		for _, l := range res.Layers {

@@ -1,0 +1,126 @@
+package accel
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+func faultSpec() LayerSpec {
+	return LayerSpec{
+		Name: "fc", Kind: "FC",
+		MACs: 100_000, WeightBytes: 400_000, InputBytes: 4000, OutputBytes: 400,
+	}
+}
+
+// TestLayerZeroRateFaultsIdentical: a fault model with all rates zero
+// must reproduce the fault-free layer result exactly (the acceptance
+// criterion behind byte-identical rate-0 CSVs).
+func TestLayerZeroRateFaultsIdentical(t *testing.T) {
+	base, err := defaultSim(t).SimulateLayer(faultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Mesh.Faults = faults.Model{Seed: 4242}
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.SimulateLayer(faultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles != got.Cycles || base.Traffic != got.Traffic ||
+		base.Latency != got.Latency || base.Energy != got.Energy {
+		t.Errorf("zero-rate fault run diverged:\nbase  %+v\nfault %+v", base, got)
+	}
+}
+
+// TestLayerLinkFaultsSurfaceRecoveryCost: at 1e-3 the layer still
+// completes, the retransmissions show up in Traffic, and the recovery
+// costs cycles relative to the fault-free run.
+func TestLayerLinkFaultsSurfaceRecoveryCost(t *testing.T) {
+	base, err := defaultSim(t).SimulateLayer(faultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Mesh.Faults = faults.Model{Seed: 17, LinkFlitRate: 1e-3}
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.SimulateLayer(faultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Traffic.CorruptFlits == 0 || got.Traffic.Retransmits == 0 {
+		t.Errorf("fault activity not surfaced: %+v", got.Traffic)
+	}
+	if got.Cycles <= base.Cycles {
+		t.Errorf("recovery cost no cycles: %d vs %d", got.Cycles, base.Cycles)
+	}
+	if got.Energy.CommDyn <= base.Energy.CommDyn {
+		t.Errorf("retransmission traffic not in comm energy: %v vs %v",
+			got.Energy.CommDyn, base.Energy.CommDyn)
+	}
+	// Determinism: the same (seed, rate) reproduces the result exactly.
+	again, err := sim.SimulateLayer(faultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != again.Cycles || got.Traffic != again.Traffic {
+		t.Error("fault run not reproducible")
+	}
+}
+
+// TestLayerDataLossFailsFast: a PE cut off by dead links means fetch
+// data can never arrive; the simulation must return ErrDataLoss instead
+// of spinning to the cycle cap.
+func TestLayerDataLossFailsFast(t *testing.T) {
+	cfg := DefaultConfig()
+	// Node 5 is a PE (corners are memory interfaces). Cut every inbound link.
+	cfg.Mesh.Faults = faults.Model{DeadLinks: []faults.Link{
+		{From: 1, To: 5}, {From: 4, To: 5}, {From: 6, To: 5}, {From: 9, To: 5},
+	}}
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = sim.SimulateLayer(faultSpec())
+	if !errors.Is(err, ErrDataLoss) {
+		t.Fatalf("expected ErrDataLoss, got %v", err)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Error("data loss detection was not fast")
+	}
+}
+
+// TestSimulateModelContextCanceled: a canceled context aborts the model
+// run with ctx's error.
+func TestSimulateModelContextCanceled(t *testing.T) {
+	sim := defaultSim(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sim.SimulateModelContext(ctx, "m", []LayerSpec{faultSpec()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+}
+
+// TestSimulateLayerContextDeadline: an already-expired deadline stops a
+// layer mid-simulation.
+func TestSimulateLayerContextDeadline(t *testing.T) {
+	sim := defaultSim(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := sim.SimulateLayerContext(ctx, faultSpec())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected context.DeadlineExceeded, got %v", err)
+	}
+}

@@ -71,13 +71,19 @@ func (l *LatencyBreakdown) scale(f float64) {
 	l.Computation = uint64(float64(l.Computation) * f)
 }
 
-// Traffic counts the data movement of a layer or model run.
+// Traffic counts the data movement of a layer or model run. Under fault
+// injection the flit and hop counters include retransmission traffic, so
+// the recovery overhead flows into the communication energy and latency
+// exactly like first-attempt traffic; CorruptFlits and Retransmits break
+// out how much of it was recovery.
 type Traffic struct {
 	DRAMReadWords  uint64
 	DRAMWriteWords uint64
 	NoCFlits       uint64
 	FlitHops       uint64 // router traversals
 	LinkHops       uint64
+	CorruptFlits   uint64 // transient link faults detected by checksums
+	Retransmits    uint64 // packets re-sent end to end after a NACK
 }
 
 func (t *Traffic) add(o Traffic) {
@@ -86,6 +92,8 @@ func (t *Traffic) add(o Traffic) {
 	t.NoCFlits += o.NoCFlits
 	t.FlitHops += o.FlitHops
 	t.LinkHops += o.LinkHops
+	t.CorruptFlits += o.CorruptFlits
+	t.Retransmits += o.Retransmits
 }
 
 func (t *Traffic) scale(f float64) {
@@ -94,6 +102,8 @@ func (t *Traffic) scale(f float64) {
 	t.NoCFlits = uint64(float64(t.NoCFlits) * f)
 	t.FlitHops = uint64(float64(t.FlitHops) * f)
 	t.LinkHops = uint64(float64(t.LinkHops) * f)
+	t.CorruptFlits = uint64(float64(t.CorruptFlits) * f)
+	t.Retransmits = uint64(float64(t.Retransmits) * f)
 }
 
 // LayerResult is the simulation outcome of one layer.

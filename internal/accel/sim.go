@@ -2,12 +2,19 @@ package accel
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/noc"
 	"repro/internal/parallel"
 )
+
+// ErrDataLoss reports that injected faults permanently dropped NoC
+// packets (retry budget exhausted or destination unroutable), so the
+// layer's dataflow can never complete. Callers detect it with
+// errors.Is and treat the configuration as failed rather than hung.
+var ErrDataLoss = errors.New("accel: packets permanently lost to faults")
 
 // Simulator executes layer specs on the accelerator platform.
 //
@@ -48,12 +55,19 @@ func (s *Simulator) SetWorkers(n int) { s.workers = parallel.Workers(n) }
 // collected by layer index, making the aggregate identical to a serial
 // run regardless of worker count.
 func (s *Simulator) SimulateModel(modelName string, specs []LayerSpec) (*Result, error) {
+	return s.SimulateModelContext(context.Background(), modelName, specs)
+}
+
+// SimulateModelContext is SimulateModel bounded by a context: layer
+// simulations poll ctx and abandon the run promptly when it is canceled
+// or its deadline passes.
+func (s *Simulator) SimulateModelContext(ctx context.Context, modelName string, specs []LayerSpec) (*Result, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("accel: no layer specs")
 	}
-	layers, err := parallel.Map(context.Background(), s.workers, len(specs),
-		func(_ context.Context, i int) (LayerResult, error) {
-			lr, err := s.SimulateLayer(specs[i])
+	layers, err := parallel.Map(ctx, s.workers, len(specs),
+		func(ctx context.Context, i int) (LayerResult, error) {
+			lr, err := s.SimulateLayerContext(ctx, specs[i])
 			if err != nil {
 				return LayerResult{}, fmt.Errorf("accel: layer %q: %w", specs[i].Name, err)
 			}
@@ -238,6 +252,13 @@ func (s *Simulator) geometry(spec LayerSpec) layerGeometry {
 // SimulateLayer runs one layer cycle-accurately for up to MaxSimRounds
 // tiling rounds and extrapolates the steady state to the full round count.
 func (s *Simulator) SimulateLayer(spec LayerSpec) (LayerResult, error) {
+	return s.SimulateLayerContext(context.Background(), spec)
+}
+
+// SimulateLayerContext is SimulateLayer bounded by a context, polled
+// every few thousand simulated cycles so a deadline or cancellation
+// interrupts even a degenerate configuration mid-layer.
+func (s *Simulator) SimulateLayerContext(ctx context.Context, spec LayerSpec) (LayerResult, error) {
 	if err := spec.Validate(); err != nil {
 		return LayerResult{}, err
 	}
@@ -347,6 +368,16 @@ func (s *Simulator) SimulateLayer(spec LayerSpec) (LayerResult, error) {
 		now := nw.Cycle()
 		if now > maxLayerCycle {
 			return LayerResult{}, fmt.Errorf("accel: layer %q exceeded %d cycles", spec.Name, maxLayerCycle)
+		}
+		if now&0xfff == 0 {
+			if err := ctx.Err(); err != nil {
+				return LayerResult{}, err
+			}
+		}
+		// Fail fast on permanent packet loss: the dataflow waits on data
+		// that will never arrive, so the layer can only time out.
+		if dropped := nw.DroppedPackets(); dropped > 0 {
+			return LayerResult{}, fmt.Errorf("%w (%d packets)", ErrDataLoss, dropped)
 		}
 
 		memBusy := false
@@ -473,6 +504,8 @@ func (s *Simulator) SimulateLayer(spec LayerSpec) (LayerResult, error) {
 	traffic.LinkHops = st.LinkTraverse
 	traffic.DRAMReadWords = dramReadWords
 	traffic.DRAMWriteWords = dramWriteWords
+	traffic.CorruptFlits = st.CorruptFlits
+	traffic.Retransmits = st.RetransmittedPackets
 	traffic.scale(scale)
 	lat.scale(scale)
 	cycles := uint64(float64(simCycles) * scale)

@@ -52,6 +52,65 @@ func FuzzRLEDecode(f *testing.F) {
 	})
 }
 
+// FuzzHuffmanRoundTrip: the materialized codec must invert itself on
+// arbitrary data.
+func FuzzHuffmanRoundTrip(f *testing.F) {
+	f.Add([]byte("the quick brown fox"))
+	f.Add([]byte{0})
+	f.Add(bytes.Repeat([]byte{7}, 300))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		enc, err := HuffmanEncode(data)
+		if err != nil {
+			t.Fatalf("encode failed: %v", err)
+		}
+		dec, err := HuffmanDecode(enc)
+		if err != nil {
+			t.Fatalf("decode failed: %v", err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzHuffmanDecode hammers the decoder with arbitrary streams: it must
+// never panic, and whatever it accepts must re-encode losslessly. The
+// 8-bits-per-symbol cap bounds allocation for corrupted count fields.
+func FuzzHuffmanDecode(f *testing.F) {
+	good, _ := HuffmanEncode([]byte("seed corpus entry"))
+	f.Add(good)
+	if len(good) > 4 {
+		mut := append([]byte(nil), good...)
+		mut[0] ^= 0xFF // corrupt declared count
+		f.Add(mut)
+		mut = append([]byte(nil), good...)
+		mut[10] ^= 0x3F // corrupt the length table
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, huffHeaderBytes))
+	f.Fuzz(func(t *testing.T, enc []byte) {
+		dec, err := HuffmanDecode(enc)
+		if err != nil {
+			return
+		}
+		if len(dec) == 0 {
+			return
+		}
+		re, err := HuffmanEncode(dec)
+		if err != nil {
+			t.Fatalf("re-encode of accepted stream failed: %v", err)
+		}
+		back, err := HuffmanDecode(re)
+		if err != nil || !bytes.Equal(back, dec) {
+			t.Fatal("canonical re-encode round trip failed")
+		}
+	})
+}
+
 // FuzzHuffman must never panic and must respect the entropy bound.
 func FuzzHuffman(f *testing.F) {
 	f.Add([]byte("the quick brown fox"))

@@ -1,0 +1,189 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Materialized Huffman stream layout (little endian):
+//
+//	count   uint32   number of original symbols
+//	lengths [256]byte canonical code length per byte symbol (0 = unused)
+//	payload bit-packed canonical codes, MSB first within each byte
+//
+// The codec exists so the baseline is testable end to end (and fuzzable
+// against corrupted streams); the compression-ratio accounting used by
+// the experiments is HuffmanCompressedBits, which charges the same
+// 256-byte table.
+
+const huffHeaderBytes = 4 + 256
+
+var errInvalidHuffman = errInvalid("baseline: invalid Huffman stream")
+
+// canonicalCodes assigns canonical codes (sorted by length, then symbol)
+// to the given code lengths. Returns the per-symbol code values and the
+// maximum length.
+func canonicalCodes(lengths *[256]int) (codes [256]uint64, maxLen int) {
+	type sl struct{ sym, l int }
+	var order []sl
+	for s, l := range lengths {
+		if l > 0 {
+			order = append(order, sl{s, l})
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].l != order[j].l {
+			return order[i].l < order[j].l
+		}
+		return order[i].sym < order[j].sym
+	})
+	code := uint64(0)
+	prev := 0
+	for _, e := range order {
+		code <<= uint(e.l - prev)
+		prev = e.l
+		codes[e.sym] = code
+		code++
+	}
+	return codes, maxLen
+}
+
+// HuffmanEncode materializes the Huffman coding of data as a
+// self-describing stream decodable by HuffmanDecode.
+func HuffmanEncode(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, ErrEmpty
+	}
+	if uint64(len(data)) > 1<<32-1 {
+		return nil, fmt.Errorf("baseline: input of %d bytes exceeds the 32-bit header", len(data))
+	}
+	lengths, err := HuffmanCodeLengths(data)
+	if err != nil {
+		return nil, err
+	}
+	codes, _ := canonicalCodes(&lengths)
+	out := make([]byte, huffHeaderBytes, huffHeaderBytes+len(data)/2)
+	binary.LittleEndian.PutUint32(out[:4], uint32(len(data)))
+	for s, l := range lengths {
+		out[4+s] = byte(l)
+	}
+	var acc uint64
+	var nbits int
+	for _, b := range data {
+		l := lengths[b]
+		acc = acc<<uint(l) | codes[b]
+		nbits += l
+		for nbits >= 8 {
+			nbits -= 8
+			out = append(out, byte(acc>>uint(nbits)))
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc<<uint(8-nbits)))
+	}
+	return out, nil
+}
+
+// HuffmanDecode inverts HuffmanEncode. Corrupted streams yield an error,
+// never a panic, and the output allocation is bounded by the payload
+// size (every symbol costs at least one payload bit).
+func HuffmanDecode(enc []byte) ([]byte, error) {
+	if len(enc) < huffHeaderBytes {
+		return nil, errInvalidHuffman
+	}
+	count := int(binary.LittleEndian.Uint32(enc[:4]))
+	payload := enc[huffHeaderBytes:]
+	// Allocation cap: a corrupt count cannot exceed one symbol per
+	// payload bit, so the output is at most 8x the input size.
+	if count > 8*len(payload) {
+		return nil, errInvalidHuffman
+	}
+	var lengths [256]int
+	used, kraft := 0, uint64(0)
+	const kraftOne = 1 << 62 // sum of 2^(62-l) for a complete code
+	oversub := false
+	maxLen := 0
+	for s := 0; s < 256; s++ {
+		l := int(enc[4+s])
+		if l > 62 {
+			return nil, errInvalidHuffman
+		}
+		lengths[s] = l
+		if l > 0 {
+			used++
+			// Checked per addition: kraft stays <= kraftOne, so one more
+			// term (at most 2^61) cannot overflow uint64.
+			if kraft += 1 << uint(62-l); kraft > kraftOne {
+				oversub = true
+				kraft = kraftOne
+			}
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+	}
+	if count == 0 {
+		return []byte{}, nil
+	}
+	switch {
+	case used == 0:
+		return nil, errInvalidHuffman
+	case used == 1:
+		// Degenerate single-symbol table (one bit per symbol by
+		// convention); over-long Kraft sums are fine here.
+	case oversub:
+		return nil, errInvalidHuffman // over-subscribed code, ambiguous
+	}
+
+	// Canonical decode tables: symbols sorted by (length, symbol), the
+	// first code and first symbol index of every length.
+	var numl [63]int
+	for _, l := range lengths {
+		if l > 0 {
+			numl[l]++
+		}
+	}
+	syms := make([]byte, 0, used)
+	for l := 1; l <= maxLen; l++ {
+		for s := 0; s < 256; s++ {
+			if lengths[s] == l {
+				syms = append(syms, byte(s))
+			}
+		}
+	}
+	var firstCode [63]uint64
+	var firstSym [63]int
+	code, symIdx := uint64(0), 0
+	for l := 1; l <= maxLen; l++ {
+		code <<= 1
+		firstCode[l] = code
+		firstSym[l] = symIdx
+		code += uint64(numl[l])
+		symIdx += numl[l]
+	}
+
+	out := make([]byte, 0, count)
+	var acc uint64
+	l := 0
+	for _, b := range payload {
+		for bit := 7; bit >= 0; bit-- {
+			acc = acc<<1 | uint64(b>>uint(bit)&1)
+			l++
+			if l > maxLen {
+				return nil, errInvalidHuffman
+			}
+			if idx := acc - firstCode[l]; numl[l] > 0 && acc >= firstCode[l] && idx < uint64(numl[l]) {
+				out = append(out, syms[firstSym[l]+int(idx)])
+				if len(out) == count {
+					return out, nil // remaining bits are padding
+				}
+				acc, l = 0, 0
+			}
+		}
+	}
+	return nil, errInvalidHuffman // payload exhausted before count symbols
+}

@@ -1,0 +1,88 @@
+package baseline
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestHuffmanCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	weights := make([]byte, 4096)
+	rng.Read(weights)
+	cases := [][]byte{
+		[]byte("abracadabra"),
+		[]byte("the quick brown fox jumps over the lazy dog"),
+		bytes.Repeat([]byte{42}, 1000), // single symbol
+		{0},
+		weights, // high-entropy stream
+	}
+	for _, data := range cases {
+		enc, err := HuffmanEncode(data)
+		if err != nil {
+			t.Fatalf("encode %d bytes: %v", len(data), err)
+		}
+		dec, err := HuffmanDecode(enc)
+		if err != nil {
+			t.Fatalf("decode %d bytes: %v", len(enc), err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("round trip mismatch for %d-byte input", len(data))
+		}
+	}
+	if _, err := HuffmanEncode(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+// TestHuffmanCodecMatchesAccounting: the payload of the materialized
+// stream must match HuffmanCompressedBits' analytic size.
+func TestHuffmanCodecMatchesAccounting(t *testing.T) {
+	data := []byte("abracadabra alakazam")
+	enc, err := HuffmanEncode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := HuffmanCompressedBits(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloadBytes := len(enc) - huffHeaderBytes
+	wantBytes := int((bits - 256*8 + 7) / 8)
+	if payloadBytes != wantBytes {
+		t.Errorf("payload %d bytes, accounting says %d", payloadBytes, wantBytes)
+	}
+}
+
+func TestHuffmanDecodeRejectsCorruption(t *testing.T) {
+	enc, err := HuffmanEncode([]byte("some perfectly ordinary data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     enc[:huffHeaderBytes-1],
+		"truncated": enc[:len(enc)-1],
+	}
+	over := append([]byte(nil), enc...)
+	over[0], over[1] = 0xFF, 0xFF // count far beyond the payload
+	cases["huge count"] = over
+	tbl := append([]byte(nil), enc...)
+	for i := 4; i < huffHeaderBytes; i++ {
+		tbl[i] = 1 // 256 one-bit codes: Kraft-oversubscribed
+	}
+	cases["oversubscribed table"] = tbl
+	zero := append([]byte(nil), enc...)
+	for i := 4; i < huffHeaderBytes; i++ {
+		zero[i] = 0 // no codes at all, yet count > 0
+	}
+	cases["empty table"] = zero
+	long := append([]byte(nil), enc...)
+	long[4] = 200 // code length beyond the 62-bit decoder bound
+	cases["oversized length"] = long
+	for name, c := range cases {
+		if _, err := HuffmanDecode(c); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

@@ -58,12 +58,18 @@ func RLEDecode(enc []byte) ([]byte, error) {
 	if len(enc)%2 != 0 {
 		return nil, errInvalidRLE
 	}
-	var out []byte
+	// Validate and size in one pass, so the output is allocated exactly
+	// once at its true size (bounded by 255/2 x the input).
+	total := 0
 	for i := 0; i < len(enc); i += 2 {
-		count, val := int(enc[i]), enc[i+1]
-		if count == 0 {
+		if enc[i] == 0 {
 			return nil, errInvalidRLE
 		}
+		total += int(enc[i])
+	}
+	out := make([]byte, 0, total)
+	for i := 0; i < len(enc); i += 2 {
+		count, val := int(enc[i]), enc[i+1]
 		for k := 0; k < count; k++ {
 			out = append(out, val)
 		}

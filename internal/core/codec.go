@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
@@ -16,22 +17,51 @@ import (
 //	n       uint32   original parameter count
 //	delta   float64  absolute tolerance used
 //	nseg    uint32   segment count
-//	nseg x { m float32, q float32, len uint32 }
+//	hcrc    uint32   (v2) CRC32-IEEE over version..nseg
+//	nseg x {
+//	    m float32, q float32, len uint32
+//	    crc uint32   (v2) CRC32-IEEE over uint32(index) || m || q || len
+//	}
 //
-// This is the archival format used by cmd/compress; the hardware storage
-// accounting for compression ratios is StorageModel, not this layout.
+// Version 2 adds the header checksum and a per-segment CRC32 keyed by the
+// segment index, so a corrupted, truncated or reordered stream is
+// detected with ErrChecksum instead of silently regenerating garbage
+// weights. Version 1 streams (no checksums) are still read; writes
+// always produce version 2. This is the archival format used by
+// cmd/compress; the hardware storage accounting for compression ratios
+// is StorageModel, not this layout.
 var magic = [4]byte{'N', 'C', 'W', 'C'}
 
-const codecVersion uint16 = 1
+const (
+	codecVersion1 uint16 = 1
+	codecVersion  uint16 = 2
+	headerBytes          = 2 + 4 + 8 + 4 // version + n + delta + nseg
+	segBytesV1           = 12
+	segBytesV2           = 16
+	// maxSegPrealloc caps the Segment allocation made before any segment
+	// record has been read, so a corrupt count field cannot demand
+	// gigabytes up front; the slice grows by append past this.
+	maxSegPrealloc = 1 << 16
+)
 
 // Codec errors.
 var (
 	ErrBadMagic   = errors.New("core: bad magic, not a compressed weight stream")
 	ErrBadVersion = errors.New("core: unsupported codec version")
 	ErrCorrupt    = errors.New("core: corrupt compressed stream")
+	ErrChecksum   = errors.New("core: checksum mismatch, corrupted stream")
 )
 
-// WriteTo serializes the compressed succession to w.
+// segCRC returns the CRC32 protecting segment record rec at the given
+// stream position. Folding the index in catches reordered records whose
+// bytes are individually intact.
+func segCRC(index uint32, rec []byte) uint32 {
+	var idx [4]byte
+	binary.LittleEndian.PutUint32(idx[:], index)
+	return crc32.Update(crc32.ChecksumIEEE(idx[:]), crc32.IEEETable, rec)
+}
+
+// WriteTo serializes the compressed succession to w (always version 2).
 func (c *Compressed) WriteTo(w io.Writer) (int64, error) {
 	var buf bytes.Buffer
 	buf.Write(magic[:])
@@ -45,12 +75,15 @@ func (c *Compressed) WriteTo(w io.Writer) (int64, error) {
 	buf.Write(tmp[:8])
 	le.PutUint32(tmp[:4], uint32(len(c.Segments)))
 	buf.Write(tmp[:4])
-	for _, s := range c.Segments {
-		le.PutUint32(tmp[:4], math.Float32bits(s.M))
-		buf.Write(tmp[:4])
-		le.PutUint32(tmp[:4], math.Float32bits(s.Q))
-		buf.Write(tmp[:4])
-		le.PutUint32(tmp[:4], uint32(s.Len))
+	le.PutUint32(tmp[:4], crc32.ChecksumIEEE(buf.Bytes()[len(magic):]))
+	buf.Write(tmp[:4])
+	for i, s := range c.Segments {
+		var rec [segBytesV1]byte
+		le.PutUint32(rec[0:4], math.Float32bits(s.M))
+		le.PutUint32(rec[4:8], math.Float32bits(s.Q))
+		le.PutUint32(rec[8:12], uint32(s.Len))
+		buf.Write(rec[:])
+		le.PutUint32(tmp[:4], segCRC(uint32(i), rec[:]))
 		buf.Write(tmp[:4])
 	}
 	n, err := w.Write(buf.Bytes())
@@ -64,7 +97,9 @@ func (c *Compressed) Marshal() []byte {
 	return buf.Bytes()
 }
 
-// ReadCompressed parses a compressed succession from r.
+// ReadCompressed parses a compressed succession from r, accepting
+// version 1 (unchecksummed) and version 2 streams. Corruption in a v2
+// stream surfaces as an error wrapping ErrChecksum.
 func ReadCompressed(r io.Reader) (*Compressed, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -74,42 +109,56 @@ func ReadCompressed(r io.Reader) (*Compressed, error) {
 		return nil, ErrBadMagic
 	}
 	le := binary.LittleEndian
-	var tmp [8]byte
-	if _, err := io.ReadFull(r, tmp[:2]); err != nil {
-		return nil, fmt.Errorf("core: reading version: %w", err)
+	var head [headerBytes]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, fmt.Errorf("core: reading header: %w", err)
 	}
-	if v := le.Uint16(tmp[:2]); v != codecVersion {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	version := le.Uint16(head[0:2])
+	if version != codecVersion1 && version != codecVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
 	}
-	if _, err := io.ReadFull(r, tmp[:4]); err != nil {
-		return nil, fmt.Errorf("core: reading count: %w", err)
+	n := int(le.Uint32(head[2:6]))
+	delta := math.Float64frombits(le.Uint64(head[6:14]))
+	nseg := int(le.Uint32(head[14:18]))
+	var tmp [4]byte
+	if version >= codecVersion {
+		if _, err := io.ReadFull(r, tmp[:]); err != nil {
+			return nil, fmt.Errorf("core: reading header checksum: %w", err)
+		}
+		if got := le.Uint32(tmp[:]); got != crc32.ChecksumIEEE(head[:]) {
+			return nil, fmt.Errorf("%w: header", ErrChecksum)
+		}
 	}
-	n := int(le.Uint32(tmp[:4]))
-	if _, err := io.ReadFull(r, tmp[:8]); err != nil {
-		return nil, fmt.Errorf("core: reading delta: %w", err)
-	}
-	delta := math.Float64frombits(le.Uint64(tmp[:8]))
-	if _, err := io.ReadFull(r, tmp[:4]); err != nil {
-		return nil, fmt.Errorf("core: reading segment count: %w", err)
-	}
-	nseg := int(le.Uint32(tmp[:4]))
 	if nseg > n && n > 0 {
 		return nil, fmt.Errorf("%w: %d segments for %d params", ErrCorrupt, nseg, n)
 	}
-	segs := make([]Segment, nseg)
-	for i := range segs {
-		var rec [12]byte
+	prealloc := nseg
+	if prealloc > maxSegPrealloc {
+		prealloc = maxSegPrealloc
+	}
+	segs := make([]Segment, 0, prealloc)
+	for i := 0; i < nseg; i++ {
+		var rec [segBytesV1]byte
 		if _, err := io.ReadFull(r, rec[:]); err != nil {
 			return nil, fmt.Errorf("core: reading segment %d: %w", i, err)
 		}
-		segs[i] = Segment{
+		if version >= codecVersion {
+			if _, err := io.ReadFull(r, tmp[:]); err != nil {
+				return nil, fmt.Errorf("core: reading segment %d checksum: %w", i, err)
+			}
+			if got := le.Uint32(tmp[:]); got != segCRC(uint32(i), rec[:]) {
+				return nil, fmt.Errorf("%w: segment %d", ErrChecksum, i)
+			}
+		}
+		s := Segment{
 			M:   math.Float32frombits(le.Uint32(rec[0:4])),
 			Q:   math.Float32frombits(le.Uint32(rec[4:8])),
 			Len: int(le.Uint32(rec[8:12])),
 		}
-		if segs[i].Len <= 0 {
-			return nil, fmt.Errorf("%w: segment %d has length %d", ErrCorrupt, i, segs[i].Len)
+		if s.Len <= 0 {
+			return nil, fmt.Errorf("%w: segment %d has length %d", ErrCorrupt, i, s.Len)
 		}
+		segs = append(segs, s)
 	}
 	c := &Compressed{N: n, Delta: delta, Segments: segs}
 	if err := c.Validate(); err != nil {

@@ -98,8 +98,10 @@ func TestCodecCorruptLengths(t *testing.T) {
 	c, _ := Compress([]float64{1, 2, 3, 2, 1}, 0)
 	data := c.Marshal()
 	// Segment length field of the first segment lives at offset
-	// 4+2+4+8+4 + 8 = 30. Zero it: lengths no longer sum to N.
-	data[30], data[31], data[32], data[33] = 0, 0, 0, 0
+	// 4 (magic) + 18 (header) + 4 (header CRC) + 8 (m, q) = 34. Zero it:
+	// the segment checksum no longer matches (and the lengths no longer
+	// sum to N).
+	data[34], data[35], data[36], data[37] = 0, 0, 0, 0
 	if _, err := Unmarshal(data); err == nil {
 		t.Error("corrupt segment length accepted")
 	}

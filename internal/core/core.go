@@ -34,6 +34,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/stats"
 )
@@ -42,7 +43,18 @@ import (
 var (
 	ErrEmptyInput    = errors.New("core: empty parameter succession")
 	ErrNegativeDelta = errors.New("core: negative tolerance threshold")
+	// ErrNonFinite reports NaN or Inf segment coefficients: the
+	// accumulation FSM would smear them across the whole segment (and,
+	// through the running accumulator, every weight after the poisoned
+	// one), so they are rejected up front.
+	ErrNonFinite = errors.New("core: non-finite segment coefficients")
 )
+
+// finite32 reports whether v is neither NaN nor an infinity.
+func finite32(v float32) bool {
+	f := float64(v)
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
 
 // Segment is one compressed monotonic sub-succession: the least-squares
 // line coefficients and the number of parameters the segment regenerates.
@@ -124,17 +136,18 @@ func CompressPct(w []float64, deltaPct float64) (*Compressed, error) {
 }
 
 // Validate checks the internal consistency of a compressed succession:
-// a positive parameter count, a non-negative tolerance, and segments
-// whose positive lengths sum exactly to N. Successions produced by
-// Compress are valid by construction; anything decoded from an external
-// stream or assembled by hand must be validated before decompression,
-// because inconsistent segment lengths silently regenerate a
-// wrong-length weight slice.
+// a positive parameter count, a finite non-negative tolerance, finite
+// segment coefficients, and segments whose positive lengths sum exactly
+// to N. Successions produced by Compress are valid by construction;
+// anything decoded from an external stream or assembled by hand must be
+// validated before decompression, because inconsistent segment lengths
+// silently regenerate a wrong-length weight slice and a non-finite
+// coefficient poisons every weight from there to the end of the segment.
 func (c *Compressed) Validate() error {
 	if c.N <= 0 {
 		return fmt.Errorf("core: invalid compressed succession: N = %d", c.N)
 	}
-	if c.Delta < 0 || c.Delta != c.Delta {
+	if c.Delta < 0 || c.Delta != c.Delta || math.IsInf(c.Delta, 0) {
 		return fmt.Errorf("core: invalid compressed succession: delta = %v", c.Delta)
 	}
 	if len(c.Segments) == 0 {
@@ -144,6 +157,9 @@ func (c *Compressed) Validate() error {
 	for i, s := range c.Segments {
 		if s.Len <= 0 {
 			return fmt.Errorf("core: invalid compressed succession: segment %d has length %d", i, s.Len)
+		}
+		if !finite32(s.M) || !finite32(s.Q) {
+			return fmt.Errorf("%w: segment %d has m=%v q=%v", ErrNonFinite, i, s.M, s.Q)
 		}
 		if total > c.N-s.Len {
 			return fmt.Errorf("core: invalid compressed succession: segment lengths exceed %d params", c.N)

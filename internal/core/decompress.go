@@ -1,6 +1,9 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // FSMState is the state of the decompression unit's control FSM (Fig. 6).
 type FSMState int8
@@ -43,15 +46,21 @@ type DecompressionUnit struct {
 	produced  uint64 // total weights emitted
 }
 
-// Load accepts a compressed segment <m, q, len>. It fails with ErrBusy if
-// the previous segment has not been fully regenerated, and with an error
-// for non-positive lengths.
+// Load accepts a compressed segment <m, q, len>. It fails with ErrBusy
+// if the previous segment has not been fully regenerated, with an error
+// for non-positive lengths, and with ErrNonFinite for NaN or Inf
+// coefficients — the accumulator would otherwise replicate the poison
+// across the entire segment, the amplification failure mode raw weight
+// storage does not have.
 func (u *DecompressionUnit) Load(s Segment) error {
 	if u.state != StateIdle {
 		return ErrBusy
 	}
 	if s.Len <= 0 {
 		return errors.New("core: segment length must be positive")
+	}
+	if !finite32(s.M) || !finite32(s.Q) {
+		return fmt.Errorf("%w: m=%v q=%v", ErrNonFinite, s.M, s.Q)
 	}
 	u.m, u.q = s.M, s.Q
 	u.remaining = s.Len

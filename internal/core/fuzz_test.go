@@ -13,15 +13,27 @@ func FuzzUnmarshal(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(c.Marshal())
+	f.Add(marshalV1(c))
 	f.Add([]byte{})
 	f.Add([]byte("NCWC"))
 	f.Add([]byte("NCWCxxxxxxxxxxxxxxxxxxxxxxxxxxxx"))
+	// Single-byte corruptions of a valid v2 stream seed the checksum paths.
+	for _, off := range []int{5, 8, 16, 20, 24, 28, 34, 38} {
+		mut := c.Marshal()
+		if off < len(mut) {
+			mut[off] ^= 0x40
+			f.Add(mut)
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Unmarshal(data)
 		if err != nil {
 			return // rejected, fine
 		}
 		// Accepted streams must be internally consistent and re-encodable.
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted stream fails Validate: %v", err)
+		}
 		total := 0
 		for _, s := range got.Segments {
 			if s.Len <= 0 {

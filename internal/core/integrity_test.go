@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"testing"
+)
+
+// marshalV1 serializes c in the historical version-1 layout (no
+// checksums), for backward-compatibility tests.
+func marshalV1(c *Compressed) []byte {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	le := binary.LittleEndian
+	var tmp [8]byte
+	le.PutUint16(tmp[:2], codecVersion1)
+	buf.Write(tmp[:2])
+	le.PutUint32(tmp[:4], uint32(c.N))
+	buf.Write(tmp[:4])
+	le.PutUint64(tmp[:8], math.Float64bits(c.Delta))
+	buf.Write(tmp[:8])
+	le.PutUint32(tmp[:4], uint32(len(c.Segments)))
+	buf.Write(tmp[:4])
+	for _, s := range c.Segments {
+		le.PutUint32(tmp[:4], math.Float32bits(s.M))
+		buf.Write(tmp[:4])
+		le.PutUint32(tmp[:4], math.Float32bits(s.Q))
+		buf.Write(tmp[:4])
+		le.PutUint32(tmp[:4], uint32(s.Len))
+		buf.Write(tmp[:4])
+	}
+	return buf.Bytes()
+}
+
+func TestCodecReadsVersion1(t *testing.T) {
+	c, err := Compress([]float64{1, 2, 3, 2, 1, 0.5, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(marshalV1(c))
+	if err != nil {
+		t.Fatalf("version-1 stream rejected: %v", err)
+	}
+	if got.N != c.N || len(got.Segments) != len(c.Segments) {
+		t.Fatalf("version-1 decode mismatch: %+v vs %+v", got, c)
+	}
+	for i := range got.Segments {
+		if got.Segments[i] != c.Segments[i] {
+			t.Fatalf("segment %d mismatch", i)
+		}
+	}
+}
+
+// TestCodecDetectsEveryBitFlip: flipping any single bit anywhere in a
+// version-2 stream must make Unmarshal fail — the checksums leave no
+// silently accepted corruption.
+func TestCodecDetectsEveryBitFlip(t *testing.T) {
+	c, err := Compress([]float64{1, 2, 3, 2, 1, 0.5, 4, 8, 6}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := c.Marshal()
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 1 << bit
+			if _, err := Unmarshal(mut); err == nil {
+				t.Fatalf("flip of byte %d bit %d accepted silently", i, bit)
+			}
+		}
+	}
+}
+
+// TestCodecChecksumErrorTyped: payload corruption surfaces as
+// ErrChecksum specifically.
+func TestCodecChecksumErrorTyped(t *testing.T) {
+	c, err := Compress([]float64{1, 2, 3, 2, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := c.Marshal()
+	// Corrupt the m field of the first segment (offset 26: after magic,
+	// 18-byte header and 4-byte header CRC).
+	data[26] ^= 0x10
+	if _, err := Unmarshal(data); !errors.Is(err, ErrChecksum) {
+		t.Errorf("segment corruption error = %v, want ErrChecksum", err)
+	}
+	data = c.Marshal()
+	data[7] ^= 0x01 // parameter count, inside the checksummed header
+	if _, err := Unmarshal(data); !errors.Is(err, ErrChecksum) {
+		t.Errorf("header corruption error = %v, want ErrChecksum", err)
+	}
+}
+
+// TestCodecReorderedSegmentsRejected: swapping two intact segment
+// records is caught by the index folded into each segment CRC.
+func TestCodecReorderedSegmentsRejected(t *testing.T) {
+	c := &Compressed{N: 5, Segments: []Segment{{M: 1, Q: 2, Len: 2}, {M: 3, Q: 4, Len: 3}}}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data := c.Marshal()
+	segs := data[26:] // two 16-byte records
+	for i := 0; i < segBytesV2; i++ {
+		segs[i], segs[segBytesV2+i] = segs[segBytesV2+i], segs[i]
+	}
+	if _, err := Unmarshal(data); !errors.Is(err, ErrChecksum) {
+		t.Errorf("reordered segments error = %v, want ErrChecksum", err)
+	}
+}
+
+// TestCodecHugeSegmentCountBounded: a corrupt count field must not make
+// the reader allocate gigabytes before noticing the stream is short.
+func TestCodecHugeSegmentCountBounded(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	le := binary.LittleEndian
+	var head [headerBytes]byte
+	le.PutUint16(head[0:2], codecVersion)
+	le.PutUint32(head[2:6], 0) // n = 0 skips the nseg > n check
+	le.PutUint64(head[6:14], math.Float64bits(0))
+	le.PutUint32(head[14:18], 0xFFFFFFF0) // absurd segment count
+	buf.Write(head[:])
+	var tmp [4]byte
+	le.PutUint32(tmp[:], crc32.ChecksumIEEE(head[:]))
+	buf.Write(tmp[:])
+	if _, err := Unmarshal(buf.Bytes()); err == nil {
+		t.Fatal("truncated stream with huge segment count accepted")
+	}
+	// Reaching here without an OOM kill is the real assertion.
+}
+
+func TestValidateRejectsNonFinite(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	for _, c := range []*Compressed{
+		{N: 2, Segments: []Segment{{M: nan, Q: 0, Len: 2}}},
+		{N: 2, Segments: []Segment{{M: 0, Q: nan, Len: 2}}},
+		{N: 2, Segments: []Segment{{M: inf, Q: 0, Len: 2}}},
+		{N: 2, Segments: []Segment{{M: 0, Q: -inf, Len: 2}}},
+	} {
+		if err := c.Validate(); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("Validate(%+v) = %v, want ErrNonFinite", c.Segments[0], err)
+		}
+	}
+	if err := (&Compressed{N: 2, Delta: math.Inf(1), Segments: []Segment{{Len: 2}}}).Validate(); err == nil {
+		t.Error("infinite delta accepted")
+	}
+}
+
+func TestValidateRejectsLengthMismatch(t *testing.T) {
+	for _, c := range []*Compressed{
+		{N: 5, Segments: []Segment{{Len: 2}, {Len: 2}}}, // sums short
+		{N: 3, Segments: []Segment{{Len: 2}, {Len: 2}}}, // sums long
+		{N: 3, Segments: []Segment{{Len: 3}, {Len: 0}}}, // zero-length segment
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate accepted inconsistent lengths %+v", c.Segments)
+		}
+	}
+}
+
+func TestLoadRejectsNonFinite(t *testing.T) {
+	var u DecompressionUnit
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(-1))
+	for _, s := range []Segment{
+		{M: nan, Q: 1, Len: 3},
+		{M: 1, Q: nan, Len: 3},
+		{M: inf, Q: 1, Len: 3},
+		{M: 1, Q: inf, Len: 3},
+	} {
+		if err := u.Load(s); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("Load(%+v) = %v, want ErrNonFinite", s, err)
+		}
+		if u.State() != StateIdle {
+			t.Fatal("rejected load left the unit non-idle")
+		}
+	}
+	if err := u.Load(Segment{M: 1, Q: 1, Len: 3}); err != nil {
+		t.Fatalf("finite load rejected: %v", err)
+	}
+}

@@ -22,7 +22,8 @@ import (
 type evaluator struct {
 	m       *models.Model
 	isTop1  bool
-	workers int // sample-level sharding bound for batch evaluation
+	workers int             // sample-level sharding bound for batch evaluation
+	ctx     context.Context // bounds the recache fan-out
 
 	// top-1 path (LeNet).
 	testSet []dataset.Sample
@@ -38,7 +39,7 @@ type evaluator struct {
 // values); for other models it records the fidelity reference and caches
 // prefix activations.
 func newEvaluator(m *models.Model, opts Options) (*evaluator, error) {
-	ev := &evaluator{m: m, isTop1: m.Name == "LeNet-5", workers: opts.workers()}
+	ev := &evaluator{m: m, isTop1: m.Name == "LeNet-5", workers: opts.workers(), ctx: opts.ctx()}
 	if ev.isTop1 {
 		samples, err := dataset.Digits(opts.TrainSamples, opts.Seed)
 		if err != nil {
@@ -94,7 +95,7 @@ func (ev *evaluator) recache() error {
 	if workers > len(ev.probes) {
 		workers = len(ev.probes)
 	}
-	return parallel.ForEach(context.Background(), workers, workers, func(_ context.Context, w int) error {
+	return parallel.ForEach(ev.ctx, workers, workers, func(_ context.Context, w int) error {
 		lo, hi := chunkRange(len(ev.probes), workers, w)
 		r := ev.m.Graph.WithScratch()
 		for i := lo; i < hi; i++ {

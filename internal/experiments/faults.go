@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/models"
+	"repro/internal/parallel"
+)
+
+// FaultRow is one point of the accuracy-vs-fault-rate sweep: a model,
+// a weight-stream representation ("raw" float32 words or "compressed"
+// <m, q> coefficient words) and a DRAM word-flip rate.
+type FaultRow struct {
+	Model    string
+	Stream   string  // "raw" or "compressed"
+	Rate     float64 // per-32-bit-word single-bit-upset probability
+	DeltaPct float64 // compression tolerance (0 for the raw stream)
+	Words    int     // 32-bit words exposed to the upset model
+	Flips    int     // words actually hit at this (seed, rate)
+	Detected int     // corrupted segments caught by the decompressor's
+	// non-finite guard and zero-filled (graceful degradation)
+	Baseline float64 // accuracy of the fault-free configuration
+	Accuracy float64 // accuracy with the faults applied
+}
+
+// faultModels is the sweep's model selection: the trained LeNet-5 with
+// genuine top-1 accuracy plus one large fidelity-measured model.
+var faultModels = []string{"LeNet-5", "AlexNet"}
+
+// FaultSweep measures how DRAM single-bit upsets degrade inference
+// accuracy for the selected layer stored raw versus compressed. Both
+// streams face the same per-word upset probability, but they fail very
+// differently:
+//
+//   - A flip in a raw float32 weight perturbs exactly one parameter.
+//   - A flip in a compressed <m, q> pair perturbs every parameter of its
+//     segment — a corrupted slope m is integrated by the accumulation
+//     FSM across the whole segment (slope-error amplification), so the
+//     compressed stream loses more accuracy per flipped word even though
+//     it exposes far fewer words to the fault process.
+//
+// Flips that produce non-finite coefficients are the one detectable
+// case without checksums: the decompression unit rejects them
+// (core.ErrNonFinite), and the sweep models the graceful-degradation
+// policy of zero-filling the poisoned segment instead of aborting the
+// inference. The Detected column counts those segments.
+//
+// The fault process is a pure function of (Options.Seed, rate, stream
+// identity), so rows are byte-identical at any worker count, and rate 0
+// is exactly the fault-free configuration.
+func FaultSweep(opts Options) ([]FaultRow, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	names := faultModels
+	if len(opts.Models) > 0 {
+		names = opts.Models
+	} else if opts.Fast {
+		names = []string{"LeNet-5"}
+	}
+	perModel, err := parallel.Map(opts.ctx(), opts.workers(), len(names),
+		func(_ context.Context, ni int) ([]FaultRow, error) {
+			return faultSweepModel(names[ni], opts)
+		})
+	if err != nil {
+		return nil, err
+	}
+	var rows []FaultRow
+	for _, mr := range perModel {
+		rows = append(rows, mr...)
+	}
+	return rows, nil
+}
+
+// faultSweepModel runs the rate sweep for one model. The sweep mutates
+// the model's selected layer in place, so it stays serial within the
+// model.
+func faultSweepModel(name string, opts Options) ([]FaultRow, error) {
+	b, err := models.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	m, err := b.Build(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := newEvaluator(m, opts) // trains LeNet for real
+	if err != nil {
+		return nil, err
+	}
+	orig, err := snapshotSelected(m)
+	if err != nil {
+		return nil, err
+	}
+	// The compressed stream uses the first non-trivial tolerance of the
+	// model's Table II grid, so its fault-free row matches a published
+	// operating point.
+	deltaPct := DeltaGrid(m.Name)[1]
+	comp, err := core.CompressPct(orig, deltaPct)
+	if err != nil {
+		return nil, err
+	}
+	rawBase, err := ev.baseline(m)
+	if err != nil {
+		return nil, err
+	}
+	compBase, err := installAndScore(ev, m, comp)
+	if err != nil {
+		return nil, err
+	}
+	var rows []FaultRow
+	for _, rate := range opts.faultRates() {
+		fm := faults.Model{Seed: opts.Seed, DRAMWordFlipRate: rate}
+
+		// Raw stream: flip words of the float32 weight image directly.
+		w := append([]float64(nil), orig...)
+		flips := fm.FlipFloat32Stream(w, faults.StreamID(name+"/raw"))
+		if err := m.SetSelectedWeights(w); err != nil {
+			return nil, err
+		}
+		acc, err := ev.accuracy(m)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, FaultRow{
+			Model: name, Stream: "raw", Rate: rate,
+			Words: len(orig), Flips: flips,
+			Baseline: rawBase, Accuracy: acc,
+		})
+
+		// Compressed stream: flip words of the <m, q> coefficient image.
+		cc, flipsC, detected := corruptCoefficients(comp, fm, name)
+		accC, err := installAndScore(ev, m, cc)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, FaultRow{
+			Model: name, Stream: "compressed", Rate: rate,
+			DeltaPct: deltaPct, Words: 2 * len(comp.Segments),
+			Flips: flipsC, Detected: detected,
+			Baseline: compBase, Accuracy: accC,
+		})
+	}
+	// Restore the pristine weights for hygiene.
+	if err := m.SetSelectedWeights(orig); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// corruptCoefficients applies the DRAM upset model to a copy of the
+// compressed succession's coefficient stream (M and Q of each segment,
+// in order) and returns the corrupted copy, the flip count, and the
+// number of segments whose coefficients went non-finite — the case the
+// decompression unit detects and zero-fills.
+func corruptCoefficients(c *core.Compressed, fm faults.Model, model string) (*core.Compressed, int, int) {
+	coefs := make([]float64, 0, 2*len(c.Segments))
+	for _, s := range c.Segments {
+		coefs = append(coefs, float64(s.M), float64(s.Q))
+	}
+	flips := fm.FlipFloat32Stream(coefs, faults.StreamID(model+"/compressed"))
+	out := &core.Compressed{N: c.N, Delta: c.Delta, Segments: append([]core.Segment(nil), c.Segments...)}
+	detected := 0
+	for i := range out.Segments {
+		m32, q32 := float32(coefs[2*i]), float32(coefs[2*i+1])
+		if !finiteCoef(m32) || !finiteCoef(q32) {
+			// Graceful degradation: the FSM refuses the poisoned pair
+			// (core.ErrNonFinite) and regenerates zeros for the segment
+			// instead of smearing NaN/Inf over the rest of the stream.
+			detected++
+			m32, q32 = 0, 0
+		}
+		out.Segments[i].M, out.Segments[i].Q = m32, q32
+	}
+	return out, flips, detected
+}
+
+// installAndScore decompresses a (possibly corrupted, already
+// zero-filled) stream into the model's selected layer and measures
+// accuracy.
+func installAndScore(ev *evaluator, m *models.Model, c *core.Compressed) (float64, error) {
+	approx, err := c.Decompress()
+	if err != nil {
+		return 0, fmt.Errorf("experiments: decompressing faulted stream: %w", err)
+	}
+	if err := m.SetSelectedWeights(approx); err != nil {
+		return 0, err
+	}
+	return ev.accuracy(m)
+}
+
+// finiteCoef mirrors the decompression unit's non-finite guard.
+func finiteCoef(v float32) bool {
+	f := float64(v)
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// faultTestOptions keeps the sweep at smoke scale: minimal training
+// budget, LeNet-5 only, three rates.
+func faultTestOptions() Options {
+	o := FastOptions()
+	o.TrainSamples = 200
+	o.TrainEpochs = 1
+	o.FaultRates = []float64{0, 1e-3, 1e-2}
+	return o
+}
+
+// TestFaultSweepZeroRateIsFaultFree: the rate-0 rows must report zero
+// flips and exactly the fault-free accuracy of their stream.
+func TestFaultSweepZeroRateIsFaultFree(t *testing.T) {
+	rows, err := FaultSweep(faultTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 rates x 2 streams for one model
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Rate != 0 {
+			continue
+		}
+		if r.Flips != 0 || r.Detected != 0 {
+			t.Errorf("%s/%s rate 0: %d flips, %d detected", r.Model, r.Stream, r.Flips, r.Detected)
+		}
+		if r.Accuracy != r.Baseline {
+			t.Errorf("%s/%s rate 0: accuracy %v != baseline %v", r.Model, r.Stream, r.Accuracy, r.Baseline)
+		}
+	}
+}
+
+// TestFaultSweepInjectsAtHighRate: at one flip per hundred words both
+// streams must actually be hit, and the raw stream (hundreds of
+// thousands of words) far more often than the compressed one.
+func TestFaultSweepInjectsAtHighRate(t *testing.T) {
+	rows, err := FaultSweep(faultTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]FaultRow{}
+	for _, r := range rows {
+		if r.Rate == 1e-2 {
+			byKey[r.Stream] = r
+		}
+	}
+	raw, comp := byKey["raw"], byKey["compressed"]
+	if raw.Flips == 0 {
+		t.Error("raw stream saw no flips at rate 1e-2")
+	}
+	if comp.Flips == 0 {
+		t.Error("compressed stream saw no flips at rate 1e-2")
+	}
+	if comp.Words >= raw.Words {
+		t.Errorf("compressed stream exposes %d words, raw %d: compression should shrink the stream", comp.Words, raw.Words)
+	}
+	if raw.Flips <= comp.Flips {
+		t.Errorf("raw flips %d <= compressed flips %d despite the larger stream", raw.Flips, comp.Flips)
+	}
+}
+
+// TestFaultSweepDeterministic: identical rows at any worker count.
+func TestFaultSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains LeNet twice in -short mode")
+	}
+	assertDeterministic(t, FaultSweep, faultTestOptions())
+}
+
+// TestFaultSweepContextCanceled: a pre-canceled context aborts the sweep
+// with the context error instead of running it.
+func TestFaultSweepContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := faultTestOptions()
+	o.Context = ctx
+	start := time.Now()
+	if _, err := FaultSweep(o); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("canceled sweep still took %v", d)
+	}
+}
+
+// TestCorruptCoefficientsZeroFillsNonFinite: a segment whose coefficients
+// are non-finite (as an unlucky exponent flip would leave them) is
+// counted as detected and zero-filled, so the stream still decompresses
+// to a full-length, finite weight slice instead of poisoning the layer.
+func TestCorruptCoefficientsZeroFillsNonFinite(t *testing.T) {
+	c := &core.Compressed{N: 6, Segments: []core.Segment{
+		{M: float32(math.NaN()), Q: 1, Len: 3},
+		{M: 0.5, Q: 2, Len: 3},
+	}}
+	out, flips, detected := corruptCoefficients(c, faults.Model{}, "test")
+	if flips != 0 {
+		t.Errorf("rate-0 model flipped %d words", flips)
+	}
+	if detected != 1 {
+		t.Fatalf("detected %d poisoned segments, want 1", detected)
+	}
+	if out.Segments[0].M != 0 || out.Segments[0].Q != 0 {
+		t.Errorf("poisoned segment not zero-filled: %+v", out.Segments[0])
+	}
+	if out.Segments[1] != c.Segments[1] {
+		t.Errorf("healthy segment altered: %+v", out.Segments[1])
+	}
+	w, err := out.Decompress()
+	if err != nil {
+		t.Fatalf("zero-filled stream rejected: %v", err)
+	}
+	if len(w) != c.N {
+		t.Errorf("decompressed %d weights, want %d", len(w), c.N)
+	}
+	// The original poisoned stream must be refused by the FSM's guard.
+	if _, err := c.Decompress(); !errors.Is(err, core.ErrNonFinite) {
+		t.Errorf("poisoned stream error %v, want ErrNonFinite", err)
+	}
+}
+
+// TestFaultSweepRejectsBadRate: validation catches out-of-range rates.
+func TestFaultSweepRejectsBadRate(t *testing.T) {
+	o := faultTestOptions()
+	o.FaultRates = []float64{0.5, 1.5}
+	if _, err := FaultSweep(o); err == nil {
+		t.Fatal("rate 1.5 accepted")
+	}
+}

@@ -85,7 +85,7 @@ func Fig3(opts Options) ([]Fig3Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	modelRows, err := parallel.Map(context.Background(), opts.workers(), len(builders),
+	modelRows, err := parallel.Map(opts.ctx(), opts.workers(), len(builders),
 		func(_ context.Context, i int) (Fig3Row, error) {
 			m, err := builders[i].Build(opts.Seed)
 			if err != nil {
@@ -143,7 +143,7 @@ func Fig9(opts Options) ([]Fig9Row, error) {
 	} else if opts.Fast {
 		names = []string{"LeNet-5"}
 	}
-	perModel, err := parallel.Map(context.Background(), opts.workers(), len(names),
+	perModel, err := parallel.Map(opts.ctx(), opts.workers(), len(names),
 		func(_ context.Context, ni int) ([]Fig9Row, error) {
 			return fig9Model(names[ni], opts)
 		})
@@ -268,7 +268,7 @@ func Fig10(opts Options) ([]Fig10Point, error) {
 	// serially, while the models themselves fan out. The shared Simulator
 	// is safe for concurrent use and additionally parallelizes over the
 	// layers of each simulated configuration.
-	perModel, err := parallel.Map(context.Background(), opts.workers(), len(builders),
+	perModel, err := parallel.Map(opts.ctx(), opts.workers(), len(builders),
 		func(_ context.Context, bi int) ([]Fig10Point, error) {
 			return fig10Model(builders[bi], sim, opts)
 		})

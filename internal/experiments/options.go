@@ -9,7 +9,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/accel"
 	"repro/internal/core"
@@ -20,6 +22,10 @@ import (
 // Options configures an experiment run.
 type Options struct {
 	Seed int64
+	// Context, when non-nil, bounds the run: every experiment's worker
+	// pool observes its cancellation or deadline and aborts with the
+	// context error. Nil means context.Background().
+	Context context.Context
 	// Models filters which networks run (nil = the paper's full set).
 	Models []string
 	// Workers bounds the goroutines used for independent work items
@@ -37,6 +43,9 @@ type Options struct {
 	Storage core.StorageModel
 	// Accel is the platform configuration for latency/energy experiments.
 	Accel accel.Config
+	// FaultRates is the DRAM word-flip probability grid for the fault
+	// sweep (nil = the default six-decade grid; Fast trims it).
+	FaultRates []float64
 	// Fast trims workloads to test scale: it caps probe counts and
 	// restricts expensive sweeps to the small models.
 	Fast bool
@@ -100,12 +109,38 @@ func (o Options) selectedBuilders() ([]models.Builder, error) {
 // workers resolves the worker-count option to a concrete bound.
 func (o Options) workers() int { return parallel.Workers(o.Workers) }
 
+// ctx resolves the context option; every experiment's parallel sweep runs
+// under it.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// faultRates resolves the fault-rate grid for FaultSweep: six decades
+// from fault-free to one flip per hundred words, trimmed in Fast mode.
+func (o Options) faultRates() []float64 {
+	if len(o.FaultRates) > 0 {
+		return o.FaultRates
+	}
+	if o.Fast {
+		return []float64{0, 1e-4, 1e-2}
+	}
+	return []float64{0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
+}
+
 func (o Options) validate() error {
 	if o.Probes < 1 {
 		return fmt.Errorf("experiments: probes %d < 1", o.Probes)
 	}
 	if o.TrainSamples < 50 || o.TrainEpochs < 1 {
 		return fmt.Errorf("experiments: training budget too small (%d samples, %d epochs)", o.TrainSamples, o.TrainEpochs)
+	}
+	for _, r := range o.FaultRates {
+		if math.IsNaN(r) || r < 0 || r > 1 {
+			return fmt.Errorf("experiments: fault rate %v outside [0,1]", r)
+		}
 	}
 	return o.Accel.Validate()
 }

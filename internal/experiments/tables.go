@@ -31,7 +31,7 @@ func Table1(opts Options) ([]Table1Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return parallel.Map(context.Background(), opts.workers(), len(builders),
+	return parallel.Map(opts.ctx(), opts.workers(), len(builders),
 		func(_ context.Context, i int) (Table1Row, error) {
 			m, err := builders[i].Build(opts.Seed)
 			if err != nil {
@@ -78,7 +78,7 @@ func Table2(opts Options) ([]Table2Row, error) {
 		total  int
 		deltas []float64
 	}
-	ms, err := parallel.Map(context.Background(), opts.workers(), len(builders),
+	ms, err := parallel.Map(opts.ctx(), opts.workers(), len(builders),
 		func(_ context.Context, i int) (t2model, error) {
 			m, err := builders[i].Build(opts.Seed)
 			if err != nil {
@@ -105,7 +105,7 @@ func Table2(opts Options) ([]Table2Row, error) {
 			pts = append(pts, t2point{model: mi, pct: pct})
 		}
 	}
-	return parallel.Map(context.Background(), opts.workers(), len(pts),
+	return parallel.Map(opts.ctx(), opts.workers(), len(pts),
 		func(_ context.Context, k int) (Table2Row, error) {
 			tm := ms[pts[k].model]
 			r, _, err := core.Assess(tm.w, pts[k].pct, tm.total, opts.Storage)
@@ -154,7 +154,7 @@ func Table3(opts Options) ([]Table3Row, error) {
 	// One work item per model: the delta loop inside mutates the model's
 	// weights, so it stays serial within the item, but the models
 	// themselves are independent.
-	perModel, err := parallel.Map(context.Background(), opts.workers(), len(names),
+	perModel, err := parallel.Map(opts.ctx(), opts.workers(), len(names),
 		func(_ context.Context, ni int) ([]Table3Row, error) {
 			return table3Model(names[ni], opts)
 		})

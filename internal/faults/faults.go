@@ -1,0 +1,176 @@
+// Package faults is the deterministic fault-injection engine of the
+// simulation stack. It models the three failure modes a compressed weight
+// stream meets on its way from DRAM to a PE datapath:
+//
+//   - DRAM word bit-flips: each 32-bit word of a stored stream suffers a
+//     single-bit upset with a configurable probability.
+//   - Transient NoC link faults: each flit crossing an inter-router link
+//     is corrupted with a configurable probability (detected by the
+//     per-packet checksum and repaired by retransmission; see noc).
+//   - Stuck-at dead links: a set of unidirectional mesh links that never
+//     transfer a flit again (avoided at route time; see noc).
+//
+// Every decision is a pure function of the model's Seed and the identity
+// of the event (stream id and word index, or packet id, flit sequence,
+// retransmission attempt and link), never of evaluation order. Two runs
+// with the same (seed, rate) therefore make byte-identical fault
+// decisions at any worker count, and a rate of zero is exactly the
+// fault-free run.
+package faults
+
+import (
+	"fmt"
+	"math"
+)
+
+// Link is one unidirectional mesh link, identified by the node ids of its
+// endpoints (From transmits, To receives).
+type Link struct {
+	From, To int
+}
+
+// String implements fmt.Stringer.
+func (l Link) String() string { return fmt.Sprintf("%d->%d", l.From, l.To) }
+
+// Model describes a fault environment. The zero value injects nothing
+// and is the configuration every fault-free experiment runs under.
+type Model struct {
+	// Seed drives every pseudo-random decision. Runs with equal seeds
+	// and rates are byte-identical.
+	Seed int64
+	// DRAMWordFlipRate is the per-32-bit-word probability that a stored
+	// word suffers a single-bit upset when read from main memory.
+	DRAMWordFlipRate float64
+	// LinkFlitRate is the per-link-traversal probability that a flit is
+	// corrupted in transit.
+	LinkFlitRate float64
+	// DeadLinks lists unidirectional links that are permanently stuck.
+	DeadLinks []Link
+}
+
+// Enabled reports whether the model can inject any fault at all.
+func (m Model) Enabled() bool {
+	return m.DRAMWordFlipRate > 0 || m.LinkFlitRate > 0 || len(m.DeadLinks) > 0
+}
+
+// Validate checks the model's parameters.
+func (m Model) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"DRAM word flip rate", m.DRAMWordFlipRate}, {"link flit fault rate", m.LinkFlitRate}} {
+		if math.IsNaN(r.v) || math.IsInf(r.v, 0) || r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s %v outside [0,1]", r.name, r.v)
+		}
+	}
+	for _, l := range m.DeadLinks {
+		if l.From < 0 || l.To < 0 || l.From == l.To {
+			return fmt.Errorf("faults: bad dead link %s", l)
+		}
+	}
+	return nil
+}
+
+// DeadSet returns the dead links as a lookup set (nil when there are
+// none, so callers can test with a single nil check).
+func (m Model) DeadSet() map[Link]bool {
+	if len(m.DeadLinks) == 0 {
+		return nil
+	}
+	s := make(map[Link]bool, len(m.DeadLinks))
+	for _, l := range m.DeadLinks {
+		s[l] = true
+	}
+	return s
+}
+
+// Decision domains keep the event keyspaces disjoint so a link decision
+// can never alias a DRAM decision with the same numeric keys.
+const (
+	domainLink uint64 = 0x6c696e6b // "link"
+	domainDRAM uint64 = 0x6472616d // "dram"
+)
+
+// mix is the splitmix64 finalizer: a high-quality 64-bit avalanche.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash folds the seed, a domain tag and three event keys into one
+// 64-bit value. Fixed arity keeps it allocation-free on the NoC's
+// per-flit hot path.
+func (m Model) hash(domain, a, b, c uint64) uint64 {
+	h := mix(uint64(m.Seed) ^ domain)
+	h = mix(h ^ a)
+	h = mix(h ^ b)
+	h = mix(h ^ c)
+	return h
+}
+
+// unit maps a hash to a uniform float64 in [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// LinkCorrupt decides whether the flit (packetID, seq) of retransmission
+// attempt `attempt` is corrupted while leaving router `from`.
+func (m Model) LinkCorrupt(packetID uint64, seq, attempt, from int) bool {
+	if m.LinkFlitRate <= 0 {
+		return false
+	}
+	key := uint64(seq)<<24 | uint64(uint8(attempt))<<16 | uint64(uint16(from))
+	return unit(m.hash(domainLink, packetID, key, 0)) < m.LinkFlitRate
+}
+
+// FlipWord32 subjects one 32-bit word — word number idx of stream
+// streamID — to the DRAM upset model. It returns the (possibly) flipped
+// word and whether a flip fired; when it fires, exactly one
+// deterministically chosen bit is inverted.
+func (m Model) FlipWord32(word uint32, streamID, idx uint64) (uint32, bool) {
+	if m.DRAMWordFlipRate <= 0 {
+		return word, false
+	}
+	h := m.hash(domainDRAM, streamID, idx, 0)
+	if unit(h) >= m.DRAMWordFlipRate {
+		return word, false
+	}
+	bit := mix(h) % 32
+	return word ^ 1<<bit, true
+}
+
+// FlipFloat32Stream applies the DRAM upset model in place to a weight
+// stream stored as 32-bit floats (the hardware storage width), returning
+// the number of words hit. The float64 slice is the simulator-side view;
+// each value is punned to its float32 DRAM word, flipped, and widened
+// back — exactly the corruption a raw weight fetch would see.
+func (m Model) FlipFloat32Stream(w []float64, streamID uint64) int {
+	if m.DRAMWordFlipRate <= 0 {
+		return 0
+	}
+	flips := 0
+	for i, v := range w {
+		word := math.Float32bits(float32(v))
+		word, hit := m.FlipWord32(word, streamID, uint64(i))
+		if hit {
+			w[i] = float64(math.Float32frombits(word))
+			flips++
+		}
+	}
+	return flips
+}
+
+// StreamID derives a stable stream identifier from a name, for keying
+// FlipWord32 decisions independently of iteration order (FNV-1a).
+func StreamID(name string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime
+	}
+	return h
+}

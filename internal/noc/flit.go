@@ -53,6 +53,10 @@ type flit struct {
 	src, dst int
 	vc       int8   // virtual channel the packet was assigned at injection
 	enqueued uint64 // cycle the packet entered the source injection queue
+	seq      int32  // flit position within the packet (checksum fault key)
+	attempt  uint8  // end-to-end retransmission attempt number
+	hops     uint16 // link traversals so far (misroute livelock bound)
+	corrupt  bool   // payload corrupted in transit (checksum will fail at the NI)
 }
 
 // Delivery reports a packet fully received at its destination.

@@ -2,6 +2,8 @@ package noc
 
 import (
 	"fmt"
+
+	"repro/internal/faults"
 )
 
 // Routing selects the routing algorithm.
@@ -36,6 +38,15 @@ type Config struct {
 	MaxPacketFlit   int     // largest packet the NI will segment into (0 = 32)
 	Routing         Routing // routing algorithm (default: XY, the paper's)
 	VirtualChannels int     // VCs per physical channel (0 or 1 = plain wormhole)
+	// Faults is the injected fault environment (zero value: fault-free).
+	// Transient link faults are detected by the per-packet checksum at
+	// the destination NI and repaired by NACK + source retransmission;
+	// dead links are avoided at route time.
+	Faults faults.Model
+	// MaxRetries bounds end-to-end retransmissions per packet (0 = 8).
+	// A packet still corrupted after the budget is counted in
+	// Stats.LostPackets and dropped.
+	MaxRetries int
 }
 
 // DefaultConfig returns the paper's 4x4 mesh with 64-bit links.
@@ -60,8 +71,31 @@ func (c Config) Validate() error {
 		return fmt.Errorf("noc: unknown routing %d", int(c.Routing))
 	case c.VirtualChannels < 0 || c.VirtualChannels > 16:
 		return fmt.Errorf("noc: virtual channel count %d out of [0,16]", c.VirtualChannels)
+	case c.MaxRetries < 0:
+		return fmt.Errorf("noc: negative retry budget %d", c.MaxRetries)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	nodes := c.Width * c.Height
+	for _, l := range c.Faults.DeadLinks {
+		if l.From < 0 || l.From >= nodes || l.To < 0 || l.To >= nodes {
+			return fmt.Errorf("noc: dead link %s outside %dx%d mesh", l, c.Width, c.Height)
+		}
+		fx, fy := l.From%c.Width, l.From/c.Width
+		tx, ty := l.To%c.Width, l.To/c.Width
+		if d := abs(fx-tx) + abs(fy-ty); d != 1 {
+			return fmt.Errorf("noc: dead link %s does not connect mesh neighbors", l)
+		}
 	}
 	return nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // vcs returns the effective virtual-channel count.
@@ -72,11 +106,17 @@ func (c Config) vcs() int {
 	return c.VirtualChannels
 }
 
+// Route states of a VC lane, besides a concrete output port >= 0.
+const (
+	routeNone = -1 // no packet routed on this lane
+	routeDrop = -2 // lane drains the flits of a killed (unroutable) packet
+)
+
 // vcLane is one virtual channel of a router input port: its own flit
 // FIFO and wormhole route state.
 type vcLane struct {
 	buf   []flit // FIFO; index 0 is the head
-	route int    // output port allocated to the packet at head (-1 = none)
+	route int    // output port allocated to the packet at head, or routeNone/routeDrop
 }
 
 // inputPort is one physical router input: a set of VC lanes sharing the
@@ -97,17 +137,29 @@ type router struct {
 	rrIn     [numPorts][]int // round-robin pointer over inputs per (port, vc)
 }
 
-// Stats aggregates network activity counters used by the energy model.
+// Stats aggregates network activity counters used by the energy model,
+// plus the fault/recovery counters of the retransmission protocol.
 type Stats struct {
 	Cycles         uint64
 	PacketsIn      uint64 // packets accepted into injection queues
 	PacketsOut     uint64 // packets fully delivered
-	FlitsInjected  uint64
+	FlitsInjected  uint64 // includes retransmitted flits
 	FlitsEjected   uint64
 	RouterTraverse uint64 // flits leaving any router output (switch traversals)
 	LinkTraverse   uint64 // flits crossing an inter-router link
 	LatencySum     uint64 // sum of packet latencies
+
+	// Fault-injection counters (all zero on a fault-free run).
+	CorruptFlits         uint64 // flit corruption events on links
+	RetransmittedPackets uint64 // packets NACKed and re-sent end to end
+	LostPackets          uint64 // packets dropped after the retry budget
+	UnroutablePackets    uint64 // packets killed: dead links cut off every route
+	DeadLinkAvoids       uint64 // route decisions diverted around a dead link
 }
+
+// Dropped returns the packets permanently lost to faults: retry-budget
+// exhaustion plus unroutable kills.
+func (s Stats) Dropped() uint64 { return s.LostPackets + s.UnroutablePackets }
 
 // AvgPacketLatency returns the mean delivered-packet latency in cycles.
 func (s Stats) AvgPacketLatency() float64 {
@@ -130,6 +182,13 @@ type Network struct {
 	perRouter []uint64 // flit traversals per router (utilization heatmap)
 	// staged arrivals for the two-phase cycle update
 	arrivals []int // per (router, port): flits arriving this cycle
+	// fault-injection state
+	faultsOn   bool                 // any transient fault model active
+	dead       map[faults.Link]bool // stuck-at dead links (nil = none)
+	deadRoute  [][]int8             // [dst][node] -> port on a shortest live path
+	corrupted  map[uint64]bool      // packets with a corrupt flit ejected so far
+	maxRetries int                  // resolved end-to-end retry budget
+	hopLimit   int                  // packets exceeding this hop count are killed
 }
 
 // New creates a network from the configuration.
@@ -142,12 +201,25 @@ func New(cfg Config) (*Network, error) {
 	}
 	n := cfg.Width * cfg.Height
 	nw := &Network{
-		cfg:       cfg,
-		routers:   make([]router, n),
-		inject:    make([][]flit, n),
-		pending:   make(map[uint64]Packet),
-		arrivals:  make([]int, n*numPorts*cfg.vcs()),
-		perRouter: make([]uint64, n),
+		cfg:        cfg,
+		routers:    make([]router, n),
+		inject:     make([][]flit, n),
+		pending:    make(map[uint64]Packet),
+		arrivals:   make([]int, n*numPorts*cfg.vcs()),
+		perRouter:  make([]uint64, n),
+		faultsOn:   cfg.Faults.LinkFlitRate > 0,
+		dead:       cfg.Faults.DeadSet(),
+		maxRetries: cfg.MaxRetries,
+	}
+	if nw.maxRetries == 0 {
+		nw.maxRetries = 8
+	}
+	// Defensive backstop: any live shortest path visits at most every
+	// node once, so a packet exceeding this hop count can only mean a
+	// routing bug; kill it deterministically instead of hanging.
+	nw.hopLimit = 2*n + 16
+	if nw.dead != nil {
+		nw.buildDeadRoutes()
 	}
 	v := cfg.vcs()
 	for i := range nw.routers {
@@ -156,7 +228,7 @@ func New(cfg Config) (*Network, error) {
 		for p := 0; p < numPorts; p++ {
 			rt.in[p].vcs = make([]vcLane, v)
 			for k := range rt.in[p].vcs {
-				rt.in[p].vcs[k].route = -1
+				rt.in[p].vcs[k].route = routeNone
 			}
 			rt.outOwner[p] = make([]int, v)
 			rt.rrIn[p] = make([]int, v)
@@ -198,9 +270,88 @@ func (nw *Network) NodeAt(x, y int) (int, error) {
 	return y*nw.cfg.Width + x, nil
 }
 
-// route returns the output port chosen by the configured routing
-// algorithm at router id for a packet toward dst.
+// buildDeadRoutes precomputes, for every destination, a shortest-path
+// next-hop table over the live-link graph (BFS from the destination over
+// reversed live links). Following the table the distance to the
+// destination strictly decreases every hop, so dead-link detours can
+// neither oscillate nor livelock; a node from which the destination is
+// unreachable maps to routeDrop and its packets are killed at the source
+// router, where the whole worm still funnels through one lane. Detours
+// may violate the base algorithm's turn restrictions — strict deadlock
+// freedom is traded for connectivity under faults, which light
+// dead-link scenarios and a bounded-cycle simulation can afford.
+func (nw *Network) buildDeadRoutes() {
+	n := len(nw.routers)
+	nw.deadRoute = make([][]int8, n)
+	dist := make([]int, n)
+	for dst := 0; dst < n; dst++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[dst] = 0
+		queue := []int{dst}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for p := PortNorth; p <= PortWest; p++ {
+				u, _, ok := nw.neighbor(cur, p)
+				if !ok || nw.dead[faults.Link{From: u, To: cur}] || dist[u] >= 0 {
+					continue
+				}
+				dist[u] = dist[cur] + 1
+				queue = append(queue, u)
+			}
+		}
+		ports := make([]int8, n)
+		for id := 0; id < n; id++ {
+			switch {
+			case id == dst:
+				ports[id] = PortLocal
+				continue
+			case dist[id] < 0:
+				ports[id] = routeDrop
+				continue
+			}
+			// Among live distance-reducing ports, prefer the base
+			// algorithm's choice so fault-free flows keep their paths.
+			pref := nw.routeMinimal(id, dst)
+			best := int8(routeDrop)
+			for p := PortNorth; p <= PortWest; p++ {
+				nid, _, ok := nw.neighbor(id, p)
+				if !ok || nw.dead[faults.Link{From: id, To: nid}] || dist[nid] != dist[id]-1 {
+					continue
+				}
+				if p == pref {
+					best = int8(p)
+					break
+				}
+				if best == routeDrop {
+					best = int8(p)
+				}
+			}
+			ports[id] = best
+		}
+		nw.deadRoute[dst] = ports
+	}
+}
+
+// route returns the output port for a packet toward dst at router id:
+// the configured routing algorithm's choice on a healthy mesh, or the
+// precomputed shortest live path when stuck-at dead links exist.
 func (nw *Network) route(id, dst int) int {
+	if nw.dead == nil {
+		return nw.routeMinimal(id, dst)
+	}
+	p := int(nw.deadRoute[dst][id])
+	if p != routeDrop && p != nw.routeMinimal(id, dst) {
+		nw.stats.DeadLinkAvoids++
+	}
+	return p
+}
+
+// routeMinimal is the configured routing algorithm's preferred port,
+// ignoring link health.
+func (nw *Network) routeMinimal(id, dst int) int {
 	cx, cy := nw.coord(id)
 	dx, dy := nw.coord(dst)
 	switch nw.cfg.Routing {
@@ -313,6 +464,16 @@ func (nw *Network) Inject(p Packet) error {
 	p.ID = nw.nextID
 	nw.nextID++
 	nw.pending[p.ID] = p
+	nw.enqueueFlits(p, nw.cycle, 0)
+	nw.stats.PacketsIn++
+	return nil
+}
+
+// enqueueFlits segments packet p into flits on its source injection
+// queue. enqueued is the original injection cycle (preserved across
+// retransmissions so latency accounts for recovery time) and attempt the
+// end-to-end retransmission attempt number.
+func (nw *Network) enqueueFlits(p Packet, enqueued uint64, attempt uint8) {
 	vc := int8(p.ID % uint64(nw.cfg.vcs()))
 	for i := 0; i < p.Flits; i++ {
 		t := BodyFlit
@@ -325,11 +486,10 @@ func (nw *Network) Inject(p Packet) error {
 			t = TailFlit
 		}
 		nw.inject[p.Src] = append(nw.inject[p.Src], flit{
-			ftype: t, packetID: p.ID, src: p.Src, dst: p.Dst, vc: vc, enqueued: nw.cycle,
+			ftype: t, packetID: p.ID, src: p.Src, dst: p.Dst, vc: vc,
+			enqueued: enqueued, seq: int32(i), attempt: attempt,
 		})
 	}
-	nw.stats.PacketsIn++
-	return nil
 }
 
 // SendMessage segments an arbitrarily large message of the given flit
@@ -387,16 +547,27 @@ func (nw *Network) Step() {
 		nw.arrivals[i] = 0
 	}
 	v := nw.cfg.vcs()
-	// Phase 1: route computation for fresh heads on every VC lane.
+	// Phase 1: route computation for fresh heads on every VC lane. A head
+	// that no live link can carry toward its destination kills the packet
+	// (unroutable); its lane drains the worm's flits into the void.
 	for r := range nw.routers {
 		rt := &nw.routers[r]
 		for p := 0; p < numPorts; p++ {
 			for k := range rt.in[p].vcs {
 				lane := &rt.in[p].vcs[k]
-				if lane.route < 0 && len(lane.buf) > 0 {
+				if lane.route == routeNone && len(lane.buf) > 0 {
 					head := lane.buf[0]
 					if head.ftype == HeadFlit || head.ftype == HeadTailFlit {
 						lane.route = nw.route(r, head.dst)
+						if nw.dead != nil && lane.route >= 0 && int(head.hops) > nw.hopLimit {
+							// Misroute livelock: the packet keeps bouncing
+							// between live links without reaching dst.
+							lane.route = routeDrop
+						}
+						if lane.route == routeDrop {
+							nw.stats.UnroutablePackets++
+							delete(nw.pending, head.packetID)
+						}
 					}
 				}
 			}
@@ -408,6 +579,23 @@ func (nw *Network) Step() {
 	// tail passes.
 	for r := range nw.routers {
 		rt := &nw.routers[r]
+		// Drain lanes holding a killed packet: one flit per cycle vanishes
+		// without contending for any output.
+		if nw.dead != nil {
+			for p := 0; p < numPorts; p++ {
+				for k := range rt.in[p].vcs {
+					lane := &rt.in[p].vcs[k]
+					if lane.route != routeDrop || len(lane.buf) == 0 {
+						continue
+					}
+					f := lane.buf[0]
+					lane.buf = lane.buf[1:]
+					if f.ftype == TailFlit || f.ftype == HeadTailFlit {
+						lane.route = routeNone
+					}
+				}
+			}
+		}
 		for out := 0; out < numPorts; out++ {
 			// Allocate free output VCs to requesting input lanes (an
 			// input lane on VC k requests output VC k).
@@ -451,6 +639,14 @@ func (nw *Network) Step() {
 					if len(dstLane.buf)+nw.arrivals[ai] >= nw.cfg.BufferDepth {
 						continue // no credit downstream on this VC
 					}
+					f.hops++
+					if nw.faultsOn && nw.cfg.Faults.LinkCorrupt(f.packetID, int(f.seq), int(f.attempt), r) {
+						// Transient link fault: the flit's payload is
+						// corrupted in transit. The per-packet checksum
+						// catches it at the destination NI.
+						f.corrupt = true
+						nw.stats.CorruptFlits++
+					}
 					dstLane.buf = append(dstLane.buf, f)
 					nw.arrivals[ai]++
 					nw.stats.LinkTraverse++
@@ -460,7 +656,7 @@ func (nw *Network) Step() {
 				lane.buf = lane.buf[1:]
 				if f.ftype == TailFlit || f.ftype == HeadTailFlit {
 					rt.outOwner[out][k] = -1
-					lane.route = -1
+					lane.route = routeNone
 				}
 				rt.rrVC[out] = k
 				break // one flit per physical channel per cycle
@@ -487,10 +683,31 @@ func (nw *Network) Step() {
 	nw.stats.Cycles = nw.cycle
 }
 
-// ejectFlit consumes a flit at its destination NI.
+// ejectFlit consumes a flit at its destination NI. The NI verifies the
+// per-packet checksum when the tail arrives: a packet containing any
+// corrupted flit is NACKed back to its source (over the out-of-band
+// control plane, whose single-word signals we do not charge) and
+// retransmitted from the source's retransmission buffer until it arrives
+// intact or the retry budget runs out.
 func (nw *Network) ejectFlit(node int, f flit) {
 	nw.stats.FlitsEjected++
+	if f.corrupt {
+		if nw.corrupted == nil {
+			nw.corrupted = make(map[uint64]bool)
+		}
+		nw.corrupted[f.packetID] = true
+	}
 	if f.ftype != TailFlit && f.ftype != HeadTailFlit {
+		return
+	}
+	if nw.corrupted[f.packetID] {
+		delete(nw.corrupted, f.packetID)
+		if int(f.attempt) >= nw.maxRetries {
+			nw.stats.LostPackets++
+			delete(nw.pending, f.packetID)
+			return
+		}
+		nw.retransmit(f)
 		return
 	}
 	// Tail: the packet is fully delivered. Ejection happens during the
@@ -510,6 +727,27 @@ func (nw *Network) ejectFlit(node int, f flit) {
 	}
 	delete(nw.pending, f.packetID)
 	_ = node
+}
+
+// retransmit re-enqueues a NACKed packet at its source with the attempt
+// counter bumped. The original injection cycle is preserved so the
+// packet's eventual latency includes the recovery time.
+func (nw *Network) retransmit(tail flit) {
+	p, ok := nw.pending[tail.packetID]
+	if !ok {
+		// Descriptor gone (cannot happen short of a client bug): drop.
+		nw.stats.LostPackets++
+		return
+	}
+	nw.stats.RetransmittedPackets++
+	nw.enqueueFlits(p, tail.enqueued, tail.attempt+1)
+}
+
+// DroppedPackets returns the packets permanently lost so far (retry
+// budget exhausted or unroutable) — the cheap liveness check clients use
+// to fail fast instead of waiting on data that will never arrive.
+func (nw *Network) DroppedPackets() uint64 {
+	return nw.stats.LostPackets + nw.stats.UnroutablePackets
 }
 
 // RunUntilIdle steps the network until it drains or maxCycles elapse,

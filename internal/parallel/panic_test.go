@@ -1,0 +1,115 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMapPanicContained: a panicking item fails the run with a typed
+// *PanicError instead of crashing the process, at every worker count.
+func TestMapPanicContained(t *testing.T) {
+	for _, workers := range []int{1, 4, 64} {
+		_, err := Map(context.Background(), workers, 100, func(_ context.Context, i int) (int, error) {
+			if i == 37 {
+				panic("boom at 37")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic not reported", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: error %v is not a *PanicError", workers, err)
+		}
+		if pe.Index != 37 || pe.Value != "boom at 37" {
+			t.Errorf("workers=%d: wrong panic captured: %+v", workers, pe)
+		}
+		if want := "parallel: item 37 panicked: boom at 37"; pe.Error() != want {
+			t.Errorf("workers=%d: message %q, want %q", workers, pe.Error(), want)
+		}
+		if !strings.Contains(pe.Stack, "panic_test.go") {
+			t.Errorf("workers=%d: stack trace missing call site", workers)
+		}
+	}
+}
+
+// TestMapPanicDeterministicError: with one worker, items run in index
+// order, so the lowest-indexed panic is always the one reported.
+func TestMapPanicDeterministicError(t *testing.T) {
+	for run := 0; run < 10; run++ {
+		_, err := Map(context.Background(), 1, 50, func(_ context.Context, i int) (int, error) {
+			if i%7 == 3 {
+				panic(i)
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("run %d: %v is not a *PanicError", run, err)
+		}
+		if pe.Index != 3 {
+			t.Fatalf("run %d: reported index %d, want 3", run, pe.Index)
+		}
+	}
+}
+
+// TestMapPanicPreferredOverCancellation: items interrupted by the
+// panic-induced cancellation must not mask the panic itself.
+func TestMapPanicPreferredOverCancellation(t *testing.T) {
+	for _, workers := range []int{4, 64} {
+		_, err := Map(context.Background(), workers, 200, func(ctx context.Context, i int) (int, error) {
+			if i == 0 {
+				time.Sleep(5 * time.Millisecond)
+				panic("late panic")
+			}
+			<-ctx.Done()
+			return 0, ctx.Err()
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: panic masked by %v", workers, err)
+		}
+	}
+}
+
+// TestMapContextDeadline: an expiring deadline aborts the sweep with
+// context.DeadlineExceeded at every worker count, and items observe the
+// cancellation through their ctx.
+func TestMapContextDeadline(t *testing.T) {
+	for _, workers := range []int{1, 4, 64} {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		_, err := Map(ctx, workers, 10_000, func(ctx context.Context, i int) (int, error) {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(time.Millisecond):
+				return i, nil
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("workers=%d: error %v, want DeadlineExceeded", workers, err)
+		}
+	}
+}
+
+// TestForEachPanicContained: the recovery also protects ForEach.
+func TestForEachPanicContained(t *testing.T) {
+	err := ForEach(context.Background(), 4, 10, func(_ context.Context, i int) error {
+		if i == 2 {
+			panic("foreach boom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *PanicError", err)
+	}
+	if pe.Index != 2 {
+		t.Errorf("index %d, want 2", pe.Index)
+	}
+}

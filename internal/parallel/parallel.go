@@ -13,10 +13,29 @@ package parallel
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is the error a panicking work item is converted into: one
+// bad item fails its sweep cleanly instead of killing the process. The
+// deterministic error-selection rule applies to it like any other item
+// error, so the reported panic is stable across worker counts.
+type PanicError struct {
+	Index int    // work-item index that panicked
+	Value any    // the recovered panic value
+	Stack string // stack trace captured at recovery
+}
+
+// Error implements the error interface. The stack is carried for
+// debugging but kept out of the message so the error string is
+// deterministic.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("parallel: item %d panicked: %v", p.Index, p.Value)
+}
 
 // Workers resolves a worker-count request: n >= 1 is used as given; zero
 // or negative means one worker per available CPU (runtime.GOMAXPROCS).
@@ -38,6 +57,10 @@ func Workers(n int) int {
 // mid-flight. With workers == 1 items run strictly in index order, so the
 // reported error is fully deterministic. If the parent context is
 // canceled before all items complete, Map reports the context error.
+//
+// A panic inside fn is recovered and converted into a *PanicError for
+// that index, failing the run like any other item error instead of
+// crashing the process.
 //
 // fn must be safe for concurrent invocation with distinct indices;
 // Map never invokes it twice for the same index.
@@ -66,7 +89,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				r, err := fn(ctx, i)
+				r, err := protect(ctx, i, fn)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -102,6 +125,16 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 		return nil, err
 	}
 	return results, nil
+}
+
+// protect invokes fn(ctx, i), converting a panic into a *PanicError.
+func protect[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (r T, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn(ctx, i)
 }
 
 // ForEach is Map without per-item results: it runs fn(ctx, i) for every
