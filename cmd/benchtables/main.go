@@ -10,6 +10,7 @@
 //	            [-models LeNet-5,AlexNet,...] [-probes 8] [-seed 2020] \
 //	            [-epochs 10] [-samples 2000] [-fast] [-workers N] \
 //	            [-timeout 30m] [-checkpoint run.json]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Independent work items (models, sweep points, accelerator layers) run
 // on -workers goroutines; results are collected by index, so the output
@@ -17,7 +18,10 @@
 //
 // -timeout bounds the whole run with a context deadline; -checkpoint
 // records completed experiments in a JSON file so an interrupted -all
-// run resumes where it stopped instead of redoing finished work.
+// run resumes where it stopped instead of redoing finished work. The
+// fig10 and faults sweeps additionally checkpoint each finished model,
+// so even a single interrupted experiment resumes mid-sweep.
+// -cpuprofile/-memprofile write pprof profiles of the run.
 //
 // The large models (VGG-16, Inception-v3, ResNet50) take minutes and
 // hundreds of megabytes each; use -models to restrict a run.
@@ -32,9 +36,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/experiments"
 )
@@ -70,15 +76,27 @@ func writeCSV(name string, header []string, rows [][]string) error {
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
 
 // checkpointFile tracks which experiments of an -experiment=all run have
-// completed, as a sorted JSON name list, so an interrupted run resumes.
+// completed, plus per-model intermediate results stored by the heavy
+// sweeps (fig10, faults) through the experiments.Checkpoint interface,
+// so an interrupted run resumes mid-sweep instead of per experiment. The
+// on-disk form is a JSON object {"done": [...], "models": {...}}; the
+// legacy plain name-array format from earlier releases is still read.
 type checkpointFile struct {
-	path string
-	done map[string]bool
+	mu     sync.Mutex
+	path   string
+	done   map[string]bool
+	models map[string]json.RawMessage
 }
 
-// loadCheckpoint reads the done-set (a missing file is an empty set).
+// checkpointDoc is the on-disk object form.
+type checkpointDoc struct {
+	Done   []string                   `json:"done"`
+	Models map[string]json.RawMessage `json:"models,omitempty"`
+}
+
+// loadCheckpoint reads the checkpoint (a missing file is an empty one).
 func loadCheckpoint(path string) (*checkpointFile, error) {
-	cp := &checkpointFile{path: path, done: map[string]bool{}}
+	cp := &checkpointFile{path: path, done: map[string]bool{}, models: map[string]json.RawMessage{}}
 	if path == "" {
 		return cp, nil
 	}
@@ -91,7 +109,14 @@ func loadCheckpoint(path string) (*checkpointFile, error) {
 	}
 	var names []string
 	if err := json.Unmarshal(data, &names); err != nil {
-		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+		var doc checkpointDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+		}
+		names = doc.Done
+		for k, v := range doc.Models {
+			cp.models[k] = v
+		}
 	}
 	for _, n := range names {
 		cp.done[n] = true
@@ -99,19 +124,21 @@ func loadCheckpoint(path string) (*checkpointFile, error) {
 	return cp, nil
 }
 
-// mark records one completed experiment and persists the set atomically
-// (write-to-temp, rename), so a crash mid-write cannot corrupt it.
-func (cp *checkpointFile) mark(name string) error {
-	cp.done[name] = true
+// save persists the checkpoint atomically (write-to-temp, rename), so a
+// crash mid-write cannot corrupt it. Callers hold cp.mu.
+func (cp *checkpointFile) save() error {
 	if cp.path == "" {
 		return nil
 	}
-	names := make([]string, 0, len(cp.done))
+	doc := checkpointDoc{Done: make([]string, 0, len(cp.done)), Models: cp.models}
 	for n := range cp.done {
-		names = append(names, n)
+		doc.Done = append(doc.Done, n)
 	}
-	sort.Strings(names)
-	data, err := json.MarshalIndent(names, "", "  ")
+	sort.Strings(doc.Done)
+	if len(doc.Models) == 0 {
+		doc.Models = nil
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -120,6 +147,40 @@ func (cp *checkpointFile) mark(name string) error {
 		return err
 	}
 	return os.Rename(tmp, cp.path)
+}
+
+// mark records one completed experiment and persists the checkpoint.
+func (cp *checkpointFile) mark(name string) error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.done[name] = true
+	return cp.save()
+}
+
+// Load implements experiments.Checkpoint: per-model sweep results.
+func (cp *checkpointFile) Load(key string, out any) (bool, error) {
+	cp.mu.Lock()
+	raw, ok := cp.models[key]
+	cp.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("checkpoint %s: key %q: %w", cp.path, key, err)
+	}
+	return true, nil
+}
+
+// Store implements experiments.Checkpoint.
+func (cp *checkpointFile) Store(key string, val any) error {
+	raw, err := json.Marshal(val)
+	if err != nil {
+		return err
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.models[key] = raw
+	return cp.save()
 }
 
 func main() {
@@ -134,7 +195,9 @@ func main() {
 		csvOut     = flag.String("csv", "", "also write machine-readable CSVs to this directory")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent workers (output is identical for any value)")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
-		checkpoint = flag.String("checkpoint", "", "JSON file recording completed experiments; -experiment all skips them on resume")
+		checkpoint = flag.String("checkpoint", "", "JSON file recording completed experiments and per-model sweep results; resumed runs skip them")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	csvDir = *csvOut
@@ -171,32 +234,86 @@ func main() {
 	}
 	order := []string{"table1", "table2", "fig2", "fig3", "fig9", "fig10", "table3", "faults"}
 
-	if *experiment == "all" {
-		cp, err := loadCheckpoint(*checkpoint)
-		if err != nil {
-			fatal(err)
-		}
+	cp, err := loadCheckpoint(*checkpoint)
+	if err != nil {
+		fatal(err)
+	}
+	if *checkpoint != "" {
+		// Per-model resume inside the heavy sweeps (fig10, faults): the
+		// checkpoint file doubles as the experiments.Checkpoint store.
+		opts.Checkpoint = cp
+	}
+	stopProf, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	runErr := runExperiments(*experiment, order, runners, cp, opts)
+	stopProf()
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+// runExperiments dispatches -experiment (either "all" with checkpoint
+// skipping, or a single named experiment).
+func runExperiments(experiment string, order []string, runners map[string]func(experiments.Options) error, cp *checkpointFile, opts experiments.Options) error {
+	if experiment == "all" {
 		for _, name := range order {
 			if cp.done[name] {
 				fmt.Printf("\n=== %s: done (checkpointed), skipping ===\n", name)
 				continue
 			}
 			if err := runners[name](opts); err != nil {
-				fatal(err)
+				return err
 			}
 			if err := cp.mark(name); err != nil {
-				fatal(err)
+				return err
 			}
 		}
-		return
+		return nil
 	}
-	run, ok := runners[*experiment]
+	run, ok := runners[experiment]
 	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q (want all, %s)", *experiment, strings.Join(order, ", ")))
+		return fmt.Errorf("unknown experiment %q (want all, %s)", experiment, strings.Join(order, ", "))
 	}
-	if err := run(opts); err != nil {
-		fatal(err)
+	return run(opts)
+}
+
+// startProfiles starts the optional CPU profile and returns a stop
+// function that finishes it and writes the optional heap profile.
+// Profiles are written on normal completion, not after a fatal exit.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
 	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables: heap profile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // flush recently freed objects so live-heap numbers are clean
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables: heap profile:", err)
+		}
+	}, nil
 }
 
 func fatal(err error) {

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/accel"
@@ -64,8 +65,16 @@ func main() {
 		linkRate  = flag.Float64("link-fault-rate", 0, "per-link-traversal flit corruption probability")
 		deadLinks = flag.String("dead-links", "", "comma-separated stuck-at links, e.g. 5-6,6-5")
 		retries   = flag.Int("retries", 0, "retransmission budget per packet (0 = default)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	b, err := models.ByName(*modelName)
 	if err != nil {
@@ -163,4 +172,41 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "nocsim:", err)
 	os.Exit(1)
+}
+
+// startProfiles starts the optional CPU profile and returns a stop
+// function that finishes it and writes the optional heap profile.
+// Profiles are written on normal completion, not after a fatal exit.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocsim: heap profile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // flush recently freed objects so live-heap numbers are clean
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nocsim: heap profile:", err)
+		}
+	}, nil
 }

@@ -1,0 +1,42 @@
+package accel
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+// TestScratchPoolReuseDeterministic pins the layer-scratch pool
+// contract: one Simulator reused for many SimulateModel runs at varying
+// worker counts must produce results deeply equal to its first run.
+// Dirty pooled networks and per-PE/per-MI state from earlier layers and
+// earlier runs must never leak into a later layer; under -race this
+// also checks that concurrent layer simulations share the pool safely.
+func TestScratchPoolReuseDeterministic(t *testing.T) {
+	m, err := models.LeNet5(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := SpecsFromModel(m, nil, core.DefaultStorage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := defaultSim(t)
+	base, err := sim.SimulateModel(m.Name, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same simulator, warm pool, every worker count twice over.
+	for _, n := range []int{1, 2, 4, 64, 1, 2, 4, 64} {
+		sim.SetWorkers(n)
+		got, err := sim.SimulateModel(m.Name, specs)
+		if err != nil {
+			t.Fatalf("workers %d: %v", n, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers %d: warm-pool result differs from first run", n)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/noc"
 	"repro/internal/parallel"
@@ -19,16 +20,23 @@ var ErrDataLoss = errors.New("accel: packets permanently lost to faults")
 // Simulator executes layer specs on the accelerator platform.
 //
 // A Simulator is immutable after construction apart from SetWorkers and is
-// safe for concurrent use: SimulateLayer builds a fresh noc.Network and
-// fresh per-layer runtime state (peState/miState maps) on every call, and
-// only reads the shared cfg/pes/assign fields. Config and LayerSpec are
-// plain value types with no interior mutability, so specs may be shared
-// freely across goroutines.
+// safe for concurrent use: SimulateLayer checks a fresh, fully reset
+// layerScratch out of an internal sync.Pool on every call (reusing the
+// noc.Network and per-PE/per-MI runtime state across layers instead of
+// reallocating them), and otherwise only reads the shared
+// cfg/pes/assign/peIdx/miPEs fields. Config and LayerSpec are plain
+// value types with no interior mutability, so specs may be shared
+// freely across goroutines. Every scratch is reset to an identical
+// state before use, so results do not depend on pool scheduling.
 type Simulator struct {
 	cfg     Config
 	pes     []int
 	assign  map[int]int // PE node -> memory interface node
+	peIdx   map[int]int // PE node -> dense index into layerScratch.pes
+	peMI    []int       // per PE index: dense index of its MI into layerScratch.mis
+	miPEs   [][]int     // per MemNodes index: assigned PE nodes, ascending
 	workers int
+	pool    sync.Pool // *layerScratch
 }
 
 // NewSimulator validates the configuration and precomputes the PE to
@@ -37,7 +45,22 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Simulator{cfg: cfg, pes: cfg.peNodes(), assign: cfg.assignPEs(), workers: 1}, nil
+	s := &Simulator{cfg: cfg, pes: cfg.peNodes(), assign: cfg.assignPEs(), workers: 1}
+	s.peIdx = make(map[int]int, len(s.pes))
+	for i, p := range s.pes {
+		s.peIdx[p] = i
+	}
+	s.miPEs = make([][]int, len(cfg.MemNodes))
+	s.peMI = make([]int, len(s.pes))
+	for mi, m := range cfg.MemNodes {
+		for _, p := range s.pes {
+			if s.assign[p] == m {
+				s.miPEs[mi] = append(s.miPEs[mi], p)
+				s.peMI[s.peIdx[p]] = mi
+			}
+		}
+	}
+	return s, nil
 }
 
 // Config returns the platform configuration.
@@ -83,12 +106,13 @@ func (s *Simulator) SimulateModelContext(ctx context.Context, modelName string, 
 	return res, nil
 }
 
-// message metadata kinds.
+// message metadata kinds. peIdx is the dense index into
+// layerScratch.pes, carried so the delivery sink avoids a map lookup.
 type fetchMeta struct {
-	pe, round int
+	pe, peIdx, round int
 }
 type outputMeta struct {
-	pe, round int
+	pe, peIdx, round int
 }
 
 // dramJob is one main-memory transaction at a memory interface.
@@ -96,29 +120,130 @@ type dramJob struct {
 	words   uint64
 	isWrite bool
 	pe      int
+	peIdx   int
 	round   int
 }
 
-// miState is the runtime state of one memory interface.
+// miSlot is one assigned PE's fetch stream at a memory interface: read
+// jobs are constructed on the fly from (words, nextRead) instead of
+// being materialized per round.
+type miSlot struct {
+	pe       int    // PE node id
+	peIdx    int    // dense index into layerScratch.pes
+	words    uint64 // DRAM words per fetch round
+	nextRead int    // next round to issue
+}
+
+// miState is the runtime state of one memory interface. The writeback
+// queue is a head-indexed ring (like noc's flit queues) so its backing
+// array is reused across the layer, and the in-service job is held by
+// value to avoid a per-job heap allocation.
 type miState struct {
 	node     int
-	readPlan [][]dramJob // per assigned PE: fetch jobs in round order
-	nextRead []int       // per assigned PE: next round to issue
-	writes   []dramJob   // pending writeback jobs
-	current  *dramJob
+	slots    []miSlot
+	writes   []dramJob // pending writeback jobs; wHead is the queue head
+	wHead    int
+	current  dramJob
+	busy     bool // current holds an in-service job
 	finishAt uint64
 }
 
-// peState is the runtime state of one PE.
+// pushWrite appends a writeback job, compacting the ring when the tail
+// reaches the backing array's capacity.
+func (mi *miState) pushWrite(j dramJob) {
+	if mi.wHead > 0 && len(mi.writes) == cap(mi.writes) {
+		n := copy(mi.writes, mi.writes[mi.wHead:])
+		mi.writes = mi.writes[:n]
+		mi.wHead = 0
+	}
+	mi.writes = append(mi.writes, j)
+}
+
+// popWrite removes the head writeback job; the queue must be non-empty.
+func (mi *miState) popWrite() dramJob {
+	j := mi.writes[mi.wHead]
+	mi.wHead++
+	if mi.wHead == len(mi.writes) {
+		mi.writes = mi.writes[:0]
+		mi.wHead = 0
+	}
+	return j
+}
+
+// writesPending returns the queued writeback count.
+func (mi *miState) writesPending() int { return len(mi.writes) - mi.wHead }
+
+// peState is the runtime state of one PE. The per-round bookkeeping is
+// round-indexed slices (rounds are dense in [0, simRounds)), reused
+// across layers by the scratch pool.
 type peState struct {
 	node, mi  int
 	round     int
 	computing bool
 	busyUntil uint64
 	done      bool
-	arrived   map[int]int // round -> packets arrived
-	expected  map[int]int // round -> packets expected (set at injection)
-	issued    map[int]bool
+	arrived   []int32 // per round: packets arrived
+	expected  []int32 // per round: packets expected (set at injection)
+	issued    []bool  // per round: fetch issued
+}
+
+// layerScratch is the reusable per-layer runtime state: the mesh
+// network plus PE and MI bookkeeping. Simulator pools these so
+// SimulateModel's per-layer allocations are O(1) amortized.
+type layerScratch struct {
+	nw  *noc.Network
+	pes []peState
+	mis []miState
+}
+
+// getScratch checks a scratch out of the pool, constructing one on
+// first use. The network is reset; per-layer fields are reset by
+// SimulateLayerContext once the layer's round count is known.
+func (s *Simulator) getScratch() (*layerScratch, error) {
+	if sc, _ := s.pool.Get().(*layerScratch); sc != nil {
+		sc.nw.Reset()
+		return sc, nil
+	}
+	nw, err := noc.New(s.cfg.Mesh)
+	if err != nil {
+		return nil, err
+	}
+	sc := &layerScratch{
+		nw:  nw,
+		pes: make([]peState, len(s.pes)),
+		mis: make([]miState, len(s.cfg.MemNodes)),
+	}
+	for i, p := range s.pes {
+		sc.pes[i] = peState{node: p, mi: s.assign[p]}
+	}
+	for mi, m := range s.cfg.MemNodes {
+		slots := make([]miSlot, len(s.miPEs[mi]))
+		for k, p := range s.miPEs[mi] {
+			slots[k] = miSlot{pe: p, peIdx: s.peIdx[p]}
+		}
+		sc.mis[mi] = miState{node: m, slots: slots}
+	}
+	return sc, nil
+}
+
+// growInt32 returns s resized to n elements, all zero, reusing capacity.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// growBool returns s resized to n elements, all false, reusing capacity.
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // layerGeometry is the per-layer derived tiling.
@@ -263,10 +388,12 @@ func (s *Simulator) SimulateLayerContext(ctx context.Context, spec LayerSpec) (L
 		return LayerResult{}, err
 	}
 	g := s.geometry(spec)
-	nw, err := noc.New(s.cfg.Mesh)
+	sc, err := s.getScratch()
 	if err != nil {
 		return LayerResult{}, err
 	}
+	defer s.pool.Put(sc)
+	nw := sc.nw
 
 	// Per-round per-PE message sizes (bytes).
 	wRound := ceilDiv(g.wBytesPE, uint64(g.rounds))
@@ -296,39 +423,30 @@ func (s *Simulator) SimulateLayerContext(ctx context.Context, spec LayerSpec) (L
 		fetchWordsRest = ceilDiv(wDRAM, wordBytes)
 	}
 
-	// Build runtime state.
-	pes := make(map[int]*peState, len(s.pes))
-	for _, p := range s.pes {
-		pes[p] = &peState{
-			node: p, mi: s.assign[p],
-			arrived:  make(map[int]int),
-			expected: make(map[int]int),
-			issued:   make(map[int]bool),
-		}
+	// Reset the pooled runtime state for this layer's round count.
+	for i := range sc.pes {
+		pe := &sc.pes[i]
+		pe.round, pe.computing, pe.done, pe.busyUntil = 0, false, false, 0
+		pe.arrived = growInt32(pe.arrived, g.simRounds)
+		pe.expected = growInt32(pe.expected, g.simRounds)
+		pe.issued = growBool(pe.issued, g.simRounds)
 	}
-	mis := make(map[int]*miState, len(s.cfg.MemNodes))
-	miPEs := make(map[int][]int)
-	for _, p := range s.pes {
-		miPEs[s.assign[p]] = append(miPEs[s.assign[p]], p)
-	}
-	for _, m := range s.cfg.MemNodes {
-		st := &miState{node: m}
-		for k, p := range miPEs[m] {
-			words := fetchWordsFirst
+	for i := range sc.mis {
+		mi := &sc.mis[i]
+		mi.busy, mi.finishAt = false, 0
+		mi.writes = mi.writes[:0]
+		mi.wHead = 0
+		for k := range mi.slots {
+			sl := &mi.slots[k]
+			sl.nextRead = 0
+			sl.words = fetchWordsFirst
 			if k > 0 {
-				words = fetchWordsRest
+				sl.words = fetchWordsRest
 			}
-			if words == 0 {
-				words = 1 // job bookkeeping still costs a beat
+			if sl.words == 0 {
+				sl.words = 1 // job bookkeeping still costs a beat
 			}
-			plan := make([]dramJob, g.simRounds)
-			for r := 0; r < g.simRounds; r++ {
-				plan[r] = dramJob{words: words, pe: p, round: r}
-			}
-			st.readPlan = append(st.readPlan, plan)
-			st.nextRead = append(st.nextRead, 0)
 		}
-		mis[m] = st
 	}
 
 	var dramReadWords, dramWriteWords uint64
@@ -337,39 +455,39 @@ func (s *Simulator) SimulateLayerContext(ctx context.Context, spec LayerSpec) (L
 	nw.SetSink(func(d noc.Delivery) {
 		switch meta := d.Packet.Meta.(type) {
 		case fetchMeta:
-			pe := pes[meta.pe]
-			pe.arrived[meta.round]++
+			sc.pes[meta.peIdx].arrived[meta.round]++
 		case outputMeta:
 			// One write job per delivered packet, sized by the packet.
-			mi := mis[s.assign[meta.pe]]
-			mi.writes = append(mi.writes, dramJob{words: uint64(d.Packet.Flits), isWrite: true, pe: meta.pe, round: meta.round})
+			mi := &sc.mis[s.peMI[meta.peIdx]]
+			mi.pushWrite(dramJob{words: uint64(d.Packet.Flits), isWrite: true, pe: meta.pe, peIdx: meta.peIdx, round: meta.round})
 		}
 	})
 
 	outstandingWrites := 0
 	done := func() bool {
-		for _, p := range pes {
-			if !p.done {
+		for i := range sc.pes {
+			if !sc.pes[i].done {
 				return false
 			}
 		}
 		if outstandingWrites > 0 {
 			return false
 		}
-		for _, m := range mis {
-			if m.current != nil || len(m.writes) > 0 {
+		for i := range sc.mis {
+			if sc.mis[i].busy || sc.mis[i].writesPending() > 0 {
 				return false
 			}
 		}
 		return nw.Idle()
 	}
 
-	for !done() {
+	dramLatency := uint64(s.cfg.Energy.DRAMLatency)
+	for iter := 0; !done(); iter++ {
 		now := nw.Cycle()
 		if now > maxLayerCycle {
 			return LayerResult{}, fmt.Errorf("accel: layer %q exceeded %d cycles", spec.Name, maxLayerCycle)
 		}
-		if now&0xfff == 0 {
+		if iter&0x3ff == 0 {
 			if err := ctx.Err(); err != nil {
 				return LayerResult{}, err
 			}
@@ -382,54 +500,53 @@ func (s *Simulator) SimulateLayerContext(ctx context.Context, spec LayerSpec) (L
 
 		memBusy := false
 		// Memory interfaces.
-		for _, m := range s.cfg.MemNodes {
-			mi := mis[m]
-			if mi.current != nil {
+		for miI := range sc.mis {
+			mi := &sc.mis[miI]
+			if mi.busy {
 				if now >= mi.finishAt {
 					job := mi.current
-					mi.current = nil
+					mi.busy = false
 					if job.isWrite {
 						dramWriteWords += job.words
 						outstandingWrites--
 					} else {
 						dramReadWords += job.words
-						n, err := nw.SendMessage(m, job.pe, fetchFlits, fetchMeta{pe: job.pe, round: job.round})
+						n, err := nw.SendMessage(mi.node, job.pe, fetchFlits, fetchMeta{pe: job.pe, peIdx: job.peIdx, round: job.round})
 						if err != nil {
 							return LayerResult{}, err
 						}
-						pe := pes[job.pe]
-						pe.expected[job.round] = n
+						pe := &sc.pes[job.peIdx]
+						pe.expected[job.round] = int32(n)
 						pe.issued[job.round] = true
 					}
 				} else {
 					memBusy = true
 				}
 			}
-			if mi.current == nil {
+			if !mi.busy {
 				// Prefer writebacks, then reads (double-buffered: at most
 				// one round ahead of the PE's current round).
-				if len(mi.writes) > 0 {
-					job := mi.writes[0]
-					mi.writes = mi.writes[1:]
-					mi.current = &job
-					mi.finishAt = now + uint64(s.cfg.Energy.DRAMLatency) +
-						dramServiceCycles(job.words, s.cfg.Energy.DRAMWordsPerCy)
+				if mi.writesPending() > 0 {
+					mi.current = mi.popWrite()
+					mi.busy = true
+					mi.finishAt = now + dramLatency +
+						dramServiceCycles(mi.current.words, s.cfg.Energy.DRAMWordsPerCy)
 					memBusy = true
 				} else {
-					for k := range mi.readPlan {
-						r := mi.nextRead[k]
+					for k := range mi.slots {
+						sl := &mi.slots[k]
+						r := sl.nextRead
 						if r >= g.simRounds {
 							continue
 						}
-						pe := pes[mi.readPlan[k][r].pe]
-						if r > pe.round+1 {
+						if r > sc.pes[sl.peIdx].round+1 {
 							continue // respect double buffering
 						}
-						job := mi.readPlan[k][r]
-						mi.nextRead[k]++
-						mi.current = &job
-						mi.finishAt = now + uint64(s.cfg.Energy.DRAMLatency) +
-							dramServiceCycles(job.words, s.cfg.Energy.DRAMWordsPerCy)
+						sl.nextRead++
+						mi.current = dramJob{words: sl.words, pe: sl.pe, peIdx: sl.peIdx, round: r}
+						mi.busy = true
+						mi.finishAt = now + dramLatency +
+							dramServiceCycles(sl.words, s.cfg.Energy.DRAMWordsPerCy)
 						memBusy = true
 						break
 					}
@@ -439,8 +556,8 @@ func (s *Simulator) SimulateLayerContext(ctx context.Context, spec LayerSpec) (L
 
 		// PEs.
 		compBusy := false
-		for _, p := range s.pes {
-			pe := pes[p]
+		for i := range sc.pes {
+			pe := &sc.pes[i]
 			if pe.done {
 				continue
 			}
@@ -448,7 +565,7 @@ func (s *Simulator) SimulateLayerContext(ctx context.Context, spec LayerSpec) (L
 				if now >= pe.busyUntil {
 					pe.computing = false
 					if outFlits > 0 {
-						npkts, err := nw.SendMessage(p, pe.mi, outFlits, outputMeta{pe: p, round: pe.round})
+						npkts, err := nw.SendMessage(pe.node, pe.mi, outFlits, outputMeta{pe: pe.node, peIdx: i, round: pe.round})
 						if err != nil {
 							return LayerResult{}, err
 						}
@@ -475,6 +592,49 @@ func (s *Simulator) SimulateLayerContext(ctx context.Context, spec LayerSpec) (L
 					pe.busyUntil = now + g.computeRound
 					compBusy = true
 				}
+			}
+		}
+
+		// Idle-cycle fast-forward: when the NoC holds no flits, nothing
+		// can change until the earliest pending DRAM completion or PE
+		// compute completion — MIs cannot start jobs (startable jobs were
+		// started this iteration and unblocking needs a delivery or a
+		// round advance), PEs cannot start or finish before busyUntil,
+		// and an idle network stays idle because nothing is injected.
+		// Every skipped cycle would take the same attribution branch (the
+		// busy flags are frozen with the state), so jumping the clock is
+		// exactly equivalent to stepping through the gap.
+		if nw.Idle() {
+			next := uint64(math.MaxUint64)
+			for i := range sc.mis {
+				if sc.mis[i].busy && sc.mis[i].finishAt < next {
+					next = sc.mis[i].finishAt
+				}
+			}
+			for i := range sc.pes {
+				pe := &sc.pes[i]
+				if !pe.done && pe.computing && pe.busyUntil < next {
+					next = pe.busyUntil
+				}
+			}
+			// No pending event with work remaining means a deadlocked
+			// configuration: fall through and let the per-cycle loop hit
+			// the maxLayerCycle guard exactly as before.
+			if next != math.MaxUint64 && next > now+1 {
+				if next > maxLayerCycle+1 {
+					next = maxLayerCycle + 1
+				}
+				delta := next - now
+				switch {
+				case memBusy:
+					lat.Memory += delta
+				case compBusy:
+					lat.Computation += delta
+				default:
+					lat.Communication += delta // handshake bubbles
+				}
+				nw.AdvanceIdle(next)
+				continue
 			}
 		}
 

@@ -64,7 +64,9 @@ func FaultSweep(opts Options) ([]FaultRow, error) {
 	}
 	perModel, err := parallel.Map(opts.ctx(), opts.workers(), len(names),
 		func(_ context.Context, ni int) ([]FaultRow, error) {
-			return faultSweepModel(names[ni], opts)
+			return checkpointed(opts, "faults/"+names[ni], func() ([]FaultRow, error) {
+				return faultSweepModel(names[ni], opts)
+			})
 		})
 	if err != nil {
 		return nil, err

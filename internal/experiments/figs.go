@@ -270,7 +270,9 @@ func Fig10(opts Options) ([]Fig10Point, error) {
 	// layers of each simulated configuration.
 	perModel, err := parallel.Map(opts.ctx(), opts.workers(), len(builders),
 		func(_ context.Context, bi int) ([]Fig10Point, error) {
-			return fig10Model(builders[bi], sim, opts)
+			return checkpointed(opts, "fig10/"+builders[bi].Name, func() ([]Fig10Point, error) {
+				return fig10Model(builders[bi], sim, opts)
+			})
 		})
 	if err != nil {
 		return nil, err

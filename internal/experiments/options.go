@@ -49,6 +49,21 @@ type Options struct {
 	// Fast trims workloads to test scale: it caps probe counts and
 	// restricts expensive sweeps to the small models.
 	Fast bool
+	// Checkpoint, when non-nil, lets the heavy sweeps (Fig10, FaultSweep)
+	// resume per model: finished per-model results are stored under a
+	// "fig10/<model>" or "faults/<model>" key and loaded back instead of
+	// recomputed on the next run. Implementations must be safe for
+	// concurrent use (models fan out over the worker pool).
+	Checkpoint Checkpoint
+}
+
+// Checkpoint persists intermediate experiment results between runs.
+// Load unmarshals the value stored under key into out and reports
+// whether the key existed; Store saves val under key durably enough to
+// survive the process. cmd/benchtables backs this with a JSON file.
+type Checkpoint interface {
+	Load(key string, out any) (bool, error)
+	Store(key string, val any) error
 }
 
 // DefaultOptions returns the full-paper experiment configuration.
@@ -102,6 +117,32 @@ func (o Options) selectedBuilders() ([]models.Builder, error) {
 			return nil, err
 		}
 		out = append(out, b)
+	}
+	return out, nil
+}
+
+// checkpointed wraps one model's sweep in the optional per-model
+// checkpoint: a stored result is returned without recomputing, and a
+// fresh result is stored before it is returned.
+func checkpointed[T any](opts Options, key string, run func() (T, error)) (T, error) {
+	cp := opts.Checkpoint
+	if cp == nil {
+		return run()
+	}
+	var cached T
+	if ok, err := cp.Load(key, &cached); err != nil {
+		var zero T
+		return zero, fmt.Errorf("experiments: checkpoint load %q: %w", key, err)
+	} else if ok {
+		return cached, nil
+	}
+	out, err := run()
+	if err != nil {
+		return out, err
+	}
+	if err := cp.Store(key, out); err != nil {
+		var zero T
+		return zero, fmt.Errorf("experiments: checkpoint store %q: %w", key, err)
 	}
 	return out, nil
 }

@@ -1,0 +1,456 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Batched evaluation. A BatchRunner runs a graph over N same-shaped
+// inputs at once so the heavy layers amortize per-call overheads: the
+// convolution fast path stacks the N im2col matrices and issues one
+// (N·oh·ow)×k matmul against the shared weights, keeping the weight
+// panel hot in cache across the whole batch instead of re-streaming it
+// per sample.
+//
+// Bit-identity is the same hard contract as the scratch kernels: every
+// fast path performs, per output element, exactly the per-sample
+// accumulation sequence (batching a matmul only appends independent
+// rows; element-wise and per-sample kernels simply loop), and layers
+// without a fast path fall back to their per-sample ForwardScratch with
+// the result copied into the batch buffer. The equivalence tests in
+// batch_test.go pin outputs against the per-sample Runner with
+// Float32bits.
+
+// batchTensor is a batch of n same-shaped activations: either a
+// contiguous [n * vol] backing array with cached per-sample views, or
+// (for graph inputs and cached prefix activations) just per-sample
+// views over caller-owned tensors.
+type batchTensor struct {
+	data  []float32 // nil for view-only batches
+	n     int
+	vol   int
+	dims  []int
+	views []*tensor.Tensor
+}
+
+// sample returns the i-th per-sample view.
+func (bt *batchTensor) sample(i int) *tensor.Tensor { return bt.views[i] }
+
+// rowData returns the i-th sample's backing data.
+func (bt *batchTensor) rowData(i int) []float32 {
+	if bt.data != nil {
+		return bt.data[i*bt.vol : (i+1)*bt.vol]
+	}
+	return bt.views[i].Data
+}
+
+// BatchRunner executes a Graph over batches of same-shaped inputs with
+// a persistent Scratch. Like Runner it is single-goroutine state over
+// the shared read-only graph; create one per worker. All returned
+// tensors are owned by the BatchRunner and valid until its next call.
+type BatchRunner struct {
+	g   *Graph
+	s   *Scratch
+	bts map[string]*batchTensor
+	xs  []*tensor.Tensor // per-sample fallback input scratch
+	out []*tensor.Tensor // returned output views
+}
+
+// WithBatch returns a BatchRunner over g with a fresh scratch arena.
+func (g *Graph) WithBatch() *BatchRunner {
+	return &BatchRunner{
+		g:   g,
+		s:   NewScratch(),
+		bts: make(map[string]*batchTensor, len(g.order)+1),
+	}
+}
+
+// ForwardBatch runs the graph on the batch xs (all the same shape) and
+// returns one output view per sample, bit-identical to running each
+// sample through Runner.Forward. The views are owned by the BatchRunner
+// and valid until its next call.
+func (b *BatchRunner) ForwardBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(b.g.order) == 0 {
+		return nil, fmt.Errorf("nn: empty graph")
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("nn: empty batch")
+	}
+	for _, x := range xs[1:] {
+		if !sameDims(x, xs[0]) {
+			return nil, fmt.Errorf("%w: batch mixes shapes %v and %v", ErrShape, xs[0].Shape(), x.Shape())
+		}
+	}
+	b.setViewBatch(InputName, xs)
+	if err := b.run(0, len(xs)); err != nil {
+		return nil, err
+	}
+	return b.outputs(len(xs)), nil
+}
+
+// ForwardFromBatch re-executes the graph from the named layer
+// (inclusive) over a batch of cached prefix activations — acts[i] must
+// be the ForwardAll result for sample i — and returns one output view
+// per sample, bit-identical to Runner.ForwardFrom on each sample. acts
+// is not modified.
+func (b *BatchRunner) ForwardFromBatch(acts []map[string]*tensor.Tensor, from string) ([]*tensor.Tensor, error) {
+	if len(acts) == 0 {
+		return nil, fmt.Errorf("nn: empty batch")
+	}
+	start := -1
+	for i, name := range b.g.order {
+		if name == from {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil, fmt.Errorf("nn: unknown layer %q", from)
+	}
+	// Stage the prefix activations each suffix node reads: any input
+	// whose producer runs before `start` (or the graph input) becomes a
+	// view-only batch over the cached per-sample tensors.
+	suffix := make(map[string]bool, len(b.g.order)-start)
+	for _, name := range b.g.order[start:] {
+		suffix[name] = true
+	}
+	staged := make(map[string]bool)
+	for _, name := range b.g.order[start:] {
+		for _, in := range b.g.nodes[name].inputs {
+			if suffix[in] || staged[in] {
+				continue
+			}
+			views := make([]*tensor.Tensor, len(acts))
+			for i, m := range acts {
+				a, ok := m[in]
+				if !ok || a == nil {
+					return nil, fmt.Errorf("nn: batch sample %d: missing activation for %q", i, in)
+				}
+				if i > 0 && !sameDims(a, views[0]) {
+					return nil, fmt.Errorf("%w: batch mixes shapes for %q", ErrShape, in)
+				}
+				views[i] = a
+			}
+			b.setViewBatch(in, views)
+			staged[in] = true
+		}
+	}
+	if err := b.run(start, len(acts)); err != nil {
+		return nil, err
+	}
+	return b.outputs(len(acts)), nil
+}
+
+// outputs collects the per-sample output views.
+func (b *BatchRunner) outputs(n int) []*tensor.Tensor {
+	b.out = b.out[:0]
+	bt := b.bts[b.g.output]
+	for i := 0; i < n; i++ {
+		b.out = append(b.out, bt.sample(i))
+	}
+	return b.out
+}
+
+// setViewBatch installs a view-only batch over caller-owned tensors.
+func (b *BatchRunner) setViewBatch(name string, xs []*tensor.Tensor) {
+	bt := b.bts[name]
+	if bt == nil {
+		bt = &batchTensor{}
+		b.bts[name] = bt
+	}
+	bt.data = nil
+	bt.n = len(xs)
+	bt.vol = xs[0].Size()
+	bt.dims = append(bt.dims[:0], xs[0].Shape()...)
+	bt.views = append(bt.views[:0], xs...)
+}
+
+// batchFor returns the named contiguous batch buffer with n samples of
+// the given shape, reusing the previous backing array and per-sample
+// views when nothing changed (the steady state).
+func (b *BatchRunner) batchFor(name string, n int, dims ...int) (*batchTensor, error) {
+	vol := 1
+	for _, d := range dims {
+		vol *= d
+	}
+	data := b.s.Floats(name, "/batch", n*vol)
+	bt := b.bts[name]
+	if bt == nil {
+		bt = &batchTensor{}
+		b.bts[name] = bt
+	}
+	if bt.n == n && bt.vol == vol && len(bt.views) == n &&
+		len(bt.data) == len(data) && (len(data) == 0 || &bt.data[0] == &data[0]) &&
+		shapeEq(bt.dims, dims) {
+		return bt, nil
+	}
+	bt.data = data
+	bt.n = n
+	bt.vol = vol
+	bt.dims = append(bt.dims[:0], dims...)
+	bt.views = bt.views[:0]
+	for i := 0; i < n; i++ {
+		v, err := tensor.FromSlice(data[i*vol:(i+1)*vol], dims...)
+		if err != nil {
+			return nil, err
+		}
+		bt.views = append(bt.views, v)
+	}
+	return bt, nil
+}
+
+// aliasBatch installs a batch that reshapes in's samples without
+// copying (Flatten).
+func (b *BatchRunner) aliasBatch(name string, in *batchTensor, dims ...int) (*batchTensor, error) {
+	vol := 1
+	for _, d := range dims {
+		vol *= d
+	}
+	bt := b.bts[name]
+	if bt == nil {
+		bt = &batchTensor{}
+		b.bts[name] = bt
+	}
+	// Views alias the input samples' data, so they must be rebuilt
+	// whenever the input views changed; checking the first and last
+	// backing pointers covers the arena steady state.
+	if bt.n == in.n && bt.vol == vol && len(bt.views) == in.n && shapeEq(bt.dims, dims) &&
+		in.n > 0 && len(bt.views[0].Data) > 0 && len(in.views[0].Data) > 0 &&
+		&bt.views[0].Data[0] == &in.views[0].Data[0] &&
+		&bt.views[in.n-1].Data[0] == &in.views[in.n-1].Data[0] {
+		bt.data = in.data
+		return bt, nil
+	}
+	bt.data = in.data
+	bt.n = in.n
+	bt.vol = vol
+	bt.dims = append(bt.dims[:0], dims...)
+	bt.views = bt.views[:0]
+	for i := 0; i < in.n; i++ {
+		v, err := tensor.FromSlice(in.views[i].Data, dims...)
+		if err != nil {
+			return nil, err
+		}
+		bt.views = append(bt.views, v)
+	}
+	return bt, nil
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// run executes nodes order[start:] over the staged batches.
+func (b *BatchRunner) run(start, n int) error {
+	for _, name := range b.g.order[start:] {
+		nd := b.g.nodes[name]
+		var err error
+		if len(nd.inputs) == 1 {
+			in, ok := b.bts[nd.inputs[0]]
+			if !ok {
+				return fmt.Errorf("nn: layer %q: missing activation for %q", name, nd.inputs[0])
+			}
+			err = b.forwardFast(name, nd.layer, in, n)
+		} else {
+			err = b.forwardFallback(name, nd, n)
+		}
+		if err != nil {
+			return fmt.Errorf("nn: layer %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// forwardFast dispatches single-input layers to their batched kernels,
+// falling back to the per-sample path for everything else.
+func (b *BatchRunner) forwardFast(name string, l Layer, in *batchTensor, n int) error {
+	switch l := l.(type) {
+	case *Conv2D:
+		return b.batchConv(name, l, in, n)
+	case *Dense:
+		return b.batchDense(name, l, in, n)
+	case *ReLU:
+		out, err := b.batchFor(name, n, in.dims...)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			src := in.rowData(i)
+			dst := out.rowData(i)
+			for j, v := range src {
+				if v < 0 {
+					v = 0
+				} else if l.Max > 0 && v > l.Max {
+					v = l.Max
+				}
+				dst[j] = v
+			}
+		}
+		return nil
+	case *Softmax:
+		out, err := b.batchFor(name, n, in.dims...)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			softmaxInto(out.rowData(i), in.rowData(i))
+		}
+		return nil
+	case *Flatten:
+		_, err := b.aliasBatch(name, in, in.vol)
+		return err
+	case *Pool2D:
+		oh, ow, err := l.checkInput(in.sample(0))
+		if err != nil {
+			return err
+		}
+		out, err := b.batchFor(name, n, oh, ow, in.sample(0).Dim(2))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			l.forwardInto(out.rowData(i), in.sample(i), oh, ow)
+		}
+		return nil
+	case *GlobalAvgPool:
+		x0 := in.sample(0)
+		if x0.Rank() != 3 {
+			return fmt.Errorf("%w: gap %q wants [H W C], got %v", ErrShape, name, x0.Shape())
+		}
+		c := x0.Dim(2)
+		out, err := b.batchFor(name, n, c)
+		if err != nil {
+			return err
+		}
+		acc := b.s.Float64s(name, "/bacc", c)
+		for i := 0; i < n; i++ {
+			clear(acc)
+			l.forwardInto(out.rowData(i), in.sample(i), acc)
+		}
+		return nil
+	case *DepthwiseConv2D:
+		oh, ow, err := l.checkInput(in.sample(0))
+		if err != nil {
+			return err
+		}
+		out, err := b.batchFor(name, n, oh, ow, l.C)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			row := out.rowData(i)
+			clear(row) // forwardInto accumulates
+			l.forwardInto(row, in.sample(i), oh, ow)
+		}
+		return nil
+	default:
+		return b.forwardFallback(name, b.g.nodes[name], n)
+	}
+}
+
+// batchConv stacks the batch's im2col matrices and multiplies once:
+// y[(n·oh·ow) x outC] = cols[(n·oh·ow) x k] · W. Matmul rows are
+// independent, so the stacked product is the per-sample product
+// bit-for-bit.
+func (b *BatchRunner) batchConv(name string, l *Conv2D, in *batchTensor, n int) error {
+	x0 := in.sample(0)
+	if err := l.checkInput(x0); err != nil {
+		return err
+	}
+	oh := tensor.ConvOutDim(x0.Dim(0), l.KH, l.Stride, l.PadH)
+	ow := tensor.ConvOutDim(x0.Dim(1), l.KW, l.Stride, l.PadW)
+	rows := oh * ow
+	k := l.KH * l.KW * l.InC
+	cols := b.s.Floats(name, "/bcols", n*rows*k)
+	for i := 0; i < n; i++ {
+		if _, _, err := tensor.Im2ColInto(cols[i*rows*k:(i+1)*rows*k], in.sample(i), l.KH, l.KW, l.Stride, l.PadH, l.PadW); err != nil {
+			return err
+		}
+	}
+	colsT, err := b.s.View(name, "/bcolsT", cols, n*rows, k)
+	if err != nil {
+		return err
+	}
+	out, err := b.batchFor(name, n, oh, ow, l.OutC)
+	if err != nil {
+		return err
+	}
+	y, err := b.s.View(name, "/by", out.data, n*rows, l.OutC)
+	if err != nil {
+		return err
+	}
+	if err := tensor.MatMulInto(y, colsT, l.W); err != nil {
+		return err
+	}
+	l.addBias(out.data, n*rows)
+	return nil
+}
+
+// batchDense runs the per-sample float64-accumulated product over the
+// batch with one shared accumulator buffer.
+func (b *BatchRunner) batchDense(name string, l *Dense, in *batchTensor, n int) error {
+	if in.vol != l.In {
+		return fmt.Errorf("%w: dense %q wants %d inputs, got %d", ErrShape, name, l.In, in.vol)
+	}
+	out, err := b.batchFor(name, n, l.Out)
+	if err != nil {
+		return err
+	}
+	acc := b.s.Float64s(name, "/bacc", l.Out)
+	for i := 0; i < n; i++ {
+		clear(acc)
+		l.forwardInto(out.rowData(i), in.rowData(i), acc)
+	}
+	return nil
+}
+
+// forwardFallback runs the node per sample through its ForwardScratch
+// (or Forward) and copies each result into the batch buffer — the path
+// for multi-input layers (Add, Concat) and layers without a batched
+// kernel (BatchNorm, Reshape).
+func (b *BatchRunner) forwardFallback(name string, nd *node, n int) error {
+	ins := make([]*batchTensor, len(nd.inputs))
+	for i, inName := range nd.inputs {
+		bt, ok := b.bts[inName]
+		if !ok {
+			return fmt.Errorf("missing activation for %q", inName)
+		}
+		ins[i] = bt
+	}
+	var out *batchTensor
+	for i := 0; i < n; i++ {
+		xs := b.xs[:0]
+		for _, bt := range ins {
+			xs = append(xs, bt.sample(i))
+		}
+		b.xs = xs[:0]
+		var y *tensor.Tensor
+		var err error
+		if sl, ok := nd.layer.(ScratchLayer); ok {
+			y, err = sl.ForwardScratch(xs, b.s)
+		} else {
+			y, err = nd.layer.Forward(xs)
+		}
+		if err != nil {
+			return err
+		}
+		if out == nil {
+			// The output shape is only known after the first sample.
+			if out, err = b.batchFor(name, n, y.Shape()...); err != nil {
+				return err
+			}
+		}
+		// Copy before the next sample reuses the layer's scratch.
+		copy(out.rowData(i), y.Data)
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// testGraph builds a graph exercising every batched fast path (conv,
+// dense, relu, softmax, flatten, pool, gap, dwconv) plus the fallback
+// layers (batchnorm, add, concat, reshape) in one topology.
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	g := NewGraph()
+	must := func(l Layer, err error, inputs ...string) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Add(l, inputs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1, err := NewConv2D("c1", 3, 3, 3, 8, 1, 1, rng)
+	must(c1, err)
+	bn, err := NewBatchNorm("bn", 8, rng)
+	must(bn, err)
+	g.MustAdd(NewReLU6("r1"))
+	dw, err := NewDepthwiseConv2D("dw", 3, 3, 8, 1, 1, rng)
+	must(dw, err)
+	c2, err := NewConv2D("c2", 1, 1, 8, 8, 1, 0, rng)
+	must(c2, err)
+	g.MustAdd(NewAdd("add"), "r1", "c2")
+	p1, err := NewMaxPool2D("p1", 2, 2)
+	must(p1, err)
+	c3, err := NewConv2D("c3", 3, 3, 8, 4, 1, 1, rng)
+	must(c3, err, "p1")
+	p2, err := NewAvgPool2D("p2", 1, 1)
+	must(p2, err, "p1")
+	cc3, err := NewConv2D("cc3", 1, 1, 8, 4, 1, 0, rng)
+	must(cc3, err, "p2")
+	g.MustAdd(NewConcat("cat"), "c3", "cc3")
+	rs, err := NewReshape("rs", 9, 1, 8)
+	must(rs, err)
+	g.MustAdd(NewGlobalAvgPool("gap"))
+	fl := NewFlatten("fl")
+	g.MustAdd(fl)
+	d1, err := NewDense("d1", 8, 10, rng)
+	must(d1, err)
+	g.MustAdd(NewSoftmax("sm"))
+	return g
+}
+
+func randInputs(n int, shape ...int) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(99))
+	xs := make([]*tensor.Tensor, n)
+	for i := range xs {
+		x := tensor.MustNew(shape...)
+		x.RandNormal(rng, 0, 1)
+		// Sprinkle exact zeros so the matmul zero-skip branches differ
+		// between samples.
+		for j := 0; j < x.Size(); j += 17 {
+			x.Data[j] = 0
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+func assertSameBits(t *testing.T, tag string, got, want *tensor.Tensor) {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("%s: size %d vs %d", tag, len(got.Data), len(want.Data))
+	}
+	for j := range want.Data {
+		if math.Float32bits(got.Data[j]) != math.Float32bits(want.Data[j]) {
+			t.Fatalf("%s: element %d differs: %x vs %x",
+				tag, j, math.Float32bits(got.Data[j]), math.Float32bits(want.Data[j]))
+		}
+	}
+}
+
+// TestForwardBatchBitIdentical pins ForwardBatch against the per-sample
+// Runner across batch sizes, including reusing one BatchRunner for
+// different batch sizes in sequence (shrinking and growing buffers).
+func TestForwardBatchBitIdentical(t *testing.T) {
+	g := testGraph(t)
+	xs := randInputs(7, 6, 6, 3)
+
+	r := g.WithScratch()
+	want := make([]*tensor.Tensor, len(xs))
+	for i, x := range xs {
+		y, err := r.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = y.Clone()
+	}
+
+	br := g.WithBatch()
+	for _, n := range []int{1, 3, 7, 2, 7} {
+		got, err := br.ForwardBatch(xs[:n])
+		if err != nil {
+			t.Fatalf("batch %d: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			assertSameBits(t, "batch output", got[i], want[i])
+		}
+	}
+}
+
+// TestForwardFromBatchBitIdentical pins the cached-prefix batch path
+// against Runner.ForwardFrom for suffixes starting at a fast-path
+// layer, a fallback layer, and a merge point reading prefix
+// activations.
+func TestForwardFromBatchBitIdentical(t *testing.T) {
+	g := testGraph(t)
+	xs := randInputs(5, 6, 6, 3)
+
+	acts := make([]map[string]*tensor.Tensor, len(xs))
+	for i, x := range xs {
+		m, err := g.ForwardAll(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acts[i] = m
+	}
+
+	r := g.WithScratch()
+	br := g.WithBatch()
+	for _, from := range []string{"c3", "add", "bn", "d1", "c1"} {
+		want := make([]*tensor.Tensor, len(xs))
+		for i := range xs {
+			y, err := r.ForwardFrom(acts[i], from)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = y.Clone()
+		}
+		got, err := br.ForwardFromBatch(acts, from)
+		if err != nil {
+			t.Fatalf("from %q: %v", from, err)
+		}
+		for i := range xs {
+			assertSameBits(t, "from "+from, got[i], want[i])
+		}
+	}
+}
+
+// TestForwardBatchErrors covers the rejection paths.
+func TestForwardBatchErrors(t *testing.T) {
+	g := testGraph(t)
+	br := g.WithBatch()
+	if _, err := br.ForwardBatch(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	mixed := []*tensor.Tensor{tensor.MustNew(6, 6, 3), tensor.MustNew(3, 6, 6)}
+	if _, err := br.ForwardBatch(mixed); err == nil {
+		t.Error("mixed-shape batch accepted")
+	}
+	if _, err := br.ForwardFromBatch(nil, "c1"); err == nil {
+		t.Error("empty from-batch accepted")
+	}
+	ok := []*tensor.Tensor{tensor.MustNew(6, 6, 3)}
+	if _, err := br.ForwardFromBatch([]map[string]*tensor.Tensor{{InputName: ok[0]}}, "nosuch"); err == nil {
+		t.Error("unknown from-layer accepted")
+	}
+	if _, err := br.ForwardFromBatch([]map[string]*tensor.Tensor{{}}, "c1"); err == nil {
+		t.Error("missing prefix activation accepted")
+	}
+}
+
+// BenchmarkBatchForward compares the batched and per-sample paths on a
+// conv-heavy stack (the accuracy-sweep workload).
+func BenchmarkBatchForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := NewGraph()
+	c1, _ := NewConv2D("c1", 5, 5, 1, 6, 1, 2, rng)
+	g.MustAdd(c1)
+	g.MustAdd(NewReLU("r1"))
+	p1, _ := NewMaxPool2D("p1", 2, 2)
+	g.MustAdd(p1)
+	c2, _ := NewConv2D("c2", 5, 5, 6, 16, 1, 0, rng)
+	g.MustAdd(c2)
+	g.MustAdd(NewReLU("r2"))
+	p2, _ := NewMaxPool2D("p2", 2, 2)
+	g.MustAdd(p2)
+	g.MustAdd(NewFlatten("fl"))
+	d1, _ := NewDense("d1", 400, 120, rng)
+	g.MustAdd(d1)
+	g.MustAdd(NewReLU("r3"))
+	d2, _ := NewDense("d2", 120, 10, rng)
+	g.MustAdd(d2)
+	g.MustAdd(NewSoftmax("sm"))
+
+	xs := make([]*tensor.Tensor, 32)
+	for i := range xs {
+		xs[i] = tensor.MustNew(28, 28, 1)
+		xs[i].RandNormal(rng, 0, 1)
+	}
+
+	b.Run("per-sample", func(b *testing.B) {
+		r := g.WithScratch()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, x := range xs {
+				if _, err := r.Forward(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		br := g.WithBatch()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := br.ForwardBatch(xs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

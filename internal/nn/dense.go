@@ -64,7 +64,7 @@ func (d *Dense) Forward(xs []*tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("%w: dense %q wants %d inputs, got %d", ErrShape, d.name, d.In, x.Size())
 	}
 	out := tensor.MustNew(d.Out)
-	d.forwardInto(out.Data, x, make([]float64, d.Out))
+	d.forwardInto(out.Data, x.Data, make([]float64, d.Out))
 	return out, nil
 }
 
@@ -81,16 +81,16 @@ func (d *Dense) ForwardScratch(xs []*tensor.Tensor, s *Scratch) (*tensor.Tensor,
 	out := s.Tensor(d.name, "/out", d.Out)
 	acc := s.Float64s(d.name, "/acc", d.Out)
 	clear(acc)
-	d.forwardInto(out.Data, x, acc)
+	d.forwardInto(out.Data, x.Data, acc)
 	return out, nil
 }
 
 // forwardInto computes y = x·W + b into dst using the zeroed float64
 // accumulator acc. y_j = sum_i x_i W_ij + b_j; iterate i-major so W rows
-// stream.
-func (d *Dense) forwardInto(dst []float32, x *tensor.Tensor, acc []float64) {
+// stream. x is the flattened input data, so batch rows feed in directly.
+func (d *Dense) forwardInto(dst, x []float32, acc []float64) {
 	for i := 0; i < d.In; i++ {
-		xv := float64(x.Data[i])
+		xv := float64(x[i])
 		if xv == 0 {
 			continue
 		}

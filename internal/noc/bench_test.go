@@ -51,3 +51,48 @@ func BenchmarkDrainHotspot(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDrainHotspotReset is BenchmarkDrainHotspot on one pooled
+// network reset between iterations — the accelerator simulator's
+// steady-state usage, where geometry and queue buffers are reused.
+func BenchmarkDrainHotspotReset(b *testing.B) {
+	nw, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Reset()
+		for src := 1; src < 16; src++ {
+			if _, err := nw.SendMessage(src, 0, 64, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, ok := nw.RunUntilIdle(1_000_000); !ok {
+			b.Fatal("did not drain")
+		}
+	}
+}
+
+// BenchmarkRunUntilIdleSparse measures the idle-heavy regime: one small
+// packet crossing a 16x16 mesh, so almost every router is empty on
+// every cycle. This is the case the O(1) Idle check and the per-router
+// occupancy skip target.
+func BenchmarkRunUntilIdleSparse(b *testing.B) {
+	nw, err := New(Config{Width: 16, Height: 16, BufferDepth: 4, FlitBits: 64, MaxPacketFlit: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Reset()
+		if err := nw.Inject(Packet{Src: 0, Dst: 255, Flits: 4}); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := nw.RunUntilIdle(100_000); !ok {
+			b.Fatal("did not drain")
+		}
+	}
+}

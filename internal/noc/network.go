@@ -112,11 +112,56 @@ const (
 	routeDrop = -2 // lane drains the flits of a killed (unroutable) packet
 )
 
+// flitFIFO is a reusable flit queue: pops advance a head index instead
+// of re-slicing, so the backing array is reused across push/pop churn
+// (one steady-state allocation per queue instead of one per wrap).
+// Pushes compact the live region to the front when the tail hits the
+// array's capacity, which is cheap because the live region is bounded
+// (BufferDepth for router lanes, the pending worm for inject queues).
+type flitFIFO struct {
+	buf  []flit
+	head int
+}
+
+// size returns the number of queued flits.
+func (q *flitFIFO) size() int { return len(q.buf) - q.head }
+
+// front returns the head flit; the queue must be non-empty.
+func (q *flitFIFO) front() *flit { return &q.buf[q.head] }
+
+// push appends a flit, compacting first when the tail would grow the
+// backing array even though dead space exists before the head.
+func (q *flitFIFO) push(f flit) {
+	if q.head > 0 && len(q.buf) == cap(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, f)
+}
+
+// pop removes and returns the head flit; the queue must be non-empty.
+func (q *flitFIFO) pop() flit {
+	f := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return f
+}
+
+// reset empties the queue, keeping the backing array.
+func (q *flitFIFO) reset() {
+	q.buf = q.buf[:0]
+	q.head = 0
+}
+
 // vcLane is one virtual channel of a router input port: its own flit
 // FIFO and wormhole route state.
 type vcLane struct {
-	buf   []flit // FIFO; index 0 is the head
-	route int    // output port allocated to the packet at head, or routeNone/routeDrop
+	flitFIFO
+	route int // output port allocated to the packet at head, or routeNone/routeDrop
 }
 
 // inputPort is one physical router input: a set of VC lanes sharing the
@@ -131,6 +176,7 @@ type inputPort struct {
 // round-robin among output VCs with a flit ready and credit downstream.
 type router struct {
 	id       int
+	occ      int // flits buffered across all of this router's VC lanes
 	in       [numPorts]inputPort
 	outOwner [numPorts][]int // [port][vc] -> owning input port (-1 = free)
 	rrVC     [numPorts]int   // round-robin pointer over output VCs per port
@@ -173,7 +219,8 @@ func (s Stats) AvgPacketLatency() float64 {
 type Network struct {
 	cfg       Config
 	routers   []router
-	inject    [][]flit          // per-node injection queues (already segmented)
+	inject    []flitFIFO        // per-node injection queues (already segmented)
+	flits     int               // total flits anywhere (inject queues + router lanes)
 	pending   map[uint64]Packet // packet descriptors by ID for delivery reporting
 	sink      func(Delivery)
 	nextID    uint64
@@ -181,7 +228,8 @@ type Network struct {
 	stats     Stats
 	perRouter []uint64 // flit traversals per router (utilization heatmap)
 	// staged arrivals for the two-phase cycle update
-	arrivals []int // per (router, port): flits arriving this cycle
+	arrivals []int // per (router, port, vc): flits arriving this cycle
+	touched  []int // arrival indices written this cycle, to clear in O(touched)
 	// fault-injection state
 	faultsOn   bool                 // any transient fault model active
 	dead       map[faults.Link]bool // stuck-at dead links (nil = none)
@@ -203,7 +251,7 @@ func New(cfg Config) (*Network, error) {
 	nw := &Network{
 		cfg:        cfg,
 		routers:    make([]router, n),
-		inject:     make([][]flit, n),
+		inject:     make([]flitFIFO, n),
 		pending:    make(map[uint64]Packet),
 		arrivals:   make([]int, n*numPorts*cfg.vcs()),
 		perRouter:  make([]uint64, n),
@@ -257,6 +305,61 @@ func (nw *Network) SetSink(fn func(Delivery)) { nw.sink = fn }
 // counters — the utilization heatmap of the mesh.
 func (nw *Network) PerRouterTraversals() []uint64 {
 	return append([]uint64(nil), nw.perRouter...)
+}
+
+// Reset returns the network to its post-New state while keeping every
+// allocated buffer (router lanes, injection queues, arrival staging),
+// so a pooled Network can simulate many independent workloads without
+// re-allocating its geometry. The fault configuration and precomputed
+// dead-link routes are preserved (they are pure functions of the
+// Config); the clock, stats, queues, and sink are cleared.
+func (nw *Network) Reset() {
+	for i := range nw.inject {
+		nw.inject[i].reset()
+	}
+	for r := range nw.routers {
+		rt := &nw.routers[r]
+		rt.occ = 0
+		for p := 0; p < numPorts; p++ {
+			for k := range rt.in[p].vcs {
+				lane := &rt.in[p].vcs[k]
+				lane.reset()
+				lane.route = routeNone
+			}
+			for k := range rt.outOwner[p] {
+				rt.outOwner[p][k] = -1
+				rt.rrIn[p][k] = 0
+			}
+			rt.rrVC[p] = 0
+		}
+	}
+	clear(nw.pending)
+	clear(nw.corrupted)
+	clear(nw.perRouter)
+	clear(nw.arrivals)
+	nw.touched = nw.touched[:0]
+	nw.sink = nil
+	nw.nextID = 0
+	nw.cycle = 0
+	nw.stats = Stats{}
+	nw.flits = 0
+}
+
+// AdvanceIdle advances the clock to target in one jump, provided the
+// network is completely idle (no flits queued or in flight anywhere).
+// An idle Step only increments the cycle counter — no router, queue,
+// stats, or fault state can change, and the link-fault process is a
+// pure function of (packet, flit, attempt, router), consuming nothing
+// per cycle — so the jump is exactly equivalent to target-Cycle()
+// consecutive Step calls. It reports whether it advanced; a busy
+// network or a target at or behind the current cycle is a no-op.
+func (nw *Network) AdvanceIdle(target uint64) bool {
+	if nw.flits != 0 || target <= nw.cycle {
+		return false
+	}
+	nw.cycle = target
+	nw.stats.Cycles = target
+	return true
 }
 
 // coord maps a node id to mesh coordinates.
@@ -395,7 +498,7 @@ func (nw *Network) routeMinimal(id, dst int) int {
 			}
 			occupied := 0
 			for k := range nw.routers[nid].in[nport].vcs {
-				occupied += len(nw.routers[nid].in[nport].vcs[k].buf)
+				occupied += nw.routers[nid].in[nport].vcs[k].size()
 			}
 			free := nw.cfg.vcs()*nw.cfg.BufferDepth - occupied
 			if free > bestFree {
@@ -485,11 +588,12 @@ func (nw *Network) enqueueFlits(p Packet, enqueued uint64, attempt uint8) {
 		case i == p.Flits-1:
 			t = TailFlit
 		}
-		nw.inject[p.Src] = append(nw.inject[p.Src], flit{
+		nw.inject[p.Src].push(flit{
 			ftype: t, packetID: p.ID, src: p.Src, dst: p.Dst, vc: vc,
 			enqueued: enqueued, seq: int32(i), attempt: attempt,
 		})
 	}
+	nw.flits += p.Flits
 }
 
 // SendMessage segments an arbitrarily large message of the given flit
@@ -520,43 +624,37 @@ func (nw *Network) SendMessage(src, dst, flits int, meta any) (int, error) {
 
 // InjectQueueLen returns the number of flits waiting in a node's
 // injection queue (for backpressure-aware clients).
-func (nw *Network) InjectQueueLen(node int) int { return len(nw.inject[node]) }
+func (nw *Network) InjectQueueLen(node int) int { return nw.inject[node].size() }
 
-// Idle reports whether no flits remain anywhere in the network.
-func (nw *Network) Idle() bool {
-	for i := range nw.inject {
-		if len(nw.inject[i]) > 0 {
-			return false
-		}
-	}
-	for r := range nw.routers {
-		for p := 0; p < numPorts; p++ {
-			for k := range nw.routers[r].in[p].vcs {
-				if len(nw.routers[r].in[p].vcs[k].buf) > 0 {
-					return false
-				}
-			}
-		}
-	}
-	return true
-}
+// Idle reports whether no flits remain anywhere in the network. O(1):
+// the network maintains a global in-flight flit count, incremented when
+// packets are segmented onto injection queues and decremented on
+// ejection and drop-drain (moves between queues and lanes cancel out).
+func (nw *Network) Idle() bool { return nw.flits == 0 }
 
-// Step advances the network one clock cycle.
+// Step advances the network one clock cycle. Routers with no buffered
+// flits (occ == 0) are skipped in phases 1 and 2: every lane is empty,
+// so neither route computation, drop-drain, VC allocation, nor switch
+// arbitration can change any state there.
 func (nw *Network) Step() {
-	for i := range nw.arrivals {
-		nw.arrivals[i] = 0
+	for _, ai := range nw.touched {
+		nw.arrivals[ai] = 0
 	}
+	nw.touched = nw.touched[:0]
 	v := nw.cfg.vcs()
 	// Phase 1: route computation for fresh heads on every VC lane. A head
 	// that no live link can carry toward its destination kills the packet
 	// (unroutable); its lane drains the worm's flits into the void.
 	for r := range nw.routers {
 		rt := &nw.routers[r]
+		if rt.occ == 0 {
+			continue
+		}
 		for p := 0; p < numPorts; p++ {
 			for k := range rt.in[p].vcs {
 				lane := &rt.in[p].vcs[k]
-				if lane.route == routeNone && len(lane.buf) > 0 {
-					head := lane.buf[0]
+				if lane.route == routeNone && lane.size() > 0 {
+					head := lane.front()
 					if head.ftype == HeadFlit || head.ftype == HeadTailFlit {
 						lane.route = nw.route(r, head.dst)
 						if nw.dead != nil && lane.route >= 0 && int(head.hops) > nw.hopLimit {
@@ -579,17 +677,21 @@ func (nw *Network) Step() {
 	// tail passes.
 	for r := range nw.routers {
 		rt := &nw.routers[r]
+		if rt.occ == 0 {
+			continue
+		}
 		// Drain lanes holding a killed packet: one flit per cycle vanishes
 		// without contending for any output.
 		if nw.dead != nil {
 			for p := 0; p < numPorts; p++ {
 				for k := range rt.in[p].vcs {
 					lane := &rt.in[p].vcs[k]
-					if lane.route != routeDrop || len(lane.buf) == 0 {
+					if lane.route != routeDrop || lane.size() == 0 {
 						continue
 					}
-					f := lane.buf[0]
-					lane.buf = lane.buf[1:]
+					f := lane.pop()
+					rt.occ--
+					nw.flits--
 					if f.ftype == TailFlit || f.ftype == HeadTailFlit {
 						lane.route = routeNone
 					}
@@ -606,7 +708,7 @@ func (nw *Network) Step() {
 				for step := 1; step <= numPorts; step++ {
 					cand := (rt.rrIn[out][k] + step) % numPorts
 					lane := &rt.in[cand].vcs[k]
-					if lane.route == out && len(lane.buf) > 0 {
+					if lane.route == out && lane.size() > 0 {
 						rt.outOwner[out][k] = cand
 						rt.rrIn[out][k] = cand
 						break
@@ -622,12 +724,13 @@ func (nw *Network) Step() {
 					continue
 				}
 				lane := &rt.in[owner].vcs[k]
-				if len(lane.buf) == 0 {
+				if lane.size() == 0 {
 					continue // next flit not arrived yet
 				}
-				f := lane.buf[0]
+				f := *lane.front()
 				if out == PortLocal {
 					nw.ejectFlit(r, f)
+					nw.flits--
 				} else {
 					nid, nport, ok := nw.neighbor(r, out)
 					if !ok {
@@ -636,7 +739,7 @@ func (nw *Network) Step() {
 					}
 					dstLane := &nw.routers[nid].in[nport].vcs[k]
 					ai := (nid*numPorts+nport)*v + k
-					if len(dstLane.buf)+nw.arrivals[ai] >= nw.cfg.BufferDepth {
+					if dstLane.size()+nw.arrivals[ai] >= nw.cfg.BufferDepth {
 						continue // no credit downstream on this VC
 					}
 					f.hops++
@@ -647,13 +750,16 @@ func (nw *Network) Step() {
 						f.corrupt = true
 						nw.stats.CorruptFlits++
 					}
-					dstLane.buf = append(dstLane.buf, f)
+					dstLane.push(f)
+					nw.routers[nid].occ++
 					nw.arrivals[ai]++
+					nw.touched = append(nw.touched, ai)
 					nw.stats.LinkTraverse++
 				}
 				nw.stats.RouterTraverse++
 				nw.perRouter[r]++
-				lane.buf = lane.buf[1:]
+				lane.pop()
+				rt.occ--
 				if f.ftype == TailFlit || f.ftype == HeadTailFlit {
 					rt.outOwner[out][k] = -1
 					lane.route = routeNone
@@ -666,16 +772,16 @@ func (nw *Network) Step() {
 	// Phase 3: injection into local input ports (one flit per cycle per
 	// node, into the flit's assigned VC lane).
 	for nidx := range nw.inject {
-		q := nw.inject[nidx]
-		if len(q) == 0 {
+		q := &nw.inject[nidx]
+		if q.size() == 0 {
 			continue
 		}
-		k := int(q[0].vc)
+		k := int(q.front().vc)
 		lane := &nw.routers[nidx].in[PortLocal].vcs[k]
 		ai := (nidx*numPorts+PortLocal)*v + k
-		if len(lane.buf)+nw.arrivals[ai] < nw.cfg.BufferDepth {
-			lane.buf = append(lane.buf, q[0])
-			nw.inject[nidx] = q[1:]
+		if lane.size()+nw.arrivals[ai] < nw.cfg.BufferDepth {
+			lane.push(q.pop())
+			nw.routers[nidx].occ++
 			nw.stats.FlitsInjected++
 		}
 	}

@@ -98,80 +98,6 @@ func MatMulParallel(dst, a, b *Tensor, workers int) error {
 		})
 }
 
-// matMulBlocked accumulates dst[rowLo:rowHi] += a[rowLo:rowHi]·b with a
-// three-level i/k/j tiling. dst rows in the range must be zero on entry.
-// For a fixed output element the k-blocks are visited in ascending order
-// and p ascends within each block, so the float32 accumulation sequence
-// matches the reference ikj kernel exactly (including the skip of zero
-// a-elements, which contribute no term there either).
-//
-// The inner kernel additionally unrolls four consecutive p terms into one
-// j-sweep. The four adds stay separate sequential float32 operations in
-// ascending p order (Go's amd64 backend does not contract them into
-// FMAs), so the rounding sequence per element is unchanged — the unroll
-// only saves three quarters of the dst loads and stores. Any zero among
-// the four falls back to the per-p loop with its zero skip.
-func matMulBlocked(dst, a, b []float32, rowLo, rowHi, k, n, tileI, tileK, tileJ int) {
-	if tileI < 1 {
-		tileI = defaultTileI
-	}
-	if tileK < 1 {
-		tileK = defaultTileK
-	}
-	if tileJ < 1 {
-		tileJ = defaultTileJ
-	}
-	for ii := rowLo; ii < rowHi; ii += tileI {
-		iMax := min(ii+tileI, rowHi)
-		for kk := 0; kk < k; kk += tileK {
-			kMax := min(kk+tileK, k)
-			for jj := 0; jj < n; jj += tileJ {
-				jMax := min(jj+tileJ, n)
-				for i := ii; i < iMax; i++ {
-					abase := i * k
-					orow := dst[i*n+jj : i*n+jMax]
-					p := kk
-					for ; p+3 < kMax; p += 4 {
-						a0, a1, a2, a3 := a[abase+p], a[abase+p+1], a[abase+p+2], a[abase+p+3]
-						if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
-							b0 := b[(p+0)*n+jj : (p+0)*n+jMax]
-							b1 := b[(p+1)*n+jj : (p+1)*n+jMax][:len(b0)]
-							b2 := b[(p+2)*n+jj : (p+2)*n+jMax][:len(b0)]
-							b3 := b[(p+3)*n+jj : (p+3)*n+jMax][:len(b0)]
-							for j := range b0 {
-								v := orow[j]
-								v += a0 * b0[j]
-								v += a1 * b1[j]
-								v += a2 * b2[j]
-								v += a3 * b3[j]
-								orow[j] = v
-							}
-						} else {
-							matMulTail(orow, a, b, abase, p, p+4, n, jj, jMax)
-						}
-					}
-					matMulTail(orow, a, b, abase, p, kMax, n, jj, jMax)
-				}
-			}
-		}
-	}
-}
-
-// matMulTail applies the reference per-p accumulation (with the zero
-// skip) for p in [pLo, pHi) against one destination row segment.
-func matMulTail(orow, a, b []float32, abase, pLo, pHi, n, jj, jMax int) {
-	for p := pLo; p < pHi; p++ {
-		av := a[abase+p]
-		if av == 0 {
-			continue
-		}
-		brow := b[p*n+jj : p*n+jMax]
-		for j, bv := range brow {
-			orow[j] += av * bv
-		}
-	}
-}
-
 // Im2ColInto is Im2ColRect writing into a caller-supplied scratch buffer
 // of at least outH*outW*kh*kw*c elements. Out-of-bounds taps are written
 // as explicit zeros, so a dirty reused buffer produces the same bytes as

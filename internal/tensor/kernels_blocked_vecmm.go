@@ -1,0 +1,93 @@
+// Vectorized blocked matmul kernel, selected with `go build -tags
+// vecmm` on amd64. The tiling skeleton is byte-for-byte the one in
+// kernels_blocked_generic.go; only the innermost j-sweeps are replaced
+// by hand-written SSE2 saxpy kernels (kernels_saxpy_amd64.s).
+//
+// Bit-identity argument: for one output element dst[i][j] the generic
+// kernel performs, in ascending p order, one single-precision multiply
+// and one single-precision add per nonzero a term. MULPS/ADDPS execute
+// the same IEEE-754 binary32 operations independently per lane, and the
+// saxpy kernels keep the four unrolled terms as four sequential
+// mul+add pairs exactly like the scalar code (no FMA contraction, no
+// reassociation), so every lane reproduces the scalar rounding sequence
+// exactly. The zero-skip branches are taken in Go before entering the
+// assembly, matching the generic kernel's skip behaviour (relevant for
+// signed zeros and Inf/NaN propagation: 0*Inf would introduce a NaN the
+// reference kernel never sees).
+
+//go:build vecmm && amd64
+
+package tensor
+
+// VecMatMul reports whether this binary was built with the vectorized
+// matmul inner kernel (`-tags vecmm` on amd64). The two kernels are
+// bit-identical; the flag only tells benchmarks and doctors which code
+// path is live.
+const VecMatMul = true
+
+// saxpy4 computes orow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+// for j in [0, len(b0)), keeping the four terms as four sequential
+// single-precision multiply-add pairs per element. b0..b3 must have
+// equal length, and orow at least that length.
+//
+//go:noescape
+func saxpy4(orow []float32, a0, a1, a2, a3 float32, b0, b1, b2, b3 []float32)
+
+// saxpy1 computes orow[j] += a*brow[j] for j in [0, len(brow)).
+// orow must have at least len(brow) elements.
+//
+//go:noescape
+func saxpy1(orow []float32, a float32, brow []float32)
+
+// matMulBlocked mirrors the generic kernel's tiling and zero-skip
+// structure; see kernels_blocked_generic.go for the full contract.
+func matMulBlocked(dst, a, b []float32, rowLo, rowHi, k, n, tileI, tileK, tileJ int) {
+	if tileI < 1 {
+		tileI = defaultTileI
+	}
+	if tileK < 1 {
+		tileK = defaultTileK
+	}
+	if tileJ < 1 {
+		tileJ = defaultTileJ
+	}
+	for ii := rowLo; ii < rowHi; ii += tileI {
+		iMax := min(ii+tileI, rowHi)
+		for kk := 0; kk < k; kk += tileK {
+			kMax := min(kk+tileK, k)
+			for jj := 0; jj < n; jj += tileJ {
+				jMax := min(jj+tileJ, n)
+				for i := ii; i < iMax; i++ {
+					abase := i * k
+					orow := dst[i*n+jj : i*n+jMax]
+					p := kk
+					for ; p+3 < kMax; p += 4 {
+						a0, a1, a2, a3 := a[abase+p], a[abase+p+1], a[abase+p+2], a[abase+p+3]
+						if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
+							b0 := b[(p+0)*n+jj : (p+0)*n+jMax]
+							b1 := b[(p+1)*n+jj : (p+1)*n+jMax][:len(b0)]
+							b2 := b[(p+2)*n+jj : (p+2)*n+jMax][:len(b0)]
+							b3 := b[(p+3)*n+jj : (p+3)*n+jMax][:len(b0)]
+							saxpy4(orow, a0, a1, a2, a3, b0, b1, b2, b3)
+						} else {
+							matMulTail(orow, a, b, abase, p, p+4, n, jj, jMax)
+						}
+					}
+					matMulTail(orow, a, b, abase, p, kMax, n, jj, jMax)
+				}
+			}
+		}
+	}
+}
+
+// matMulTail applies the reference per-p accumulation (with the zero
+// skip) for p in [pLo, pHi) against one destination row segment.
+func matMulTail(orow, a, b []float32, abase, pLo, pHi, n, jj, jMax int) {
+	for p := pLo; p < pHi; p++ {
+		av := a[abase+p]
+		if av == 0 {
+			continue
+		}
+		saxpy1(orow, av, b[p*n+jj:p*n+jMax])
+	}
+}

@@ -32,6 +32,60 @@ func chunkRange(n, chunks, w int) (lo, hi int) {
 	return lo, hi
 }
 
+// MaxEvalBatch caps the per-worker evaluation batch size of the
+// accuracy and fidelity sweeps. Values <= 1 disable batching entirely
+// (the per-sample Runner path). Batched and per-sample evaluation are
+// byte-identical; the cap only bounds scratch memory.
+var MaxEvalBatch = 32
+
+// evalBatchSize picks the evaluation batch size for g on per-sample
+// inputs of the given shape. Batching pays off when the convolution
+// weight panels dominate the im2col matrices (deep, narrow-spatial
+// models, where one stacked matmul re-streams the big weight matrices
+// once per batch instead of once per sample); spatial-heavy models like
+// LeNet see no reuse and keep the per-sample path. The returned size is
+// additionally bounded so the stacked activations and im2col buffers
+// stay within a fixed memory budget per worker.
+func evalBatchSize(g *nn.Graph, sampleShape []int, n int) int {
+	if MaxEvalBatch <= 1 || n <= 1 {
+		return 1
+	}
+	shapes, err := g.InferShapes(sampleShape)
+	if err != nil {
+		return 1
+	}
+	var actVol, colsVol, weightVol float64
+	for _, name := range g.LayerNames() {
+		s := shapes[name]
+		vol := 1.0
+		for _, d := range s {
+			vol *= float64(d)
+		}
+		actVol += vol
+		if c, ok := g.Layer(name).(*nn.Conv2D); ok && len(s) == 3 {
+			k := float64(c.KH * c.KW * c.InC)
+			colsVol += float64(s[0]*s[1]) * k
+			weightVol += k * float64(c.OutC)
+		}
+	}
+	if weightVol <= colsVol {
+		return 1
+	}
+	const budgetBytes = 256 << 20
+	perSample := 4 * (actVol + colsVol)
+	bs := MaxEvalBatch
+	if fit := int(budgetBytes / perSample); fit < bs {
+		bs = fit
+	}
+	if bs > n {
+		bs = n
+	}
+	if bs < 1 {
+		bs = 1
+	}
+	return bs
+}
+
 // Accuracy returns the top-1 accuracy of the network on labelled samples.
 func Accuracy(g *nn.Graph, samples []dataset.Sample) (float64, error) {
 	return TopKAccuracyWorkers(g, samples, 1, 1)
@@ -62,21 +116,44 @@ func TopKAccuracyWorkers(g *nn.Graph, samples []dataset.Sample, k, workers int) 
 	if workers > len(samples) {
 		workers = len(samples)
 	}
+	batch := evalBatchSize(g, samples[0].Image.Shape(), len(samples))
 	counts := make([]int, workers)
 	err := parallel.ForEach(context.Background(), workers, workers, func(_ context.Context, w int) error {
 		lo, hi := chunkRange(len(samples), workers, w)
-		r := g.WithScratch()
 		correct := 0
-		for _, s := range samples[lo:hi] {
-			y, err := r.Forward(s.Image)
-			if err != nil {
-				return err
-			}
+		score := func(y *tensor.Tensor, label int) {
 			for _, idx := range stats.TopK(y.Float64s(), k) {
-				if idx == s.Label {
+				if idx == label {
 					correct++
 					break
 				}
+			}
+		}
+		if batch > 1 {
+			br := g.WithBatch()
+			buf := make([]*tensor.Tensor, 0, batch)
+			for start := lo; start < hi; start += batch {
+				end := min(start+batch, hi)
+				buf = buf[:0]
+				for _, s := range samples[start:end] {
+					buf = append(buf, s.Image)
+				}
+				ys, err := br.ForwardBatch(buf)
+				if err != nil {
+					return err
+				}
+				for j, y := range ys {
+					score(y, samples[start+j].Label)
+				}
+			}
+		} else {
+			r := g.WithScratch()
+			for _, s := range samples[lo:hi] {
+				y, err := r.Forward(s.Image)
+				if err != nil {
+					return err
+				}
+				score(y, s.Label)
 			}
 		}
 		counts[w] = correct
@@ -164,9 +241,13 @@ func (f *Fidelity) ScoreWorkers(g *nn.Graph, probes []*tensor.Tensor, workers in
 	if len(probes) != len(f.refTopK) {
 		return 0, fmt.Errorf("train: %d probes, reference has %d", len(probes), len(f.refTopK))
 	}
-	agree, err := f.countAgree(workers, len(probes), func(r *nn.Runner, i int) (*tensor.Tensor, error) {
-		return r.Forward(probes[i])
-	}, g)
+	agree, err := f.countAgree(workers, len(probes), evalBatchSize(g, probes[0].Shape(), len(probes)),
+		func(r *nn.Runner, i int) (*tensor.Tensor, error) {
+			return r.Forward(probes[i])
+		},
+		func(br *nn.BatchRunner, lo, hi int) ([]*tensor.Tensor, error) {
+			return br.ForwardBatch(probes[lo:hi])
+		}, g)
 	if err != nil {
 		return 0, err
 	}
@@ -189,9 +270,13 @@ func (f *Fidelity) OverlapWorkers(g *nn.Graph, probes []*tensor.Tensor, workers 
 	if len(probes) != len(f.refTopK) {
 		return 0, fmt.Errorf("train: %d probes, reference has %d", len(probes), len(f.refTopK))
 	}
-	return f.sumOverlap(workers, len(probes), func(r *nn.Runner, i int) (*tensor.Tensor, error) {
-		return r.Forward(probes[i])
-	}, g)
+	return f.sumOverlap(workers, len(probes), evalBatchSize(g, probes[0].Shape(), len(probes)),
+		func(r *nn.Runner, i int) (*tensor.Tensor, error) {
+			return r.Forward(probes[i])
+		},
+		func(br *nn.BatchRunner, lo, hi int) ([]*tensor.Tensor, error) {
+			return br.ForwardBatch(probes[lo:hi])
+		}, g)
 }
 
 // ScoreFrom is Score using cached prefix activations: acts[i] must be the
@@ -207,9 +292,13 @@ func (f *Fidelity) ScoreFromWorkers(g *nn.Graph, acts []map[string]*tensor.Tenso
 	if len(acts) != len(f.refTopK) {
 		return 0, fmt.Errorf("train: %d cached activations, reference has %d", len(acts), len(f.refTopK))
 	}
-	agree, err := f.countAgree(workers, len(acts), func(r *nn.Runner, i int) (*tensor.Tensor, error) {
-		return r.ForwardFrom(acts[i], from)
-	}, g)
+	agree, err := f.countAgree(workers, len(acts), fromBatchSize(g, acts),
+		func(r *nn.Runner, i int) (*tensor.Tensor, error) {
+			return r.ForwardFrom(acts[i], from)
+		},
+		func(br *nn.BatchRunner, lo, hi int) ([]*tensor.Tensor, error) {
+			return br.ForwardFromBatch(acts[lo:hi], from)
+		}, g)
 	if err != nil {
 		return 0, err
 	}
@@ -226,41 +315,92 @@ func (f *Fidelity) OverlapFromWorkers(g *nn.Graph, acts []map[string]*tensor.Ten
 	if len(acts) != len(f.refTopK) {
 		return 0, fmt.Errorf("train: %d cached activations, reference has %d", len(acts), len(f.refTopK))
 	}
-	return f.sumOverlap(workers, len(acts), func(r *nn.Runner, i int) (*tensor.Tensor, error) {
-		return r.ForwardFrom(acts[i], from)
-	}, g)
+	return f.sumOverlap(workers, len(acts), fromBatchSize(g, acts),
+		func(r *nn.Runner, i int) (*tensor.Tensor, error) {
+			return r.ForwardFrom(acts[i], from)
+		},
+		func(br *nn.BatchRunner, lo, hi int) ([]*tensor.Tensor, error) {
+			return br.ForwardFromBatch(acts[lo:hi], from)
+		}, g)
 }
 
-// countAgree shards the probe indices into per-worker chunks, each with
-// its own Runner, and sums the (exact) integer agreement counts.
-func (f *Fidelity) countAgree(workers, n int, eval func(r *nn.Runner, i int) (*tensor.Tensor, error), g *nn.Graph) (int, error) {
+// fromBatchSize picks the batch size for the cached-prefix paths,
+// reading the per-sample input shape off the cached activations.
+func fromBatchSize(g *nn.Graph, acts []map[string]*tensor.Tensor) int {
+	if len(acts) == 0 {
+		return 1
+	}
+	in, ok := acts[0][nn.InputName]
+	if !ok || in == nil {
+		return 1
+	}
+	return evalBatchSize(g, in.Shape(), len(acts))
+}
+
+// forEachProbe shards the probe indices into per-worker chunks and
+// visits every probe's output exactly once, in index order within each
+// chunk. With batch > 1 each worker drives a BatchRunner over
+// contiguous sub-batches; otherwise each worker walks its chunk through
+// a per-sample Runner. Both paths produce byte-identical activations,
+// so visit sees the same tensors regardless of worker count or batch
+// size.
+func forEachProbe(workers, n, batch int, g *nn.Graph,
+	evalOne func(r *nn.Runner, i int) (*tensor.Tensor, error),
+	evalBatch func(br *nn.BatchRunner, lo, hi int) ([]*tensor.Tensor, error),
+	visit func(i int, y *tensor.Tensor)) error {
 	workers = parallel.Workers(workers)
 	if workers > n {
 		workers = n
 	}
-	counts := make([]int, workers)
-	err := parallel.ForEach(context.Background(), workers, workers, func(_ context.Context, w int) error {
+	return parallel.ForEach(context.Background(), workers, workers, func(_ context.Context, w int) error {
 		lo, hi := chunkRange(n, workers, w)
+		if batch > 1 {
+			br := g.WithBatch()
+			for start := lo; start < hi; start += batch {
+				end := min(start+batch, hi)
+				ys, err := evalBatch(br, start, end)
+				if err != nil {
+					return err
+				}
+				for j, y := range ys {
+					visit(start+j, y)
+				}
+			}
+			return nil
+		}
 		r := g.WithScratch()
-		agree := 0
 		for i := lo; i < hi; i++ {
-			y, err := eval(r, i)
+			y, err := evalOne(r, i)
 			if err != nil {
 				return err
 			}
-			if f.top1Agrees(y, i) {
-				agree++
-			}
+			visit(i, y)
 		}
-		counts[w] = agree
 		return nil
+	})
+}
+
+// countAgree shards the probe indices into per-worker chunks, each with
+// its own Runner or BatchRunner, and sums the (exact) integer agreement
+// counts.
+func (f *Fidelity) countAgree(workers, n, batch int,
+	evalOne func(r *nn.Runner, i int) (*tensor.Tensor, error),
+	evalBatch func(br *nn.BatchRunner, lo, hi int) ([]*tensor.Tensor, error),
+	g *nn.Graph) (int, error) {
+	// One agreement flag per probe: workers own disjoint index ranges,
+	// and the exact integer sum is order-independent.
+	agrees := make([]bool, n)
+	err := forEachProbe(workers, n, batch, g, evalOne, evalBatch, func(i int, y *tensor.Tensor) {
+		agrees[i] = f.top1Agrees(y, i)
 	})
 	if err != nil {
 		return 0, err
 	}
 	agree := 0
-	for _, c := range counts {
-		agree += c
+	for _, a := range agrees {
+		if a {
+			agree++
+		}
 	}
 	return agree, nil
 }
@@ -268,23 +408,13 @@ func (f *Fidelity) countAgree(workers, n int, eval func(r *nn.Runner, i int) (*t
 // sumOverlap shards the probe indices into per-worker chunks, collects
 // per-probe overlap values index-ordered, and reduces them serially in
 // index order for a worker-count-independent float sum.
-func (f *Fidelity) sumOverlap(workers, n int, eval func(r *nn.Runner, i int) (*tensor.Tensor, error), g *nn.Graph) (float64, error) {
-	workers = parallel.Workers(workers)
-	if workers > n {
-		workers = n
-	}
+func (f *Fidelity) sumOverlap(workers, n, batch int,
+	evalOne func(r *nn.Runner, i int) (*tensor.Tensor, error),
+	evalBatch func(br *nn.BatchRunner, lo, hi int) ([]*tensor.Tensor, error),
+	g *nn.Graph) (float64, error) {
 	vals := make([]float64, n)
-	err := parallel.ForEach(context.Background(), workers, workers, func(_ context.Context, w int) error {
-		lo, hi := chunkRange(n, workers, w)
-		r := g.WithScratch()
-		for i := lo; i < hi; i++ {
-			y, err := eval(r, i)
-			if err != nil {
-				return err
-			}
-			vals[i] = f.overlapOf(y, i)
-		}
-		return nil
+	err := forEachProbe(workers, n, batch, g, evalOne, evalBatch, func(i int, y *tensor.Tensor) {
+		vals[i] = f.overlapOf(y, i)
 	})
 	if err != nil {
 		return 0, err

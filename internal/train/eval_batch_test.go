@@ -1,0 +1,138 @@
+package train
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// deepConvNet builds a narrow-spatial, wide-channel graph whose conv
+// weight panels dominate the im2col matrices, so evalBatchSize elects
+// the batched path.
+func deepConvNet(t testing.TB) *nn.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	g := nn.NewGraph()
+	c1, err := nn.NewConv2D("c1", 3, 3, 16, 32, 1, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.MustAdd(c1)
+	g.MustAdd(nn.NewReLU("r1"))
+	c2, err := nn.NewConv2D("c2", 3, 3, 32, 32, 1, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.MustAdd(c2)
+	g.MustAdd(nn.NewReLU("r2"))
+	g.MustAdd(nn.NewGlobalAvgPool("gap"))
+	d, err := nn.NewDense("fc", 32, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.MustAdd(d)
+	g.MustAdd(nn.NewSoftmax("sm"))
+	return g
+}
+
+// TestEvalBatchSizeHeuristic pins the batching decision: deep
+// narrow-spatial graphs batch, spatial-heavy and conv-free graphs do
+// not, and MaxEvalBatch <= 1 is a global opt-out.
+func TestEvalBatchSizeHeuristic(t *testing.T) {
+	deep := deepConvNet(t)
+	if bs := evalBatchSize(deep, []int{4, 4, 16}, 100); bs <= 1 {
+		t.Errorf("deep conv net got batch size %d, want > 1", bs)
+	}
+	if bs := evalBatchSize(deep, []int{4, 4, 16}, 1); bs != 1 {
+		t.Errorf("single sample got batch size %d, want 1", bs)
+	}
+	mlp := tinyMLP(t)
+	if bs := evalBatchSize(mlp, []int{dataset.DigitSize, dataset.DigitSize, 1}, 100); bs != 1 {
+		t.Errorf("conv-free graph got batch size %d, want 1", bs)
+	}
+	// Spatial-heavy conv: cols dwarf the weights, batching is a loss.
+	rng := rand.New(rand.NewSource(6))
+	wide := nn.NewGraph()
+	c, err := nn.NewConv2D("c", 5, 5, 1, 6, 1, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide.MustAdd(c)
+	if bs := evalBatchSize(wide, []int{28, 28, 1}, 100); bs != 1 {
+		t.Errorf("spatial-heavy conv got batch size %d, want 1", bs)
+	}
+	old := MaxEvalBatch
+	defer func() { MaxEvalBatch = old }()
+	MaxEvalBatch = 1
+	if bs := evalBatchSize(deep, []int{4, 4, 16}, 100); bs != 1 {
+		t.Errorf("MaxEvalBatch=1 got batch size %d, want 1", bs)
+	}
+}
+
+// TestBatchedEvalByteIdentical pins every evaluator to identical
+// results across worker counts and batch caps, on a graph where the
+// batched path actually engages. MaxEvalBatch=1 is the per-sample
+// reference, so this is the batched-vs-legacy equivalence proof; run
+// under -race it also exercises the per-worker BatchRunner isolation.
+func TestBatchedEvalByteIdentical(t *testing.T) {
+	g := deepConvNet(t)
+	const n = 23
+	rng := rand.New(rand.NewSource(77))
+	probes := make([]*tensor.Tensor, n)
+	samples := make([]dataset.Sample, n)
+	for i := range probes {
+		x := tensor.MustNew(4, 4, 16)
+		x.RandNormal(rng, 0, 1)
+		probes[i] = x
+		samples[i] = dataset.Sample{Image: x, Label: i % 10}
+	}
+	f, err := NewFidelity(g, probes, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := make([]map[string]*tensor.Tensor, n)
+	for i, x := range probes {
+		a, err := g.ForwardAll(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acts[i] = a
+	}
+
+	old := MaxEvalBatch
+	defer func() { MaxEvalBatch = old }()
+
+	type result struct{ acc, score, overlap, scoreFrom, overlapFrom float64 }
+	var want result
+	first := true
+	for _, cap := range []int{1, 2, 32} {
+		MaxEvalBatch = cap
+		for _, workers := range []int{1, 2, 4, 64} {
+			var got result
+			if got.acc, err = AccuracyWorkers(g, samples, workers); err != nil {
+				t.Fatal(err)
+			}
+			if got.score, err = f.ScoreWorkers(g, probes, workers); err != nil {
+				t.Fatal(err)
+			}
+			if got.overlap, err = f.OverlapWorkers(g, probes, workers); err != nil {
+				t.Fatal(err)
+			}
+			if got.scoreFrom, err = f.ScoreFromWorkers(g, acts, "c2", workers); err != nil {
+				t.Fatal(err)
+			}
+			if got.overlapFrom, err = f.OverlapFromWorkers(g, acts, "c2", workers); err != nil {
+				t.Fatal(err)
+			}
+			if first {
+				want = got
+				first = false
+			} else if got != want {
+				t.Fatalf("batch=%d workers=%d: %+v != reference %+v", cap, workers, got, want)
+			}
+		}
+	}
+}
