@@ -230,9 +230,10 @@ func main() {
 		"fig3":   runFig3,
 		"fig9":   runFig9,
 		"fig10":  runFig10,
+		"mixed":  runMixed,
 		"faults": runFaults,
 	}
-	order := []string{"table1", "table2", "fig2", "fig3", "fig9", "fig10", "table3", "faults"}
+	order := []string{"table1", "table2", "fig2", "fig3", "fig9", "fig10", "table3", "mixed", "faults"}
 
 	cp, err := loadCheckpoint(*checkpoint)
 	if err != nil {
@@ -500,6 +501,32 @@ func runFig10(opts experiments.Options) error {
 	}
 	return writeCSV("fig10", []string{"model", "config", "delta_pct", "accuracy", "cycles",
 		"latency_norm", "energy_norm", "e_main", "e_comm", "e_comp", "e_local"}, recs)
+}
+
+func runMixed(opts experiments.Options) error {
+	pts, err := experiments.MixedCodec(opts)
+	if err != nil {
+		return err
+	}
+	header("Mixed-codec sweep: CR vs accuracy vs latency/energy across the codec arena")
+	fmt.Printf("%-14s %-14s %-10s %6s %6s %9s %9s %9s %9s %7s\n",
+		"model", "config", "codec", "level", "layers", "wcr", "accuracy", "latency", "energy", "pareto")
+	var recs [][]string
+	for _, p := range pts {
+		pareto := ""
+		if p.Pareto {
+			pareto = "*"
+		}
+		fmt.Printf("%-14s %-14s %-10s %6g %6d %9.3f %9.4f %9.3f %9.3f %7s\n",
+			p.Model, p.Config, p.Codec, p.Level, p.Layers,
+			p.WeightedCR, p.Accuracy, p.LatencyNorm, p.EnergyNorm, pareto)
+		recs = append(recs, []string{p.Model, p.Config, p.Codec, ftoa(p.Level), ftoa(p.Budget),
+			strconv.Itoa(p.Layers), ftoa(p.WeightedCR), ftoa(p.Accuracy),
+			strconv.FormatUint(p.Cycles, 10), ftoa(p.LatencyNorm), ftoa(p.EnergyNorm),
+			strconv.FormatBool(p.Pareto)})
+	}
+	return writeCSV("mixed", []string{"model", "config", "codec", "level", "budget",
+		"layers", "wcr", "accuracy", "cycles", "latency_norm", "energy_norm", "pareto"}, recs)
 }
 
 func runFaults(opts experiments.Options) error {

@@ -2,7 +2,10 @@
 // in internal/planner: instead of compressing only the single selected
 // layer (Table I's policy), a greedy search chooses a set of layers and a
 // per-layer tolerance threshold that maximize the whole-model compression
-// ratio under an accuracy budget — all without retraining.
+// ratio under an accuracy budget — all without retraining. With -codecs
+// the search escalates over the whole codec arena (segment, Huffman,
+// RLE, bit-plane, quant+Huffman) and may assign a different codec to
+// every layer.
 package main
 
 import (
@@ -10,6 +13,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/codecs"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/models"
@@ -19,6 +23,7 @@ import (
 
 func main() {
 	budget := flag.Float64("budget", 0.05, "allowed top-1 accuracy drop")
+	mixed := flag.Bool("codecs", false, "search the full codec arena instead of the segment codec alone")
 	flag.Parse()
 
 	const seed = 21
@@ -78,14 +83,17 @@ func main() {
 	// Multi-layer plan under the accuracy budget.
 	opts := planner.DefaultOptions()
 	opts.MaxAccuracyDrop = *budget
+	if *mixed {
+		opts.Codecs = codecs.All()
+	}
 	plan, err := planner.Greedy(m, accuracy, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nmulti-layer plan (budget %.1f%% drop, %d evaluations):\n", 100**budget, plan.Evals)
-	fmt.Printf("%-12s %8s %8s %10s\n", "layer", "delta", "CR", "params")
+	fmt.Printf("%-12s %-10s %8s %8s %10s\n", "layer", "codec", "level", "CR", "params")
 	for _, a := range plan.Assignments {
-		fmt.Printf("%-12s %7.0f%% %8.2f %10d\n", a.Layer, a.DeltaPct, a.CR, a.Params)
+		fmt.Printf("%-12s %-10s %8g %8.2f %10d\n", a.Layer, a.Codec, a.Level, a.CR, a.Params)
 	}
 	fmt.Printf("\nwhole-model WCR: %.2f (single-layer: %.2f)\n", plan.WeightedCR, singleWCR)
 	fmt.Printf("accuracy: %.4f (original %.4f, budget floor %.4f)\n",

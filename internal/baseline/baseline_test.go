@@ -57,7 +57,7 @@ func TestHuffmanNearEntropyBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	payload := float64(bits - 256*8)
+	payload := float64(bits - HuffmanHeaderBits)
 	if payload < bound {
 		t.Errorf("Huffman %v bits beat the entropy bound %v", payload, bound)
 	}

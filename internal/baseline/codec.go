@@ -1,0 +1,178 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// core.Codec adapters for the lossless baselines. Both codecs operate on
+// the little-endian float32 serialization of the weight stream — the
+// same bytes the NoC would ship uncompressed — so their ratios quantify
+// the paper's Sec. III-B argument inside the mixed-codec experiments:
+// near 1.0 (Huffman) or expanding (RLE) on trained weights.
+//
+// Stream layout (little endian), shared two-byte prefix:
+//
+//	magic   byte     'H' (Huffman) or 'R' (RLE)
+//	version byte     1
+//	Huffman: the self-describing HuffmanEncode stream
+//	RLE:     n uint32 original byte count, then the (count, value) pairs
+//
+// Both are lossless over float32 values, so Decompress(Compress(w))
+// reproduces w exactly whenever w holds float32-representable values.
+
+const baselineCodecVersion = 1
+
+// Registry names of the baseline codecs.
+const (
+	HuffmanCodecName = "huffman"
+	RLECodecName     = "rle"
+)
+
+var errTruncated = errInvalid("baseline: truncated codec stream")
+
+// float32sToBytes serializes w as little-endian float32 words.
+func float32sToBytes(w []float64) []byte {
+	out := make([]byte, 4*len(w))
+	for i, v := range w {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(float32(v)))
+	}
+	return out
+}
+
+// bytesToFloat32s inverts float32sToBytes, widening to float64.
+func bytesToFloat32s(data []byte) ([]float64, error) {
+	if len(data)%4 != 0 {
+		return nil, fmt.Errorf("baseline: %d decoded bytes is not a whole float32 stream", len(data))
+	}
+	out := make([]float64, len(data)/4)
+	for i := range out {
+		out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:])))
+	}
+	return out, nil
+}
+
+// checkPrefix strips the two-byte magic/version prefix.
+func checkPrefix(stream []byte, magic byte) ([]byte, error) {
+	if len(stream) < 2 {
+		return nil, errTruncated
+	}
+	if stream[0] != magic || stream[1] != baselineCodecVersion {
+		return nil, errInvalid(fmt.Sprintf("baseline: bad codec stream header %#x %#x", stream[0], stream[1]))
+	}
+	return stream[2:], nil
+}
+
+// huffmanCodec is the byte-level canonical Huffman coder as a core.Codec.
+type huffmanCodec struct{}
+
+// HuffmanCodec returns the Huffman baseline as a core.Codec.
+func HuffmanCodec() core.Codec { return huffmanCodec{} }
+
+func (huffmanCodec) Name() string      { return HuffmanCodecName }
+func (huffmanCodec) Lossless() bool    { return true }
+func (huffmanCodec) Levels() []float64 { return []float64{0} }
+
+func (huffmanCodec) Compress(w []float64, level float64) ([]byte, error) {
+	if level != 0 {
+		return nil, fmt.Errorf("baseline: huffman is lossless, level %v not supported", level)
+	}
+	enc, err := HuffmanEncode(float32sToBytes(w))
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{'H', baselineCodecVersion}, enc...), nil
+}
+
+func (huffmanCodec) Decompress(stream []byte) ([]float64, error) {
+	enc, err := checkPrefix(stream, 'H')
+	if err != nil {
+		return nil, err
+	}
+	data, err := HuffmanDecode(enc)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, ErrEmpty
+	}
+	return bytesToFloat32s(data)
+}
+
+func (c huffmanCodec) CompressedBits(stream []byte, _ core.StorageModel) (int, error) {
+	if err := c.Validate(stream); err != nil {
+		return 0, err
+	}
+	return 8 * len(stream), nil
+}
+
+func (c huffmanCodec) Validate(stream []byte) error {
+	_, err := c.Decompress(stream)
+	return err
+}
+
+// rleCodec is byte-level run-length encoding as a core.Codec.
+type rleCodec struct{}
+
+// RLECodec returns the RLE baseline as a core.Codec.
+func RLECodec() core.Codec { return rleCodec{} }
+
+func (rleCodec) Name() string      { return RLECodecName }
+func (rleCodec) Lossless() bool    { return true }
+func (rleCodec) Levels() []float64 { return []float64{0} }
+
+func (rleCodec) Compress(w []float64, level float64) ([]byte, error) {
+	if level != 0 {
+		return nil, fmt.Errorf("baseline: rle is lossless, level %v not supported", level)
+	}
+	data := float32sToBytes(w)
+	enc, err := RLEEncode(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 6+len(enc))
+	out = append(out, 'R', baselineCodecVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(data)))
+	return append(out, enc...), nil
+}
+
+func (rleCodec) Decompress(stream []byte) ([]float64, error) {
+	body, err := checkPrefix(stream, 'R')
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 4 {
+		return nil, errTruncated
+	}
+	n := int(binary.LittleEndian.Uint32(body[:4]))
+	data, err := RLEDecode(body[4:])
+	if err != nil {
+		return nil, err
+	}
+	// The count header catches truncation at a pair boundary, which the
+	// pair stream alone cannot distinguish from a short valid stream.
+	if len(data) != n {
+		return nil, errInvalid(fmt.Sprintf("baseline: RLE stream decodes %d bytes, header says %d", len(data), n))
+	}
+	return bytesToFloat32s(data)
+}
+
+func (c rleCodec) CompressedBits(stream []byte, _ core.StorageModel) (int, error) {
+	if err := c.Validate(stream); err != nil {
+		return 0, err
+	}
+	return 8 * len(stream), nil
+}
+
+func (c rleCodec) Validate(stream []byte) error {
+	_, err := c.Decompress(stream)
+	return err
+}
+
+func init() {
+	core.MustRegisterCodec(HuffmanCodec())
+	core.MustRegisterCodec(RLECodec())
+}

@@ -48,7 +48,7 @@ func TestHuffmanCodecMatchesAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	payloadBytes := len(enc) - huffHeaderBytes
-	wantBytes := int((bits - 256*8 + 7) / 8)
+	wantBytes := int((bits - HuffmanHeaderBits + 7) / 8)
 	if payloadBytes != wantBytes {
 		t.Errorf("payload %d bytes, accounting says %d", payloadBytes, wantBytes)
 	}

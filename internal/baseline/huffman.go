@@ -85,8 +85,22 @@ func HuffmanCodeLengths(data []byte) ([256]int, error) {
 	return lengths, nil
 }
 
-// HuffmanCompressedBits returns the payload size of Huffman-coding data,
-// plus a canonical-code table overhead of one byte per possible symbol.
+// Huffman storage-model terms: the canonical code's side channel is the
+// per-symbol length table (one byte per possible symbol, exactly what
+// HuffmanEncode materializes) plus the 32-bit original-count header the
+// decoder needs to know where the bit stream ends. Charging them
+// explicitly keeps HuffmanCompressedBits-derived ratios comparable with
+// the stream-size accounting of core.Codec implementations — a ratio
+// that omits the side channel overstates the baseline on short inputs.
+const (
+	HuffmanTableBits  = 256 * 8
+	HuffmanHeaderBits = 32 + HuffmanTableBits
+)
+
+// HuffmanCompressedBits returns the storage size of Huffman-coding data:
+// the payload bits plus the canonical code-table side channel and count
+// header (HuffmanHeaderBits), matching the materialized HuffmanEncode
+// stream up to the final byte's padding.
 func HuffmanCompressedBits(data []byte) (uint64, error) {
 	lengths, err := HuffmanCodeLengths(data)
 	if err != nil {
@@ -100,7 +114,7 @@ func HuffmanCompressedBits(data []byte) (uint64, error) {
 	for s, c := range counts {
 		bits += c * uint64(lengths[s])
 	}
-	return bits + 256*8, nil
+	return bits + HuffmanHeaderBits, nil
 }
 
 // HuffmanRatio returns original bits over Huffman-compressed bits.

@@ -37,7 +37,14 @@ func RLEEncode(data []byte) ([]byte, error) {
 	if len(data) == 0 {
 		return nil, ErrEmpty
 	}
-	out := make([]byte, 0, len(data)/2+2)
+	// Size exactly up front: on high-entropy streams nearly every run has
+	// length one and the encoding is 2x the input, so a half-length hint
+	// would re-allocate through the whole append loop.
+	pairs, err := RLECompressedBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, pairs)
 	i := 0
 	for i < len(data) {
 		j := i + 1

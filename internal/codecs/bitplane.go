@@ -1,0 +1,261 @@
+package codecs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/quant"
+)
+
+// Bit-plane stream layout (little endian):
+//
+//	magic   [2]byte  "BP"
+//	version byte     1
+//	level   byte     L, dropped low-order bit planes (0..6)
+//	n       uint32   original parameter count
+//	scale   float64  quantization scale
+//	zp      byte     quantization zero point (int8)
+//	8-L planes, most significant first, each:
+//	    tag byte  0 = all-zero, 1 = all-one,
+//	              2 = literal packed bitmask (ceil(n/8) bytes),
+//	              3 = RLE: enclen uint32, then RLEEncode of the bitmask
+//
+// Planes hold the bits of zigzag(code >> L): the zigzag map concentrates
+// magnitude in the low planes, so for weight-like code distributions the
+// high planes are near-uniform and collapse to a tag byte or a short
+// run-length stream. Dropping L planes trades scale*2^(L-1) of
+// reconstruction error for an 8:(8-L) payload reduction before any
+// plane-level redundancy coding.
+
+const (
+	bpVersion     = 1
+	bpHeaderBytes = 2 + 1 + 1 + 4 + 8 + 1
+	bpMaxLevel    = 6
+)
+
+// Plane tags.
+const (
+	planeZero byte = iota
+	planeOne
+	planeLiteral
+	planeRLE
+)
+
+// ErrInvalidStream reports a malformed bitplane or quant-huff stream.
+var ErrInvalidStream = errors.New("codecs: invalid codec stream")
+
+// BitPlaneCodecName is the registry name of the bit-plane codec.
+const BitPlaneCodecName = "bitplane"
+
+type bitPlaneCodec struct{}
+
+// BitPlaneCodec returns the bit-plane codec.
+func BitPlaneCodec() core.Codec { return bitPlaneCodec{} }
+
+func (bitPlaneCodec) Name() string      { return BitPlaneCodecName }
+func (bitPlaneCodec) Lossless() bool    { return false }
+func (bitPlaneCodec) Levels() []float64 { return []float64{0, 1, 2, 3, 4} }
+
+// checkLevel validates the shared integer-level convention of the
+// quantized codecs.
+func checkLevel(level float64) (int, error) {
+	l := int(level)
+	if float64(l) != level || l < 0 || l > bpMaxLevel {
+		return 0, fmt.Errorf("codecs: level %v is not an integer in [0, %d]", level, bpMaxLevel)
+	}
+	return l, nil
+}
+
+// truncatedCodes quantizes w and returns the zigzagged, level-truncated
+// code stream plus its quantization parameters.
+func truncatedCodes(w []float64, level int) ([]uint8, quant.Params8, error) {
+	t, err := quant.Quantize(w)
+	if err != nil {
+		return nil, quant.Params8{}, err
+	}
+	zz := make([]uint8, len(t.Vals))
+	for i, c := range t.Vals {
+		zz[i] = quant.ZigZag8(c >> uint(level))
+	}
+	return zz, t.P, nil
+}
+
+// reconstructCode inverts the truncation of one zigzagged value:
+// un-zigzag, shift back up and re-center the truncation bucket.
+func reconstructCode(z uint8, level int) int8 {
+	r := int(quant.UnZigZag8(z))
+	c := r << uint(level)
+	if level > 0 {
+		c += 1 << uint(level-1)
+	}
+	if c < -128 {
+		c = -128
+	}
+	if c > 127 {
+		c = 127
+	}
+	return int8(c)
+}
+
+// packPlane extracts bit b of every value into an MSB-first bitmask.
+func packPlane(zz []uint8, b uint) []byte {
+	out := make([]byte, (len(zz)+7)/8)
+	for i, z := range zz {
+		if z>>b&1 == 1 {
+			out[i/8] |= 1 << uint(7-i%8)
+		}
+	}
+	return out
+}
+
+func (bitPlaneCodec) Compress(w []float64, level float64) ([]byte, error) {
+	l, err := checkLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	zz, p, err := truncatedCodes(w, l)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, bpHeaderBytes+len(zz))
+	out = append(out, 'B', 'P', bpVersion, byte(l))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(zz)))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.Scale))
+	out = append(out, byte(int8(p.ZeroPoint)))
+	for b := 7 - l; b >= 0; b-- {
+		out = appendPlane(out, zz, uint(b))
+	}
+	return out, nil
+}
+
+// appendPlane encodes one bit plane, choosing the cheapest of the
+// uniform tags, the literal bitmask and its run-length coding.
+func appendPlane(out []byte, zz []uint8, b uint) []byte {
+	lit := packPlane(zz, b)
+	ones := 0
+	for _, z := range zz {
+		if z>>b&1 == 1 {
+			ones++
+		}
+	}
+	switch {
+	case ones == 0:
+		return append(out, planeZero)
+	case ones == len(zz):
+		return append(out, planeOne)
+	}
+	if enc, err := baseline.RLEEncode(lit); err == nil && len(enc)+4 < len(lit) {
+		out = append(out, planeRLE)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(enc)))
+		return append(out, enc...)
+	}
+	out = append(out, planeLiteral)
+	return append(out, lit...)
+}
+
+// parse decodes the stream down to the zigzagged code values, shared by
+// Decompress and Validate.
+func (bitPlaneCodec) parse(stream []byte) ([]uint8, quant.Params8, int, error) {
+	if len(stream) < bpHeaderBytes {
+		return nil, quant.Params8{}, 0, fmt.Errorf("%w: bitplane stream of %d bytes", ErrInvalidStream, len(stream))
+	}
+	if stream[0] != 'B' || stream[1] != 'P' || stream[2] != bpVersion {
+		return nil, quant.Params8{}, 0, fmt.Errorf("%w: bad bitplane header", ErrInvalidStream)
+	}
+	l := int(stream[3])
+	if l > bpMaxLevel {
+		return nil, quant.Params8{}, 0, fmt.Errorf("%w: level %d", ErrInvalidStream, l)
+	}
+	n := int(binary.LittleEndian.Uint32(stream[4:8]))
+	if n <= 0 || n > maxCodecParams {
+		return nil, quant.Params8{}, 0, fmt.Errorf("%w: %d parameters", ErrInvalidStream, n)
+	}
+	scale := math.Float64frombits(binary.LittleEndian.Uint64(stream[8:16]))
+	if math.IsNaN(scale) || math.IsInf(scale, 0) || scale <= 0 {
+		return nil, quant.Params8{}, 0, fmt.Errorf("%w: scale %v", ErrInvalidStream, scale)
+	}
+	p := quant.Params8{Scale: scale, ZeroPoint: int(int8(stream[16]))}
+	body := stream[bpHeaderBytes:]
+	zz := make([]uint8, n)
+	litLen := (n + 7) / 8
+	for b := 7 - l; b >= 0; b-- {
+		if len(body) < 1 {
+			return nil, quant.Params8{}, 0, fmt.Errorf("%w: plane %d missing", ErrInvalidStream, b)
+		}
+		tag := body[0]
+		body = body[1:]
+		var lit []byte
+		switch tag {
+		case planeZero:
+			continue
+		case planeOne:
+			for i := range zz {
+				zz[i] |= 1 << uint(b)
+			}
+			continue
+		case planeLiteral:
+			if len(body) < litLen {
+				return nil, quant.Params8{}, 0, fmt.Errorf("%w: plane %d truncated", ErrInvalidStream, b)
+			}
+			lit = body[:litLen]
+			body = body[litLen:]
+		case planeRLE:
+			if len(body) < 4 {
+				return nil, quant.Params8{}, 0, fmt.Errorf("%w: plane %d RLE header truncated", ErrInvalidStream, b)
+			}
+			encLen := int(binary.LittleEndian.Uint32(body[:4]))
+			body = body[4:]
+			if encLen > len(body) {
+				return nil, quant.Params8{}, 0, fmt.Errorf("%w: plane %d RLE truncated", ErrInvalidStream, b)
+			}
+			dec, err := baseline.RLEDecode(body[:encLen])
+			if err != nil {
+				return nil, quant.Params8{}, 0, fmt.Errorf("%w: plane %d: %v", ErrInvalidStream, b, err)
+			}
+			if len(dec) != litLen {
+				return nil, quant.Params8{}, 0, fmt.Errorf("%w: plane %d decodes to %d bytes, want %d", ErrInvalidStream, b, len(dec), litLen)
+			}
+			lit = dec
+			body = body[encLen:]
+		default:
+			return nil, quant.Params8{}, 0, fmt.Errorf("%w: plane %d tag %d", ErrInvalidStream, b, tag)
+		}
+		for i := range zz {
+			if lit[i/8]>>uint(7-i%8)&1 == 1 {
+				zz[i] |= 1 << uint(b)
+			}
+		}
+	}
+	if len(body) != 0 {
+		return nil, quant.Params8{}, 0, fmt.Errorf("%w: %d trailing bytes", ErrInvalidStream, len(body))
+	}
+	return zz, p, l, nil
+}
+
+func (c bitPlaneCodec) Decompress(stream []byte) ([]float64, error) {
+	zz, p, l, err := c.parse(stream)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(zz))
+	for i, z := range zz {
+		out[i] = (float64(reconstructCode(z, l)) - float64(p.ZeroPoint)) * p.Scale
+	}
+	return out, nil
+}
+
+func (c bitPlaneCodec) CompressedBits(stream []byte, _ core.StorageModel) (int, error) {
+	if err := c.Validate(stream); err != nil {
+		return 0, err
+	}
+	return 8 * len(stream), nil
+}
+
+func (c bitPlaneCodec) Validate(stream []byte) error {
+	_, _, _, err := c.parse(stream)
+	return err
+}

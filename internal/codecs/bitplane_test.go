@@ -1,0 +1,147 @@
+package codecs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/quant"
+)
+
+func TestCheckLevel(t *testing.T) {
+	for _, bad := range []float64{-1, 0.5, 7, 100, math.NaN()} {
+		if _, err := checkLevel(bad); err == nil {
+			t.Errorf("level %v accepted", bad)
+		}
+	}
+	for want := 0; want <= bpMaxLevel; want++ {
+		got, err := checkLevel(float64(want))
+		if err != nil || got != want {
+			t.Errorf("checkLevel(%d) = %d, %v", want, got, err)
+		}
+	}
+}
+
+// TestReconstructCodeBound sweeps every int8 code through the
+// truncate/zigzag/reconstruct path and pins the error bound the codecs'
+// MaxAbsError accounting relies on: exact at level 0, at most 2^(L-1)
+// code steps otherwise.
+func TestReconstructCodeBound(t *testing.T) {
+	for l := 0; l <= bpMaxLevel; l++ {
+		bound := 0
+		if l > 0 {
+			bound = 1 << uint(l-1)
+		}
+		for c := -128; c <= 127; c++ {
+			z := quant.ZigZag8(int8(c) >> uint(l))
+			got := int(reconstructCode(z, l))
+			if d := got - c; d < -bound || d > bound {
+				t.Fatalf("level %d: code %d -> %d, |err| > %d", l, c, got, bound)
+			}
+		}
+	}
+}
+
+func TestZigZag8RoundTrip(t *testing.T) {
+	for c := -128; c <= 127; c++ {
+		if got := quant.UnZigZag8(quant.ZigZag8(int8(c))); got != int8(c) {
+			t.Fatalf("zigzag round trip: %d -> %d", c, got)
+		}
+	}
+	// Small magnitudes must map to small symbols — the property that
+	// skews the plane and symbol distributions.
+	for _, tc := range []struct {
+		c int8
+		z uint8
+	}{{0, 0}, {-1, 1}, {1, 2}, {-2, 3}, {2, 4}, {127, 254}, {-128, 255}} {
+		if got := quant.ZigZag8(tc.c); got != tc.z {
+			t.Errorf("ZigZag8(%d) = %d, want %d", tc.c, got, tc.z)
+		}
+	}
+}
+
+func TestMaxAbsError(t *testing.T) {
+	p := quant.Params8{Scale: 0.01}
+	if got := MaxAbsError(p, 0); got != 0.005 {
+		t.Errorf("level 0: %v", got)
+	}
+	if got := MaxAbsError(p, 3); got != 0.01*(0.5+4) {
+		t.Errorf("level 3: %v", got)
+	}
+}
+
+// TestBitPlaneUniformPlanesCollapse: constant weights quantize to one
+// code, so every plane is uniform and the stream is just header + tags.
+func TestBitPlaneUniformPlanesCollapse(t *testing.T) {
+	w := make([]float64, 10000)
+	for i := range w {
+		w[i] = 0.75
+	}
+	c := BitPlaneCodec()
+	stream, err := c.Compress(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bpHeaderBytes + 8; len(stream) != want {
+		t.Errorf("constant input stream = %d bytes, want %d", len(stream), want)
+	}
+	got, err := c.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tq, err := quant.Quantize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := MaxAbsError(tq.P, 0) + 1e-12
+	for i := range got {
+		if math.Abs(got[i]-0.75) > bound {
+			t.Fatalf("got[%d] = %v", i, got[i])
+		}
+	}
+}
+
+// TestBitPlaneBeatsRawWidth: even at level 0 the payload is one bit per
+// plane per weight, so weight-shaped input must land well under the
+// 32-bit raw datapath width.
+func TestBitPlaneBeatsRawWidth(t *testing.T) {
+	w := make([]float64, 2048)
+	for i := range w {
+		w[i] = math.Sin(float64(i)*0.031) * 0.2
+	}
+	c := BitPlaneCodec()
+	prev := math.MaxInt
+	for _, level := range c.Levels() {
+		stream, err := c.Compress(w, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bits := 8 * len(stream); bits >= 32*len(w)/2 {
+			t.Errorf("level %v: %d bits for %d weights", level, bits, len(w))
+		}
+		if len(stream) > prev {
+			t.Errorf("level %v grew the stream: %d > %d bytes", level, len(stream), prev)
+		}
+		prev = len(stream)
+	}
+}
+
+// TestQuantHuffSkewBites: the zigzagged quantized symbol stream is
+// strongly skewed, so the entropy coder must compress it well below the
+// 8 bits/symbol of plain int8 quantization (amortizing its code table).
+func TestQuantHuffSkewBites(t *testing.T) {
+	w := make([]float64, 4096)
+	s := uint64(7)
+	for i := range w {
+		s = s*6364136223846793005 + 1442695040888963407
+		u := float64(s>>11)/float64(1<<53) - 0.5
+		w[i] = u * u * u // concentrated near zero, like trained weights
+	}
+	c := QuantHuffCodec()
+	stream, err := c.Compress(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits := 8 * len(stream); bits >= 8*len(w) {
+		t.Errorf("%d bits >= 8 bits/weight for %d weights", bits, len(w))
+	}
+}

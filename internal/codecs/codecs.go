@@ -1,0 +1,58 @@
+// Package codecs implements the compression schemes from the related
+// work that extend the paper's design space, and acts as the
+// registration hub for every core.Codec in the repository: importing
+// this package (even blank) makes the segment codec, the lossless
+// baselines (huffman, rle) and the two quantized codecs defined here
+// (bitplane, quant-huff) available through the core codec registry.
+//
+// Both codecs here build on int8 post-training quantization
+// (internal/quant) and drop low-order bits as their escalation level:
+//
+//   - bitplane: extended-bit-plane-style compression (Cavigelli &
+//     Benini): the quantized codes are zigzag-mapped so magnitude
+//     concentrates in the low planes, then each remaining bit plane is
+//     stored as a packed bitmask, run-length coded or collapsed to a
+//     tag byte when uniform.
+//   - quant-huff: quantization composed with the canonical byte-level
+//     Huffman coder (variable-precision compressed weights, Liguori):
+//     the zigzagged codes skew the symbol distribution enough for
+//     entropy coding to bite, unlike raw float32 weight bytes.
+//
+// Level L of either codec drops the L low-order bits of every int8
+// code before encoding; reconstruction re-centers each truncation
+// bucket, so the absolute weight error is bounded by
+// scale * (1/2 + 2^(L-1)) for L > 0 and scale/2 at L = 0.
+package codecs
+
+import (
+	// Blank import so one import of this package registers the baseline
+	// codecs too (core's segment codec registers via the core import).
+	_ "repro/internal/baseline"
+
+	"repro/internal/core"
+	"repro/internal/quant"
+)
+
+// All returns every registered codec, sorted by name.
+func All() []core.Codec { return core.RegisteredCodecs() }
+
+// maxCodecParams bounds the parameter count a decoded stream may claim,
+// so a corrupt count field cannot demand an arbitrary allocation before
+// any payload is read. 2^28 covers the largest tensor in the model zoo
+// (VGG-16's first dense layer, ~103M parameters) with headroom.
+const maxCodecParams = 1 << 28
+
+// MaxAbsError bounds the absolute reconstruction error of the quantized
+// codecs at the given level for a stream quantized with params p.
+func MaxAbsError(p quant.Params8, level int) float64 {
+	e := 0.5
+	if level > 0 {
+		e += float64(int(1) << (level - 1))
+	}
+	return p.Scale * e
+}
+
+func init() {
+	core.MustRegisterCodec(BitPlaneCodec())
+	core.MustRegisterCodec(QuantHuffCodec())
+}

@@ -1,0 +1,279 @@
+package codecs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/quant"
+	"repro/internal/stats"
+)
+
+// The conformance suite runs every registered codec through the shared
+// Codec contract:
+//
+//   - Compress is deterministic and its streams pass the codec's own
+//     Validate.
+//   - Decompress preserves length; lossless codecs round-trip bit-exactly
+//     at float32 (the datapath width), lossy codecs stay within their
+//     declared error bound.
+//   - Validate rejects empty, truncated (every prefix) and
+//     corrupted-header streams.
+//   - CompressedBits is positive on valid streams and errors on invalid
+//     ones, under every storage model.
+//
+// Error bounds are codec-specific. The quantized codecs guarantee
+// MaxAbsError(p, level) per point. The paper's segment codec has no
+// per-point guarantee tied to its level — delta governs the monotone
+// segmentation, not the least-squares fit — so its conformance bound is
+// the coarse one it can actually honor: errors bounded by the parameter
+// amplitude (trend-with-delta behavior is pinned in internal/core).
+
+// testVectors are deterministic weight successions spanning the shapes
+// codecs meet in practice: smooth, noisy, sparse, constant, tiny.
+func testVectors() map[string][]float64 {
+	lcg := make([]float64, 700)
+	s := uint64(1)
+	for i := range lcg {
+		s = s*6364136223846793005 + 1442695040888963407
+		lcg[i] = (float64(s>>11)/float64(1<<53) - 0.5) * 0.4
+	}
+	sine := make([]float64, 300)
+	for i := range sine {
+		sine[i] = math.Sin(float64(i)*0.071)*0.3 + 0.05*math.Sin(float64(i)*1.3)
+	}
+	sparse := make([]float64, 256)
+	for i := range sparse {
+		if i%17 == 0 {
+			sparse[i] = float64(i%5) - 2
+		}
+	}
+	return map[string][]float64{
+		"lcg":      lcg,
+		"sine":     sine,
+		"sparse":   sparse,
+		"constant": {0.25, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25},
+		"single":   {-0.125},
+		"short":    {0.5, -0.5, 0.25},
+	}
+}
+
+// errBound returns the per-point absolute error bound codec c claims for
+// input w at the given level.
+func errBound(t *testing.T, c core.Codec, w []float64, level float64) float64 {
+	t.Helper()
+	if c.Lossless() {
+		return 0
+	}
+	switch c.Name() {
+	case core.SegmentCodecName:
+		return 2 * stats.Amplitude(w)
+	case BitPlaneCodecName, QuantHuffCodecName:
+		tq, err := quant.Quantize(w)
+		if err != nil {
+			t.Fatalf("quantizing reference: %v", err)
+		}
+		return MaxAbsError(tq.P, int(level)) + 1e-9
+	default:
+		t.Fatalf("no error bound declared for lossy codec %q", c.Name())
+		return 0
+	}
+}
+
+func TestConformanceRoundTrip(t *testing.T) {
+	for _, c := range core.RegisteredCodecs() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			levels := c.Levels()
+			if len(levels) == 0 {
+				t.Fatal("codec advertises no levels")
+			}
+			for i := 1; i < len(levels); i++ {
+				if levels[i] <= levels[i-1] {
+					t.Fatalf("levels not ascending: %v", levels)
+				}
+			}
+			for name, w := range testVectors() {
+				for _, level := range levels {
+					stream, err := c.Compress(w, level)
+					if err != nil {
+						t.Fatalf("%s level %v: compress: %v", name, level, err)
+					}
+					if len(stream) == 0 {
+						t.Fatalf("%s level %v: empty stream", name, level)
+					}
+					again, err := c.Compress(w, level)
+					if err != nil || !bytes.Equal(stream, again) {
+						t.Fatalf("%s level %v: compression not deterministic (err %v)", name, level, err)
+					}
+					if err := c.Validate(stream); err != nil {
+						t.Fatalf("%s level %v: own stream fails Validate: %v", name, level, err)
+					}
+					for _, sm := range []core.StorageModel{core.DefaultStorage, core.RealisticStorage} {
+						bits, err := c.CompressedBits(stream, sm)
+						if err != nil {
+							t.Fatalf("%s level %v: CompressedBits: %v", name, level, err)
+						}
+						if bits <= 0 {
+							t.Fatalf("%s level %v: CompressedBits = %d", name, level, bits)
+						}
+					}
+					got, err := c.Decompress(stream)
+					if err != nil {
+						t.Fatalf("%s level %v: decompress: %v", name, level, err)
+					}
+					if len(got) != len(w) {
+						t.Fatalf("%s level %v: decompressed %d values, want %d", name, level, len(got), len(w))
+					}
+					if c.Lossless() {
+						for i := range w {
+							if math.Float32bits(float32(w[i])) != math.Float32bits(float32(got[i])) {
+								t.Fatalf("%s level %v: lossless codec altered w[%d]: %v -> %v",
+									name, level, i, w[i], got[i])
+							}
+						}
+						continue
+					}
+					bound := errBound(t, c, w, level)
+					for i := range w {
+						if e := math.Abs(w[i] - got[i]); e > bound {
+							t.Fatalf("%s level %v: |err[%d]| = %v exceeds bound %v",
+								name, level, i, e, bound)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceRejectsBadInput(t *testing.T) {
+	for _, c := range core.RegisteredCodecs() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			level := c.Levels()[0]
+			if _, err := c.Compress(nil, level); err == nil {
+				t.Error("compressing empty input should error")
+			}
+			if _, err := c.Compress([]float64{1, 2, 3}, -1); err == nil {
+				t.Error("negative level should error")
+			}
+			for _, stream := range [][]byte{nil, {}} {
+				if err := c.Validate(stream); err == nil {
+					t.Error("empty stream should fail Validate")
+				}
+				if _, err := c.Decompress(stream); err == nil {
+					t.Error("empty stream should fail Decompress")
+				}
+				if _, err := c.CompressedBits(stream, core.DefaultStorage); err == nil {
+					t.Error("empty stream should fail CompressedBits")
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceRejectsTruncation cuts a valid stream at every byte
+// boundary and requires Validate to reject each prefix: a codec whose
+// streams stay "valid" when bytes fall off the end silently decodes
+// wrong weights when a NoC transfer is cut short.
+func TestConformanceRejectsTruncation(t *testing.T) {
+	w := testVectors()["short"]
+	for _, c := range core.RegisteredCodecs() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			levels := c.Levels()
+			for _, level := range []float64{levels[0], levels[len(levels)-1]} {
+				stream, err := c.Compress(w, level)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for k := 0; k < len(stream); k++ {
+					if err := c.Validate(stream[:k]); err == nil {
+						t.Fatalf("level %v: prefix of %d/%d bytes passed Validate",
+							level, k, len(stream))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceRejectsCorruptHeader flips the leading byte of a valid
+// stream; every codec's framing (magic byte or archival checksum) must
+// catch it.
+func TestConformanceRejectsCorruptHeader(t *testing.T) {
+	w := testVectors()["sine"]
+	for _, c := range core.RegisteredCodecs() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			stream, err := c.Compress(w, c.Levels()[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			bad := append([]byte(nil), stream...)
+			bad[0] ^= 0xFF
+			if err := c.Validate(bad); err == nil {
+				t.Error("corrupt leading byte passed Validate")
+			}
+			if _, err := c.Decompress(bad); err == nil {
+				t.Error("corrupt leading byte passed Decompress")
+			}
+		})
+	}
+}
+
+// TestConformanceNonFinite: lossy codecs must refuse non-finite weights
+// (their quantization or fitting would silently poison the output);
+// lossless codecs must carry them through bit-exactly at float32.
+func TestConformanceNonFinite(t *testing.T) {
+	w := []float64{0.5, math.NaN(), -0.25, math.Inf(1)}
+	for _, c := range core.RegisteredCodecs() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			for _, level := range c.Levels() {
+				stream, err := c.Compress(w, level)
+				if !c.Lossless() {
+					if err == nil {
+						t.Fatalf("level %v: lossy codec accepted non-finite input", level)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("level %v: %v", level, err)
+				}
+				got, err := c.Decompress(stream)
+				if err != nil {
+					t.Fatalf("level %v: %v", level, err)
+				}
+				for i := range w {
+					if math.Float32bits(float32(w[i])) != math.Float32bits(float32(got[i])) {
+						t.Errorf("level %v: w[%d] %v -> %v", level, i, w[i], got[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAllRegistered pins the expected codec arena: the five schemes of
+// the mixed-codec experiments, discoverable by name.
+func TestAllRegistered(t *testing.T) {
+	want := []string{
+		core.SegmentCodecName, "huffman", "rle", BitPlaneCodecName, QuantHuffCodecName,
+	}
+	for _, name := range want {
+		c, err := core.LookupCodec(name)
+		if err != nil {
+			t.Errorf("codec %q not registered: %v", name, err)
+			continue
+		}
+		if c.Name() != name {
+			t.Errorf("codec %q reports name %q", name, c.Name())
+		}
+	}
+	if got := len(All()); got < len(want) {
+		t.Errorf("All() returns %d codecs, want at least %d", got, len(want))
+	}
+}

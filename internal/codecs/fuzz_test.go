@@ -1,0 +1,68 @@
+package codecs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fuzzSeeds returns valid streams for the given codec plus a few
+// deliberate corruptions, so the fuzzers start from structured input.
+func fuzzSeeds(f *testing.F, c core.Codec) {
+	f.Helper()
+	w := []float64{0.5, -0.25, 0.125, 0, 0.75, -0.625, 0.0625}
+	for _, level := range c.Levels() {
+		stream, err := c.Compress(w, level)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(stream)
+		f.Add(stream[:len(stream)-1])
+		bad := append([]byte(nil), stream...)
+		bad[len(bad)/2] ^= 0x55
+		f.Add(bad)
+	}
+	f.Add([]byte{})
+}
+
+// fuzzStream is the shared oracle: Validate and Decompress must agree —
+// a stream Validate accepts must decompress into finite weights, and a
+// stream it rejects must not decompress. Neither may panic.
+func fuzzStream(t *testing.T, c core.Codec, data []byte) {
+	t.Helper()
+	verr := c.Validate(data)
+	w, derr := c.Decompress(data)
+	if verr == nil && derr != nil {
+		t.Fatalf("Validate accepts but Decompress rejects: %v", derr)
+	}
+	if verr != nil && derr == nil {
+		t.Fatalf("Decompress accepts but Validate rejects: %v", verr)
+	}
+	if verr != nil {
+		return
+	}
+	if len(w) == 0 {
+		t.Fatal("valid stream decompressed to nothing")
+	}
+	for i, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("valid stream decodes non-finite w[%d] = %v", i, v)
+		}
+	}
+	if _, err := c.CompressedBits(data, core.DefaultStorage); err != nil {
+		t.Fatalf("valid stream fails CompressedBits: %v", err)
+	}
+}
+
+func FuzzBitPlaneStream(f *testing.F) {
+	c := BitPlaneCodec()
+	fuzzSeeds(f, c)
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzStream(t, c, data) })
+}
+
+func FuzzQuantHuffStream(f *testing.F) {
+	c := QuantHuffCodec()
+	fuzzSeeds(f, c)
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzStream(t, c, data) })
+}

@@ -1,0 +1,119 @@
+package codecs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/quant"
+)
+
+// Quantized + entropy-coded stream layout (little endian):
+//
+//	magic   [2]byte  "QH"
+//	version byte     1
+//	level   byte     L, dropped low-order bits (0..6)
+//	n       uint32   original parameter count
+//	scale   float64  quantization scale
+//	zp      byte     quantization zero point (int8)
+//	payload          HuffmanEncode of the zigzag(code >> L) byte stream
+//
+// Raw float32 weight bytes are near-maximum entropy (Fig. 3), so the
+// Huffman baseline cannot compress them; int8 quantization followed by
+// the zigzag map yields a strongly skewed byte distribution where the
+// canonical coder does bite, and every dropped bit merges symbol pairs
+// and lowers the entropy further.
+
+const qhVersion = 1
+
+const qhHeaderBytes = 2 + 1 + 1 + 4 + 8 + 1
+
+// QuantHuffCodecName is the registry name of the quant+entropy codec.
+const QuantHuffCodecName = "quant-huff"
+
+type quantHuffCodec struct{}
+
+// QuantHuffCodec returns the quantized + Huffman-coded codec.
+func QuantHuffCodec() core.Codec { return quantHuffCodec{} }
+
+func (quantHuffCodec) Name() string      { return QuantHuffCodecName }
+func (quantHuffCodec) Lossless() bool    { return false }
+func (quantHuffCodec) Levels() []float64 { return []float64{0, 1, 2, 3, 4} }
+
+func (quantHuffCodec) Compress(w []float64, level float64) ([]byte, error) {
+	l, err := checkLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	zz, p, err := truncatedCodes(w, l)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := baseline.HuffmanEncode(zz)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, qhHeaderBytes+len(enc))
+	out = append(out, 'Q', 'H', qhVersion, byte(l))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(zz)))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.Scale))
+	out = append(out, byte(int8(p.ZeroPoint)))
+	return append(out, enc...), nil
+}
+
+// parse decodes the stream down to the zigzagged code values.
+func (quantHuffCodec) parse(stream []byte) ([]uint8, quant.Params8, int, error) {
+	if len(stream) < qhHeaderBytes {
+		return nil, quant.Params8{}, 0, fmt.Errorf("%w: quant-huff stream of %d bytes", ErrInvalidStream, len(stream))
+	}
+	if stream[0] != 'Q' || stream[1] != 'H' || stream[2] != qhVersion {
+		return nil, quant.Params8{}, 0, fmt.Errorf("%w: bad quant-huff header", ErrInvalidStream)
+	}
+	l := int(stream[3])
+	if l > bpMaxLevel {
+		return nil, quant.Params8{}, 0, fmt.Errorf("%w: level %d", ErrInvalidStream, l)
+	}
+	n := int(binary.LittleEndian.Uint32(stream[4:8]))
+	if n <= 0 || n > maxCodecParams {
+		return nil, quant.Params8{}, 0, fmt.Errorf("%w: %d parameters", ErrInvalidStream, n)
+	}
+	scale := math.Float64frombits(binary.LittleEndian.Uint64(stream[8:16]))
+	if math.IsNaN(scale) || math.IsInf(scale, 0) || scale <= 0 {
+		return nil, quant.Params8{}, 0, fmt.Errorf("%w: scale %v", ErrInvalidStream, scale)
+	}
+	p := quant.Params8{Scale: scale, ZeroPoint: int(int8(stream[16]))}
+	zz, err := baseline.HuffmanDecode(stream[qhHeaderBytes:])
+	if err != nil {
+		return nil, quant.Params8{}, 0, fmt.Errorf("%w: %v", ErrInvalidStream, err)
+	}
+	if len(zz) != n {
+		return nil, quant.Params8{}, 0, fmt.Errorf("%w: payload decodes %d values, header says %d", ErrInvalidStream, len(zz), n)
+	}
+	return zz, p, l, nil
+}
+
+func (c quantHuffCodec) Decompress(stream []byte) ([]float64, error) {
+	zz, p, l, err := c.parse(stream)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(zz))
+	for i, z := range zz {
+		out[i] = (float64(reconstructCode(z, l)) - float64(p.ZeroPoint)) * p.Scale
+	}
+	return out, nil
+}
+
+func (c quantHuffCodec) CompressedBits(stream []byte, _ core.StorageModel) (int, error) {
+	if err := c.Validate(stream); err != nil {
+		return 0, err
+	}
+	return 8 * len(stream), nil
+}
+
+func (c quantHuffCodec) Validate(stream []byte) error {
+	_, _, _, err := c.parse(stream)
+	return err
+}

@@ -64,3 +64,17 @@ func TestFig10Deterministic(t *testing.T) {
 	o.TrainEpochs = 1
 	assertDeterministic(t, Fig10, o)
 }
+
+func TestMixedCodecDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains LeNet twice in -short mode")
+	}
+	// Worker-count invariance of the full arena sweep: training, the
+	// (codec, level) grid, the greedy mixed-codec planner and the
+	// simulator all run at workers 1 and 4 — this is the property that
+	// makes the committed results/mixed.csv reproducible on any machine.
+	o := FastOptions()
+	o.TrainSamples = 100
+	o.TrainEpochs = 1
+	assertDeterministic(t, MixedCodec, o)
+}

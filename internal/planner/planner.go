@@ -1,21 +1,30 @@
 // Package planner implements the paper's stated future work (Sec. V):
 // selecting the set of layers to compress and, for each, the appropriate
-// tolerance threshold, to maximize the overall compression ratio under an
-// accuracy constraint.
+// compression scheme and aggressiveness, to maximize the overall
+// compression ratio under an accuracy constraint.
 //
 // The planner runs a greedy marginal-benefit search: starting from the
 // uncompressed model, it repeatedly evaluates single-step escalations
-// (compress one more layer at the lowest delta, or raise an already
-// compressed layer to the next delta level), applies the escalation with
+// (compress one more layer, or move an already compressed layer to the
+// next (codec, level) pair on its ladder), applies the escalation with
 // the best bits-saved-per-accuracy-lost ratio that keeps the model within
 // the accuracy budget, and stops when no escalation fits. The search
 // needs only forward evaluations — consistent with the compression
 // technique's retraining-free philosophy.
+//
+// With a single codec the ladder is that codec's level grid (the paper's
+// global delta sweep, made per-layer). With several codecs the ladder of
+// each layer is every (codec, level) pair ordered from least to most
+// compressed *for that layer's weights*, so the search escalates across
+// schemes — a layer can move from the segment codec at a low tolerance
+// to the bit-plane codec when that is the next cheapest step — and the
+// result is a mixed-codec plan.
 package planner
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/models"
@@ -30,9 +39,15 @@ type Options struct {
 	// MaxAccuracyDrop is the budget relative to the uncompressed model's
 	// accuracy (e.g. 0.05 allows a five-point drop).
 	MaxAccuracyDrop float64
-	// DeltaGrid is the escalation ladder of tolerance thresholds, in
-	// percent of each layer's amplitude, ascending.
+	// DeltaGrid is the legacy single-codec escalation ladder of segment
+	// tolerance thresholds, in percent of each layer's amplitude,
+	// ascending. It is used only when Codecs is empty.
 	DeltaGrid []float64
+	// Codecs is the mixed-codec search space: the escalation ladder of
+	// every layer becomes the union of each codec's (codec, level)
+	// pairs, ordered by that layer's compressed size. Empty means the
+	// segment codec over DeltaGrid.
+	Codecs []core.Codec
 	// Layers restricts the candidate set (nil = every CONV/DWCONV/FC
 	// layer with parameters).
 	Layers []string
@@ -53,9 +68,15 @@ func DefaultOptions() Options {
 
 // Assignment is one compressed layer in the final plan.
 type Assignment struct {
-	Layer    string
+	Layer string
+	// Codec is the scheme compressing the layer; Level its codec-specific
+	// aggressiveness (the tolerance percent for the segment codec).
+	Codec string
+	Level float64
+	// DeltaPct mirrors Level for callers predating the codec arena.
 	DeltaPct float64
 	CR       float64
+	Bits     int // compressed bits of the layer's weight stream
 	Params   int
 }
 
@@ -68,12 +89,138 @@ type Plan struct {
 	Evals        int     // accuracy evaluations spent
 }
 
+// pair is one rung of a layer's escalation ladder.
+type pair struct {
+	codec core.Codec
+	level float64
+}
+
+// trial caches the compressed artifacts of one (layer, codec, level)
+// point: the serialized stream, its accounted bits, and — once needed —
+// the decompressed approximation. Reverts and commits reinstall the
+// cached approximation, so a restore is bit-identical to the trial that
+// produced it and costs no recompression.
+type trial struct {
+	p      pair
+	stream []byte
+	bits   int
+	approx []float64 // nil until first installed
+}
+
+// weights returns the cached decompressed stream, materializing it once.
+func (t *trial) weights() ([]float64, error) {
+	if t.approx == nil {
+		w, err := t.p.codec.Decompress(t.stream)
+		if err != nil {
+			return nil, err
+		}
+		t.approx = w
+	}
+	return t.approx, nil
+}
+
 // layerState tracks the search state for one candidate layer.
 type layerState struct {
 	name     string
 	original []float64
-	level    int // index into DeltaGrid; -1 = uncompressed
-	bits     int // current compressed bits (original bits if level < 0)
+	ladder   []*trial // ordered least → most compressed for this layer
+	pos      int      // committed ladder index; -1 = uncompressed
+	dead     []bool   // rungs rejected for violating the accuracy floor
+	bits     int      // current compressed bits (original bits if pos < 0)
+}
+
+// next returns the index of the layer's next escalation: the first rung
+// past the committed one that actually saves bits and has not been
+// rejected. Rejected rungs stay dead — as the plan grows, accuracy only
+// degrades, so a rung that violated the floor once will not pass later —
+// which lets the search route around a bad (codec, level) point instead
+// of stalling the layer on it.
+func (st *layerState) next() (int, bool) {
+	for i := st.pos + 1; i < len(st.ladder); i++ {
+		if st.dead[i] {
+			continue
+		}
+		if st.ladder[i].bits < st.bits {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// restore reinstalls a layer's committed state: its original weights if
+// uncompressed, or the cached decompressed stream at its committed rung.
+func (st *layerState) restore(m *models.Model) error {
+	if st.pos < 0 {
+		return m.SetLayerWeights(st.name, st.original)
+	}
+	w, err := st.ladder[st.pos].weights()
+	if err != nil {
+		return err
+	}
+	return m.SetLayerWeights(st.name, w)
+}
+
+// searchPairs resolves the (codec, level) search space.
+func searchPairs(opts Options) ([]pair, error) {
+	if len(opts.Codecs) > 0 {
+		var pairs []pair
+		for _, c := range opts.Codecs {
+			if c == nil {
+				return nil, errors.New("planner: nil codec in search space")
+			}
+			levels := c.Levels()
+			if len(levels) == 0 {
+				return nil, fmt.Errorf("planner: codec %q has no levels", c.Name())
+			}
+			for _, l := range levels {
+				pairs = append(pairs, pair{codec: c, level: l})
+			}
+		}
+		return pairs, nil
+	}
+	if len(opts.DeltaGrid) == 0 {
+		return nil, errors.New("planner: empty delta grid")
+	}
+	for i := 1; i < len(opts.DeltaGrid); i++ {
+		if opts.DeltaGrid[i] <= opts.DeltaGrid[i-1] {
+			return nil, errors.New("planner: delta grid must ascend")
+		}
+	}
+	seg := core.SegmentCodec()
+	pairs := make([]pair, 0, len(opts.DeltaGrid))
+	for _, pct := range opts.DeltaGrid {
+		pairs = append(pairs, pair{codec: seg, level: pct})
+	}
+	return pairs, nil
+}
+
+// buildLadder compresses one layer at every search pair and orders the
+// trials least → most compressed, tie-broken by (codec name, level) so
+// the ladder is deterministic regardless of pair order.
+func buildLadder(name string, w []float64, pairs []pair, sm core.StorageModel) ([]*trial, error) {
+	ladder := make([]*trial, 0, len(pairs))
+	for _, p := range pairs {
+		stream, err := p.codec.Compress(w, p.level)
+		if err != nil {
+			return nil, fmt.Errorf("planner: %s with %s at level %v: %w", name, p.codec.Name(), p.level, err)
+		}
+		bits, err := p.codec.CompressedBits(stream, sm)
+		if err != nil {
+			return nil, fmt.Errorf("planner: %s with %s at level %v: %w", name, p.codec.Name(), p.level, err)
+		}
+		ladder = append(ladder, &trial{p: p, stream: stream, bits: bits})
+	}
+	sort.SliceStable(ladder, func(i, j int) bool {
+		a, b := ladder[i], ladder[j]
+		if a.bits != b.bits {
+			return a.bits > b.bits
+		}
+		if an, bn := a.p.codec.Name(), b.p.codec.Name(); an != bn {
+			return an < bn
+		}
+		return a.p.level < b.p.level
+	})
+	return ladder, nil
 }
 
 // Greedy searches for the best multi-layer compression plan. The model's
@@ -87,13 +234,9 @@ func Greedy(m *models.Model, accuracy AccuracyFunc, opts Options) (*Plan, error)
 	if opts.MaxAccuracyDrop < 0 {
 		return nil, fmt.Errorf("planner: negative accuracy budget %v", opts.MaxAccuracyDrop)
 	}
-	if len(opts.DeltaGrid) == 0 {
-		return nil, errors.New("planner: empty delta grid")
-	}
-	for i := 1; i < len(opts.DeltaGrid); i++ {
-		if opts.DeltaGrid[i] <= opts.DeltaGrid[i-1] {
-			return nil, errors.New("planner: delta grid must ascend")
-		}
+	pairs, err := searchPairs(opts)
+	if err != nil {
+		return nil, err
 	}
 	maxEvals := opts.MaxEvals
 	if maxEvals == 0 {
@@ -110,10 +253,16 @@ func Greedy(m *models.Model, accuracy AccuracyFunc, opts Options) (*Plan, error)
 		if err != nil {
 			return nil, err
 		}
+		ladder, err := buildLadder(name, w, pairs, opts.Storage)
+		if err != nil {
+			return nil, err
+		}
 		states = append(states, &layerState{
 			name:     name,
 			original: w,
-			level:    -1,
+			ladder:   ladder,
+			pos:      -1,
+			dead:     make([]bool, len(ladder)),
 			bits:     32 * len(w),
 		})
 	}
@@ -126,32 +275,30 @@ func Greedy(m *models.Model, accuracy AccuracyFunc, opts Options) (*Plan, error)
 	floor := base - opts.MaxAccuracyDrop
 	current := base
 
-	for {
-		type escalation struct {
-			st    *layerState
-			acc   float64
-			bits  int
-			score float64
-		}
+	type escalation struct {
+		st    *layerState
+		idx   int
+		acc   float64
+		score float64
+	}
+	for round := 0; ; round++ {
 		var best *escalation
-		for _, st := range states {
-			if st.level+1 >= len(opts.DeltaGrid) {
+		exhausted := false
+		// Rotating the scan start spreads a mid-scan budget stop over all
+		// layers instead of always cutting off the same tail, so a tight
+		// MaxEvals does not systematically favor early layers.
+		for k := 0; k < len(states); k++ {
+			st := states[(k+round)%len(states)]
+			idx, ok := st.next()
+			if !ok {
 				continue
 			}
 			if evals >= maxEvals {
+				exhausted = true
 				break
 			}
-			pct := opts.DeltaGrid[st.level+1]
-			c, err := core.CompressPct(st.original, pct)
-			if err != nil {
-				return nil, fmt.Errorf("planner: %s at %v%%: %w", st.name, pct, err)
-			}
-			newBits := c.CompressedBits(opts.Storage)
-			saved := st.bits - newBits
-			if saved <= 0 {
-				continue // escalation does not help storage
-			}
-			approx, err := c.Decompress()
+			tr := st.ladder[idx]
+			approx, err := tr.weights()
 			if err != nil {
 				return nil, err
 			}
@@ -160,44 +307,45 @@ func Greedy(m *models.Model, accuracy AccuracyFunc, opts Options) (*Plan, error)
 			}
 			acc, err := accuracy()
 			evals++
-			// Revert before judging.
-			if rerr := restore(m, st, opts); rerr != nil {
+			// Revert to the committed cached state before judging.
+			if rerr := st.restore(m); rerr != nil {
 				return nil, rerr
 			}
 			if err != nil {
 				return nil, err
 			}
 			if acc < floor {
+				st.dead[idx] = true
 				continue
 			}
 			drop := current - acc
 			if drop < 1e-6 {
 				drop = 1e-6
 			}
-			score := float64(saved) / drop
+			score := float64(st.bits-tr.bits) / drop
 			if best == nil || score > best.score {
-				best = &escalation{st: st, acc: acc, bits: newBits, score: score}
+				best = &escalation{st: st, idx: idx, acc: acc, score: score}
 			}
 		}
-		if best == nil || evals >= maxEvals {
+		// Commit the winning escalation even when the eval budget ran out
+		// mid-scan: it was fully evaluated within the budget, so dropping
+		// it would waste the evaluations already spent on it.
+		if best != nil {
+			st := best.st
+			st.pos = best.idx
+			st.bits = st.ladder[best.idx].bits
+			w, err := st.ladder[best.idx].weights()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.SetLayerWeights(st.name, w); err != nil {
+				return nil, err
+			}
+			current = best.acc
+		}
+		if best == nil || exhausted || evals >= maxEvals {
 			break
 		}
-		// Commit the winning escalation.
-		best.st.level++
-		best.st.bits = best.bits
-		pct := opts.DeltaGrid[best.st.level]
-		c, err := core.CompressPct(best.st.original, pct)
-		if err != nil {
-			return nil, err
-		}
-		approx, err := c.Decompress()
-		if err != nil {
-			return nil, err
-		}
-		if err := m.SetLayerWeights(best.st.name, approx); err != nil {
-			return nil, err
-		}
-		current = best.acc
 	}
 
 	// Assemble the plan.
@@ -208,13 +356,17 @@ func Greedy(m *models.Model, accuracy AccuracyFunc, opts Options) (*Plan, error)
 	for _, st := range states {
 		origBits := float64(32 * len(st.original))
 		planBits -= origBits - float64(st.bits)
-		if st.level < 0 {
+		if st.pos < 0 {
 			continue
 		}
+		tr := st.ladder[st.pos]
 		plan.Assignments = append(plan.Assignments, Assignment{
 			Layer:    st.name,
-			DeltaPct: opts.DeltaGrid[st.level],
+			Codec:    tr.p.codec.Name(),
+			Level:    tr.p.level,
+			DeltaPct: tr.p.level,
 			CR:       origBits / float64(st.bits),
+			Bits:     st.bits,
 			Params:   len(st.original),
 		})
 	}
@@ -222,23 +374,6 @@ func Greedy(m *models.Model, accuracy AccuracyFunc, opts Options) (*Plan, error)
 		plan.WeightedCR = totalBits / planBits
 	}
 	return plan, nil
-}
-
-// restore reinstalls a layer's committed state: its original weights if
-// uncompressed, or the decompressed stream at its committed level.
-func restore(m *models.Model, st *layerState, opts Options) error {
-	if st.level < 0 {
-		return m.SetLayerWeights(st.name, st.original)
-	}
-	c, err := core.CompressPct(st.original, opts.DeltaGrid[st.level])
-	if err != nil {
-		return err
-	}
-	approx, err := c.Decompress()
-	if err != nil {
-		return err
-	}
-	return m.SetLayerWeights(st.name, approx)
 }
 
 // candidateLayers resolves the layer filter to parameterized layers.

@@ -1,8 +1,11 @@
 package planner
 
 import (
+	"math"
+	"reflect"
 	"testing"
 
+	"repro/internal/codecs"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/models"
@@ -157,6 +160,137 @@ func TestGreedyZeroBudgetStaysConservative(t *testing.T) {
 	// or above the baseline.
 	if plan.Accuracy < plan.BaseAccuracy {
 		t.Errorf("zero budget violated: %v < %v", plan.Accuracy, plan.BaseAccuracy)
+	}
+}
+
+// TestGreedyTinyEvalBudgetKeepsWinner pins the eval-budget fix: when
+// MaxEvals runs out mid-scan, the fully evaluated, budget-respecting
+// winner must be committed, not discarded. Before the fix the outer
+// `best == nil || evals >= maxEvals` break threw the escalation away and
+// the plan came back empty despite a successful evaluation.
+func TestGreedyTinyEvalBudgetKeepsWinner(t *testing.T) {
+	m, testSet := trainedLeNet(t)
+	acc := func() (float64, error) { return train.Accuracy(m.Graph, testSet) }
+	opts := DefaultOptions()
+	opts.MaxAccuracyDrop = 0.5 // generous: the single trial must pass the floor
+	opts.MaxEvals = 2          // 1 baseline + 1 candidate, exhausted mid-scan
+	plan, err := Greedy(m, acc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Evals > opts.MaxEvals {
+		t.Errorf("evals = %d exceeds budget %d", plan.Evals, opts.MaxEvals)
+	}
+	if len(plan.Assignments) == 0 {
+		t.Fatal("budget-exhausted search discarded its evaluated escalation")
+	}
+}
+
+// TestTrialCacheBitIdentical pins the restore cache: the approximation a
+// revert reinstalls must be bit-identical to recompressing from scratch,
+// and repeated restores must reuse the cached slice instead of redoing
+// the O(n) compress+decompress work.
+func TestTrialCacheBitIdentical(t *testing.T) {
+	w := make([]float64, 700)
+	for i := range w {
+		w[i] = math.Sin(float64(i)*0.71) * 0.2
+	}
+	pairs, err := searchPairs(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder, err := buildLadder("layer", w, pairs, core.DefaultStorage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range ladder {
+		cached, err := tr.weights()
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := tr.weights()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if &cached[0] != &again[0] {
+			t.Errorf("%s level %v: second restore recomputed instead of reusing the cache",
+				tr.p.codec.Name(), tr.p.level)
+		}
+		fresh, err := core.CompressPct(w, tr.p.level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recomputed, err := fresh.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range recomputed {
+			if math.Float64bits(cached[i]) != math.Float64bits(recomputed[i]) {
+				t.Fatalf("%s level %v: cached[%d] = %x, recomputed = %x",
+					tr.p.codec.Name(), tr.p.level, i,
+					math.Float64bits(cached[i]), math.Float64bits(recomputed[i]))
+			}
+		}
+	}
+}
+
+// TestGreedyMixedCodecs runs the search over the full codec arena and
+// checks the plan respects the budget and only assigns known codecs.
+func TestGreedyMixedCodecs(t *testing.T) {
+	m, testSet := trainedLeNet(t)
+	acc := func() (float64, error) { return train.Accuracy(m.Graph, testSet) }
+	opts := DefaultOptions()
+	opts.Codecs = codecs.All()
+	opts.MaxEvals = 150
+	plan, err := Greedy(m, acc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Accuracy < plan.BaseAccuracy-opts.MaxAccuracyDrop-1e-9 {
+		t.Errorf("plan accuracy %v violates budget (base %v)", plan.Accuracy, plan.BaseAccuracy)
+	}
+	if len(plan.Assignments) == 0 {
+		t.Fatal("mixed-codec planner compressed nothing")
+	}
+	known := map[string]bool{}
+	for _, c := range codecs.All() {
+		known[c.Name()] = true
+	}
+	for _, a := range plan.Assignments {
+		if !known[a.Codec] {
+			t.Errorf("assignment uses unknown codec %q", a.Codec)
+		}
+		if a.Bits <= 0 || a.Bits >= 32*a.Params {
+			t.Errorf("%s via %s: bits %d outside (0, %d)", a.Layer, a.Codec, a.Bits, 32*a.Params)
+		}
+		if a.CR <= 1 {
+			t.Errorf("%s via %s: CR %v not > 1", a.Layer, a.Codec, a.CR)
+		}
+	}
+	if plan.WeightedCR <= 1 {
+		t.Errorf("mixed plan WCR = %v", plan.WeightedCR)
+	}
+}
+
+// TestGreedyDeterministic runs the same search twice on identically
+// built and trained models and requires identical plans — the property
+// the race-enabled verify.sh run exercises for the whole suite.
+func TestGreedyDeterministic(t *testing.T) {
+	run := func() *Plan {
+		m, testSet := trainedLeNet(t)
+		acc := func() (float64, error) { return train.Accuracy(m.Graph, testSet) }
+		opts := DefaultOptions()
+		opts.Codecs = codecs.All()
+		opts.MaxEvals = 60
+		plan, err := Greedy(m, acc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("plans differ across identical runs:\n%+v\n%+v", a, b)
 	}
 }
 

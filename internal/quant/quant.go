@@ -145,6 +145,25 @@ func FromStream(codes []float64, p Params8) (*Tensor8, error) {
 // value plus the affine parameters.
 func (t *Tensor8) Bytes() int { return len(t.Vals) + 8 }
 
+// ParamsBits is the side-channel cost of shipping a Params8 with a
+// compressed stream: the float64 scale plus the int8 zero point. Codecs
+// that store quantized codes charge it in their traffic accounting.
+const ParamsBits = 64 + 8
+
+// ZigZag8 maps an int8 code to an unsigned byte so that small
+// magnitudes become small values: 0,-1,1,-2,2,... -> 0,1,2,3,4,...
+// Weight tensors quantize to codes concentrated near the zero point, so
+// the zigzagged stream has its high bit planes mostly zero — the
+// property the bit-plane and entropy codecs exploit.
+func ZigZag8(v int8) uint8 {
+	return uint8((int16(v) << 1) ^ (int16(v) >> 7))
+}
+
+// UnZigZag8 inverts ZigZag8.
+func UnZigZag8(z uint8) int8 {
+	return int8((int16(z) >> 1) ^ -(int16(z) & 1))
+}
+
 // MaxQuantError returns the worst-case rounding error of the affine
 // quantization, scale/2.
 func (p Params8) MaxQuantError() float64 { return p.Scale / 2 }
