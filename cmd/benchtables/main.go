@@ -43,6 +43,7 @@ import (
 	"sync"
 
 	"repro/internal/experiments"
+	"repro/internal/tensor"
 )
 
 // csvDir, when set by -csv, receives one machine-readable file per
@@ -201,6 +202,11 @@ func main() {
 	)
 	flag.Parse()
 	csvDir = *csvOut
+
+	// The matmul-heavy experiments depend on which saxpy kernel the CPU
+	// dispatch picked; record it so runs on different machines compare.
+	fmt.Printf("matmul kernel: %s (available: %s; force with VECMM=off|sse2|avx2|fma)\n",
+		tensor.MatMulKernel(), strings.Join(tensor.MatMulKernels(), ","))
 
 	opts := experiments.DefaultOptions()
 	opts.Seed = *seed

@@ -9,6 +9,8 @@
 //	nocsim -model AlexNet -delta 20 -layers
 //	nocsim -model LeNet-5 -link-fault-rate 1e-4 -retries 8
 //	nocsim -model LeNet-5 -dead-links 5-6,6-5
+//	nocsim -model LeNet-5 -core step           # reference stepping core
+//	nocsim -model LeNet-5 -selftest            # run both cores, diff results
 //
 // Layers are simulated concurrently on -workers goroutines; the results
 // are collected in layer order, so every worker count prints the same
@@ -25,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -34,6 +37,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/noc"
 )
 
 // parseDeadLinks parses "5-6,6-5" into unidirectional link pairs.
@@ -65,6 +69,8 @@ func main() {
 		linkRate  = flag.Float64("link-fault-rate", 0, "per-link-traversal flit corruption probability")
 		deadLinks = flag.String("dead-links", "", "comma-separated stuck-at links, e.g. 5-6,6-5")
 		retries   = flag.Int("retries", 0, "retransmission budget per packet (0 = default)")
+		coreName  = flag.String("core", "event", "NoC simulation core: event (default) or step (reference)")
+		selftest  = flag.Bool("selftest", false, "run the inference on BOTH cores and diff every number; non-zero exit on divergence")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -124,23 +130,25 @@ func main() {
 		DeadLinks:    dead,
 	}
 	cfg.Mesh.MaxRetries = *retries
-	sim, err := accel.NewSimulator(cfg)
+	cfg.Mesh.Core, err = noc.ParseCore(*coreName)
 	if err != nil {
 		fatal(err)
 	}
-	sim.SetWorkers(*workers)
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := sim.SimulateModelContext(ctx, m.Name, specs)
+	if *selftest {
+		os.Exit(runSelftest(ctx, cfg, m.Name, specs, *workers))
+	}
+	res, clock, err := runOnce(ctx, cfg, m.Name, specs, *workers)
 	if err != nil {
 		fatal(err)
 	}
-	clock := sim.Config().Energy.ClockHz
-	fmt.Printf("\n%s inference on 4x4 mesh @ %.0f MHz\n", m.Name, clock/1e6)
+	fmt.Printf("\n%s inference on 4x4 mesh @ %.0f MHz (%s core)\n",
+		m.Name, clock/1e6, cfg.Mesh.Core)
 	fmt.Printf("latency: %d cycles (%.3f ms)\n", res.Cycles, res.Seconds(clock)*1e3)
 	lt := res.Latency
 	fmt.Printf("  memory %.1f%%  communication %.1f%%  computation %.1f%%\n",
@@ -172,6 +180,68 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "nocsim:", err)
 	os.Exit(1)
+}
+
+// runOnce simulates the model on the core selected in cfg.Mesh.Core.
+func runOnce(ctx context.Context, cfg accel.Config, name string, specs []accel.LayerSpec, workers int) (*accel.Result, float64, error) {
+	sim, err := accel.NewSimulator(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	sim.SetWorkers(workers)
+	res, err := sim.SimulateModelContext(ctx, name, specs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, sim.Config().Energy.ClockHz, nil
+}
+
+// runSelftest runs the same inference on the event core and the
+// reference stepping core and diffs every number the simulator reports.
+// The two cores are required to agree exactly — same cycles, same
+// energy bits, same traffic counters, per layer and in total.
+func runSelftest(ctx context.Context, cfg accel.Config, name string, specs []accel.LayerSpec, workers int) int {
+	run := func(c noc.Core) *accel.Result {
+		cfg.Mesh.Core = c
+		res, _, err := runOnce(ctx, cfg, name, specs, workers)
+		if err != nil {
+			fatal(err)
+		}
+		return res
+	}
+	ev := run(noc.CoreEvent)
+	st := run(noc.CoreStep)
+
+	bad := 0
+	diff := func(where, what string, e, s any) {
+		if !reflect.DeepEqual(e, s) {
+			bad++
+			fmt.Printf("DIVERGED %-20s %-10s event=%v step=%v\n", where, what, e, s)
+		}
+	}
+	diff("total", "cycles", ev.Cycles, st.Cycles)
+	diff("total", "latency", ev.Latency, st.Latency)
+	diff("total", "energy", ev.Energy, st.Energy)
+	diff("total", "traffic", ev.Traffic, st.Traffic)
+	if len(ev.Layers) != len(st.Layers) {
+		fmt.Printf("DIVERGED layer count: event=%d step=%d\n", len(ev.Layers), len(st.Layers))
+		return 1
+	}
+	for i := range ev.Layers {
+		el, sl := ev.Layers[i], st.Layers[i]
+		diff(el.Name, "cycles", el.Cycles, sl.Cycles)
+		diff(el.Name, "latency", el.Latency, sl.Latency)
+		diff(el.Name, "energy", el.Energy, sl.Energy)
+		diff(el.Name, "traffic", el.Traffic, sl.Traffic)
+		diff(el.Name, "rounds", [2]int{el.Rounds, el.SimRounds}, [2]int{sl.Rounds, sl.SimRounds})
+	}
+	if bad > 0 {
+		fmt.Printf("selftest FAILED: %d divergences between event and step cores\n", bad)
+		return 1
+	}
+	fmt.Printf("selftest passed: %s, %d layers, %d cycles — event and step cores agree exactly\n",
+		name, len(ev.Layers), ev.Cycles)
+	return 0
 }
 
 // startProfiles starts the optional CPU profile and returns a stop

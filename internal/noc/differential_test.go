@@ -1,0 +1,301 @@
+package noc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// corePair drives the event core and the stepping core through the same
+// workload in lockstep and asserts byte-identical observable state:
+// Stats (sim cycles, latency sums, energy-relevant activity counters,
+// fault counters), per-router heatmaps, and the full delivery stream.
+type corePair struct {
+	t      *testing.T
+	ev, st *Network
+	evDel  []Delivery
+	stDel  []Delivery
+}
+
+func newCorePair(t *testing.T, cfg Config) *corePair {
+	t.Helper()
+	p := &corePair{t: t}
+	evCfg, stCfg := cfg, cfg
+	evCfg.Core = CoreEvent
+	stCfg.Core = CoreStep
+	var err error
+	if p.ev, err = New(evCfg); err != nil {
+		t.Fatal(err)
+	}
+	if p.st, err = New(stCfg); err != nil {
+		t.Fatal(err)
+	}
+	if p.ev.CoreName() != "event" || p.st.CoreName() != "step" {
+		t.Fatalf("core names: %s vs %s", p.ev.CoreName(), p.st.CoreName())
+	}
+	p.ev.SetSink(func(d Delivery) { p.evDel = append(p.evDel, d) })
+	p.st.SetSink(func(d Delivery) { p.stDel = append(p.stDel, d) })
+	return p
+}
+
+// inject sends the same packet into both networks.
+func (p *corePair) inject(src, dst, flits int) {
+	p.t.Helper()
+	evErr := p.ev.Inject(Packet{Src: src, Dst: dst, Flits: flits})
+	stErr := p.st.Inject(Packet{Src: src, Dst: dst, Flits: flits})
+	if (evErr == nil) != (stErr == nil) {
+		p.t.Fatalf("inject(%d->%d,%d): event err %v, step err %v", src, dst, flits, evErr, stErr)
+	}
+}
+
+// send sends the same message into both networks.
+func (p *corePair) send(src, dst, flits int) {
+	p.t.Helper()
+	en, evErr := p.ev.SendMessage(src, dst, flits, nil)
+	sn, stErr := p.st.SendMessage(src, dst, flits, nil)
+	if en != sn || (evErr == nil) != (stErr == nil) {
+		p.t.Fatalf("send(%d->%d,%d): event (%d,%v), step (%d,%v)", src, dst, flits, en, evErr, sn, stErr)
+	}
+}
+
+// step advances both networks one cycle and compares the cheap
+// invariants, catching divergence at the cycle it happens.
+func (p *corePair) step() {
+	p.t.Helper()
+	p.ev.Step()
+	p.st.Step()
+	if p.ev.Cycle() != p.st.Cycle() {
+		p.t.Fatalf("cycle diverged: event %d, step %d", p.ev.Cycle(), p.st.Cycle())
+	}
+	if ev, st := p.ev.Stats(), p.st.Stats(); ev != st {
+		p.t.Fatalf("stats diverged at cycle %d:\nevent %+v\nstep  %+v", p.ev.Cycle(), ev, st)
+	}
+	if p.ev.Idle() != p.st.Idle() {
+		p.t.Fatalf("idleness diverged at cycle %d: event %v, step %v", p.ev.Cycle(), p.ev.Idle(), p.st.Idle())
+	}
+}
+
+// drain steps both networks until both are idle (bounded), then runs the
+// full comparison.
+func (p *corePair) drain(maxCycles int) {
+	p.t.Helper()
+	for i := 0; i < maxCycles && !(p.ev.Idle() && p.st.Idle()); i++ {
+		p.step()
+	}
+	if !p.ev.Idle() || !p.st.Idle() {
+		p.t.Fatalf("did not drain within %d cycles (event idle %v, step idle %v)",
+			maxCycles, p.ev.Idle(), p.st.Idle())
+	}
+	p.compare()
+}
+
+// compare asserts full observable equality.
+func (p *corePair) compare() {
+	p.t.Helper()
+	if ev, st := p.ev.Stats(), p.st.Stats(); ev != st {
+		p.t.Fatalf("stats diverge:\nevent %+v\nstep  %+v", ev, st)
+	}
+	if ev, st := p.ev.PerRouterTraversals(), p.st.PerRouterTraversals(); !reflect.DeepEqual(ev, st) {
+		p.t.Fatalf("per-router heatmap diverges:\nevent %v\nstep  %v", ev, st)
+	}
+	if !reflect.DeepEqual(p.evDel, p.stDel) {
+		p.t.Fatalf("delivery streams diverge: event %d deliveries, step %d", len(p.evDel), len(p.stDel))
+	}
+}
+
+// TestCoreEquivalenceDense: sustained uniform traffic plus an all-to-one
+// hotspot on the paper's 4x4 mesh — every router contended.
+func TestCoreEquivalenceDense(t *testing.T) {
+	p := newCorePair(t, DefaultConfig())
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 6; round++ {
+		for src := 1; src < 16; src++ {
+			p.send(src, 0, 40) // hotspot convergence on the corner
+		}
+		for k := 0; k < 24; k++ {
+			src, dst := rng.Intn(16), rng.Intn(16)
+			if dst == src {
+				dst = (src + 1) % 16
+			}
+			p.inject(src, dst, 1+rng.Intn(8))
+		}
+		p.drain(200_000)
+	}
+}
+
+// TestCoreEquivalenceSparse: single small packets crossing a 16x16 mesh
+// with long injection gaps — the in-flight-but-uncontended regime the
+// event core targets.
+func TestCoreEquivalenceSparse(t *testing.T) {
+	cfg := Config{Width: 16, Height: 16, BufferDepth: 4, FlitBits: 64, MaxPacketFlit: 32}
+	p := newCorePair(t, cfg)
+	for round := 0; round < 8; round++ {
+		p.inject(round*31%256, 255-round*17%256, 4)
+		p.drain(100_000)
+		// Idle gap: both cores step through it (AdvanceIdle equivalence
+		// is covered separately in fastforward_test.go).
+		for g := 0; g < 50; g++ {
+			p.step()
+		}
+	}
+	p.compare()
+}
+
+// TestCoreEquivalenceFaulty: transient link corruption driving NACK and
+// retransmission, plus dead links driving reroutes and unroutable kills
+// — the recovery paths must attribute identically on both cores.
+func TestCoreEquivalenceFaulty(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VirtualChannels = 2
+	cfg.MaxRetries = 3
+	cfg.Faults = faults.Model{
+		Seed:         99,
+		LinkFlitRate: 0.02,
+		// Cut node 5 off completely: packets to it are killed unroutable
+		// and drained; traffic around it detours.
+		DeadLinks: []faults.Link{
+			{From: 4, To: 5}, {From: 6, To: 5}, {From: 1, To: 5}, {From: 9, To: 5},
+		},
+	}
+	p := newCorePair(t, cfg)
+	rng := rand.New(rand.NewSource(23))
+	for round := 0; round < 5; round++ {
+		for src := 0; src < 16; src++ {
+			dst := (src + 3 + round) % 16
+			if dst == src {
+				dst = (src + 1) % 16
+			}
+			p.send(src, dst, 10+round)
+		}
+		for k := 0; k < 8; k++ {
+			src := rng.Intn(16)
+			if src != 5 {
+				p.inject(src, 5, 1+rng.Intn(6)) // unroutable kills
+			}
+		}
+		p.drain(500_000)
+	}
+	if p.ev.Stats().RetransmittedPackets == 0 {
+		t.Error("workload exercised no retransmissions")
+	}
+	if p.ev.Stats().UnroutablePackets == 0 {
+		t.Error("workload exercised no unroutable kills")
+	}
+}
+
+// TestCoreEquivalenceRandomized: seeded random traffic with mid-flight
+// injections (not just drain-from-idle), across routings, VC counts, and
+// mesh shapes.
+func TestCoreEquivalenceRandomized(t *testing.T) {
+	shapes := []struct {
+		w, h, vcs int
+		routing   Routing
+	}{
+		{4, 4, 1, RoutingXY},
+		{4, 4, 4, RoutingYX},
+		{8, 3, 2, RoutingWestFirst},
+		{2, 9, 1, RoutingYX},
+	}
+	for _, sh := range shapes {
+		cfg := Config{
+			Width: sh.w, Height: sh.h, BufferDepth: 2, FlitBits: 64,
+			MaxPacketFlit: 16, VirtualChannels: sh.vcs, Routing: sh.routing,
+		}
+		p := newCorePair(t, cfg)
+		rng := rand.New(rand.NewSource(int64(sh.w*100 + sh.h*10 + sh.vcs)))
+		nodes := sh.w * sh.h
+		for i := 0; i < 4000; i++ {
+			if rng.Intn(3) == 0 {
+				src, dst := rng.Intn(nodes), rng.Intn(nodes)
+				if dst == src {
+					dst = (src + 1) % nodes
+				}
+				p.inject(src, dst, 1+rng.Intn(16))
+			}
+			p.step()
+		}
+		p.drain(500_000)
+	}
+}
+
+// TestCoreEquivalenceResetReuse: a Reset event-core network must replay
+// identically to a fresh stepping-core network — the accelerator pools
+// event-core networks across layers.
+func TestCoreEquivalenceResetReuse(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VirtualChannels = 2
+	evCfg := cfg
+	evCfg.Core = CoreEvent
+	nw, err := New(evCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the scheduler state, then reset.
+	for src := 1; src < 16; src++ {
+		if _, err := nw.SendMessage(src, 0, 7, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := nw.RunUntilIdle(100_000); !ok {
+		t.Fatal("did not drain")
+	}
+	nw.Reset()
+
+	stCfg := cfg
+	stCfg.Core = CoreStep
+	st, err := New(stCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evDel, stDel []Delivery
+	nw.SetSink(func(d Delivery) { evDel = append(evDel, d) })
+	st.SetSink(func(d Delivery) { stDel = append(stDel, d) })
+	for round := 0; round < 3; round++ {
+		for src := 0; src < 16; src += 2 {
+			dst := (src + 7 + round) % 16
+			if dst == src {
+				dst = (src + 1) % 16
+			}
+			if _, err := nw.SendMessage(src, dst, 5, nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.SendMessage(src, dst, 5, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for !nw.Idle() || !st.Idle() {
+			nw.Step()
+			st.Step()
+			if nw.Cycle() > 100_000 {
+				t.Fatal("did not drain")
+			}
+		}
+	}
+	if nw.Stats() != st.Stats() {
+		t.Fatalf("stats diverge after Reset reuse:\nevent %+v\nstep  %+v", nw.Stats(), st.Stats())
+	}
+	if !reflect.DeepEqual(evDel, stDel) {
+		t.Fatalf("deliveries diverge after Reset reuse")
+	}
+}
+
+// TestCoreEquivalenceBackpressure: shallow buffers and long worms force
+// credit stalls and head-of-line blocking, the regime where the event
+// core's sleep/wake bookkeeping is most load-bearing.
+func TestCoreEquivalenceBackpressure(t *testing.T) {
+	cfg := Config{Width: 5, Height: 5, BufferDepth: 1, FlitBits: 64, MaxPacketFlit: 32}
+	p := newCorePair(t, cfg)
+	// Criss-cross worms sharing central links in both directions.
+	for i := 0; i < 5; i++ {
+		p.send(i, 20+i, 32)    // top row to bottom row
+		p.send(24-i, 4-i, 32)  // bottom row to top row, reversed
+		p.send(i*5, i*5+4, 32) // west column to east column
+		p.send(i*5+4, i*5, 32) // east column to west column
+	}
+	p.drain(500_000)
+	if p.ev.Stats().PacketsOut == 0 {
+		t.Fatal("nothing delivered")
+	}
+}

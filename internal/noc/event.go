@@ -1,0 +1,207 @@
+// The discrete-event engine. Instead of scanning every router every
+// cycle, it keeps an activation calendar — per-cycle bitsets over router
+// ids and injection nodes — and visits only the entities that can make
+// progress. All flit movement, arbitration, stats, and fault logic lives
+// in the per-router phase functions shared with the stepping engine
+// (network.go); this file only decides *which* routers run.
+//
+// Why the calendar needs exactly two buckets (this cycle, next cycle):
+// every interaction in the mesh is neighbor-to-neighbor with a one-cycle
+// horizon — an arrival, a freed credit, or a local state change can
+// enable work no later than the following cycle. A router that changed
+// nothing in a cycle is in a fixed point: its state is a pure function
+// of its lanes and its neighbors' buffer occupancy, so it stays frozen
+// until one of the wake events below fires. Events scheduled further
+// ahead than one cycle simply do not exist inside the network (client
+// injections arrive between cycles and wake their source node).
+//
+// Wake events (see the wake* calls in network.go):
+//   - a flit pushed into a router's input lane wakes that router;
+//   - a flit popped from an input lane wakes the upstream feeder of that
+//     lane (the neighbor router, or the node's injection queue for the
+//     local port), because the pop frees a credit;
+//   - any state change at a router (route computed via drain, VC
+//     allocated, flit sent or drained) reschedules the router itself;
+//   - enqueueing flits on an injection queue wakes that node.
+//
+// Same-cycle ordering: the stepping engine runs each phase over all
+// routers in ascending id order, which makes two effects visible within
+// the cycle they happen: a flit pushed to a higher-id router can be
+// forwarded by it in the same cycle, and a credit freed by a lower-id
+// router's pop can be consumed by a higher-id upstream in the same
+// cycle. The event engine reproduces this exactly: phase 2 consumes its
+// bitset in ascending order, and a wake targeting an id greater than
+// the router currently being processed sets the *current* cycle's bit
+// (picked up later in the same sweep); a wake targeting a lower id only
+// sets the next cycle's bit, just as the stepping engine has already
+// passed that router. Phase 1 runs over a snapshot taken before phase 2,
+// mirroring the stepping engine completing route computation for the
+// whole mesh before any flit moves.
+//
+// Equivalence, not approximation: a router absent from the activation
+// set is one the stepping engine would scan and leave untouched, so
+// skipping it cannot change any state, counter, or delivery. The
+// differential tests and FuzzEventCore pin Stats, per-router heatmaps,
+// and full delivery streams byte-identical across both engines.
+package noc
+
+import "math/bits"
+
+// bitset is a fixed-capacity bitmap over router/node ids.
+type bitset []uint64
+
+func (b bitset) set(i int)   { b[i>>6] |= 1 << uint(i&63) }
+func (b bitset) clearAll()   { clear(b) }
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+// Engine phases, used to decide whether a wake may target the cycle in
+// progress. phaseOutside covers client calls between Step invocations.
+const (
+	phaseOutside int8 = iota
+	phaseRoute
+	phaseMove
+	phaseInject
+)
+
+// eventState is the activation calendar: which routers and injection
+// nodes must run in the cycle being processed (cur*) and the one after
+// (next*). Masks are consumed during iteration, so after a cycle
+// completes the cur masks are empty and swap with the next masks.
+type eventState struct {
+	curR, nextR bitset // routers to visit (phases 1+2)
+	curI, nextI bitset // injection nodes to visit (phase 3)
+	phase       int8
+	posR        int // router id being processed in phase 2
+}
+
+func newEventState(nodes int) *eventState {
+	return &eventState{
+		curR: newBitset(nodes), nextR: newBitset(nodes),
+		curI: newBitset(nodes), nextI: newBitset(nodes),
+		phase: phaseOutside, posR: -1,
+	}
+}
+
+func (ev *eventState) reset() {
+	ev.curR.clearAll()
+	ev.nextR.clearAll()
+	ev.curI.clearAll()
+	ev.nextI.clearAll()
+	ev.phase = phaseOutside
+	ev.posR = -1
+}
+
+// wakeRouter schedules router id after a flit arrived in one of its
+// lanes or one of its downstream credits freed. During the phase-2
+// sweep a higher-id target is additionally scheduled for the current
+// cycle, matching the stepping engine's ascending scan.
+func (nw *Network) wakeRouter(id int) {
+	ev := nw.ev
+	if ev == nil {
+		return
+	}
+	if ev.phase == phaseMove && id > ev.posR {
+		ev.curR.set(id)
+	}
+	ev.nextR.set(id)
+}
+
+// wakeRouterNext schedules router id for the next cycle only (used for
+// self-rescheduling after local state changes, and for the local router
+// of a freshly injected flit).
+func (nw *Network) wakeRouterNext(id int) {
+	if nw.ev != nil {
+		nw.ev.nextR.set(id)
+	}
+}
+
+// wakeInject schedules a node's injection queue. Phase 3 runs last, so
+// any wake raised before it (client Inject calls between cycles, NACK
+// retransmissions enqueued during phase 2) also targets the current
+// cycle — the stepping engine's phase 3 would see the queued flits too.
+func (nw *Network) wakeInject(node int) {
+	ev := nw.ev
+	if ev == nil {
+		return
+	}
+	if ev.phase != phaseInject {
+		ev.curI.set(node)
+	}
+	ev.nextI.set(node)
+}
+
+// wakeInjectNext schedules a node's injection queue for the next cycle
+// only (more flits remain after a successful injection).
+func (nw *Network) wakeInjectNext(node int) {
+	if nw.ev != nil {
+		nw.ev.nextI.set(node)
+	}
+}
+
+// wakeUpstream wakes whatever feeds input port p of router r after a pop
+// freed a buffer slot there: the neighbor router on that side, or the
+// node's injection queue for the local port.
+func (nw *Network) wakeUpstream(r, p int) {
+	if nw.ev == nil {
+		return
+	}
+	if p == PortLocal {
+		nw.wakeInject(r)
+		return
+	}
+	if u, _, ok := nw.neighbor(r, p); ok {
+		nw.wakeRouter(u)
+	}
+}
+
+// stepEvent advances one cycle on the event engine: the same three
+// phases as the stepping engine, each visiting only scheduled entities
+// in ascending id order. Masks are consumed bit-by-bit, so wakes that
+// target ids ahead of the sweep are picked up within the same cycle.
+func (nw *Network) stepEvent() {
+	ev := nw.ev
+	nw.beginCycle()
+	// Phase 1 iterates curR read-only (each word hoisted to a local):
+	// routeRouter only mutates lane route state, never wakes anything,
+	// so the mask cannot change under the sweep, and phase 2 still sees
+	// the full set afterwards.
+	ev.phase = phaseRoute
+	for w, wv := range ev.curR {
+		for wv != 0 {
+			bit := bits.TrailingZeros64(wv)
+			wv &= wv - 1
+			nw.routeRouter(w<<6 | bit)
+		}
+	}
+	// Phase 2 consumes curR word by word, re-reading after every router:
+	// wakes may set bits ahead of posR (same-cycle forwarding/credits).
+	ev.phase = phaseMove
+	for w := range ev.curR {
+		for ev.curR[w] != 0 {
+			bit := bits.TrailingZeros64(ev.curR[w])
+			ev.curR[w] &^= 1 << uint(bit)
+			r := w<<6 | bit
+			ev.posR = r
+			nw.moveRouter(r)
+		}
+	}
+	ev.posR = -1
+	// Phase 3 iterates curI with hoisted words too: injectNode only
+	// raises *next*-cycle wakes, so curI is stable during the sweep.
+	// The mask is cleared wholesale afterwards (the swap needs it empty).
+	ev.phase = phaseInject
+	for w, wv := range ev.curI {
+		for wv != 0 {
+			bit := bits.TrailingZeros64(wv)
+			wv &= wv - 1
+			nw.injectNode(w<<6 | bit)
+		}
+		ev.curI[w] = 0
+	}
+	ev.phase = phaseOutside
+	// The cur masks are fully consumed; swap them in as the (empty)
+	// next-next masks and promote next to cur.
+	ev.curR, ev.nextR = ev.nextR, ev.curR
+	ev.curI, ev.nextI = ev.nextI, ev.curI
+	nw.endCycle()
+}

@@ -1,0 +1,119 @@
+package noc
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// FuzzEventCore decodes the fuzz input into a mesh shape plus a traffic
+// schedule (interleaved injections and step batches) and runs it on the
+// event core and the stepping core side by side, requiring identical
+// Stats, per-router heatmaps, and delivery streams. This is the
+// adversarial counterpart to the hand-written differential tests: the
+// fuzzer owns the schedule, so any reachable wake/ordering hole in the
+// event calendar shows up as a divergence, not a guess.
+func FuzzEventCore(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x13, 0x01, 0x0f, 0x04, 0x02, 0x20, 0x05, 0x00, 0x07})
+	f.Add([]byte{0xff, 0x81, 0x42, 0x10, 0x33, 0x64, 0x03, 0x11, 0x2a, 0x2a, 0x2a})
+	f.Add([]byte{0x27, 0x00, 0x00, 0x90, 0x90, 0x90, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+
+		shape := next()
+		widths := []int{2, 3, 4, 8}
+		heights := []int{2, 3, 4}
+		cfg := Config{
+			Width:           widths[int(shape)&3],
+			Height:          heights[int(shape>>2)%3],
+			BufferDepth:     1 + int(shape>>4)&3,
+			FlitBits:        64,
+			MaxPacketFlit:   16,
+			VirtualChannels: 1 + int(shape>>6)&3,
+		}
+		mode := next()
+		cfg.Routing = []Routing{RoutingXY, RoutingYX, RoutingWestFirst}[int(mode)%3]
+		if mode&0x04 != 0 {
+			cfg.Faults = faults.Model{Seed: int64(mode), LinkFlitRate: 0.05}
+			cfg.MaxRetries = 2
+		}
+		if mode&0x08 != 0 {
+			// One dead link on a fixed edge; reroute or unroutable kills.
+			cfg.Faults.DeadLinks = append(cfg.Faults.DeadLinks, faults.Link{From: 0, To: 1})
+		}
+		nodes := cfg.Width * cfg.Height
+
+		evCfg, stCfg := cfg, cfg
+		evCfg.Core = CoreEvent
+		stCfg.Core = CoreStep
+		ev, err := New(evCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := New(stCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var evDel, stDel []Delivery
+		ev.SetSink(func(d Delivery) { evDel = append(evDel, d) })
+		st.SetSink(func(d Delivery) { stDel = append(stDel, d) })
+
+		check := func() {
+			if es, ss := ev.Stats(), st.Stats(); es != ss {
+				t.Fatalf("stats diverge at cycle %d:\nevent %+v\nstep  %+v", ev.Cycle(), es, ss)
+			}
+			if ev.Idle() != st.Idle() {
+				t.Fatalf("idleness diverges at cycle %d", ev.Cycle())
+			}
+		}
+
+		// Schedule: each opcode byte either injects a packet or advances
+		// both networks a few cycles. Bounded totals keep the fuzz fast.
+		steps := 0
+		for len(data) > 0 && steps < 3000 {
+			op := next()
+			if op&1 == 0 {
+				src := int(next()) % nodes
+				dst := int(next()) % nodes
+				if dst == src {
+					dst = (src + 1) % nodes
+				}
+				flits := 1 + int(next())%16
+				evErr := ev.Inject(Packet{Src: src, Dst: dst, Flits: flits})
+				stErr := st.Inject(Packet{Src: src, Dst: dst, Flits: flits})
+				if (evErr == nil) != (stErr == nil) {
+					t.Fatalf("inject divergence: %v vs %v", evErr, stErr)
+				}
+			} else {
+				n := 1 + int(op>>1)&15
+				for i := 0; i < n; i++ {
+					ev.Step()
+					st.Step()
+					steps++
+				}
+				check()
+			}
+		}
+		// Drain whatever is left and do the full comparison.
+		for i := 0; i < 200_000 && !(ev.Idle() && st.Idle()); i++ {
+			ev.Step()
+			st.Step()
+		}
+		check()
+		if evH, stH := ev.PerRouterTraversals(), st.PerRouterTraversals(); !reflect.DeepEqual(evH, stH) {
+			t.Fatalf("heatmaps diverge:\nevent %v\nstep  %v", evH, stH)
+		}
+		if !reflect.DeepEqual(evDel, stDel) {
+			t.Fatalf("delivery streams diverge: event %d, step %d", len(evDel), len(stDel))
+		}
+	})
+}

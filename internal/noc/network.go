@@ -30,6 +30,44 @@ func (r Routing) String() string {
 	}
 }
 
+// Core selects the engine that advances the router pipeline. Both cores
+// run the identical per-router phase functions and produce byte-identical
+// stats, heatmaps, and delivery streams (pinned by the differential tests
+// in differential_test.go); they differ only in which routers they visit
+// per cycle.
+type Core int8
+
+const (
+	// CoreEvent (the default) is the discrete-event engine: an activation
+	// calendar over injection, arbitration, and ejection times visits only
+	// routers that can make progress, so in-flight-but-uncontended spans
+	// cost O(active routers) instead of O(mesh).
+	CoreEvent Core = iota
+	// CoreStep is the reference cycle-stepping engine: every router is
+	// scanned every cycle. It is kept as the executable specification the
+	// event core is differentially tested against.
+	CoreStep
+)
+
+// String implements fmt.Stringer.
+func (c Core) String() string {
+	if c == CoreStep {
+		return "step"
+	}
+	return "event"
+}
+
+// ParseCore maps "step"/"event" to a Core.
+func ParseCore(s string) (Core, error) {
+	switch s {
+	case "step":
+		return CoreStep, nil
+	case "event", "":
+		return CoreEvent, nil
+	}
+	return CoreEvent, fmt.Errorf("noc: unknown core %q (want step or event)", s)
+}
+
 // Config describes the mesh.
 type Config struct {
 	Width, Height   int     // mesh dimensions (paper: 4x4)
@@ -38,6 +76,7 @@ type Config struct {
 	MaxPacketFlit   int     // largest packet the NI will segment into (0 = 32)
 	Routing         Routing // routing algorithm (default: XY, the paper's)
 	VirtualChannels int     // VCs per physical channel (0 or 1 = plain wormhole)
+	Core            Core    // simulation engine (default: the event core)
 	// Faults is the injected fault environment (zero value: fault-free).
 	// Transient link faults are detected by the per-packet checksum at
 	// the destination NI and repaired by NACK + source retransmission;
@@ -73,6 +112,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("noc: virtual channel count %d out of [0,16]", c.VirtualChannels)
 	case c.MaxRetries < 0:
 		return fmt.Errorf("noc: negative retry budget %d", c.MaxRetries)
+	case c.Core != CoreEvent && c.Core != CoreStep:
+		return fmt.Errorf("noc: unknown core %d", int(c.Core))
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
@@ -181,6 +222,25 @@ type router struct {
 	outOwner [numPorts][]int // [port][vc] -> owning input port (-1 = free)
 	rrVC     [numPorts]int   // round-robin pointer over output VCs per port
 	rrIn     [numPorts][]int // round-robin pointer over inputs per (port, vc)
+	// Exact per-port aggregates so the pipeline phases can skip ports
+	// that provably cannot act, without changing any arbitration
+	// decision. occIn counts buffered flits per input port (phase 1 and
+	// drop-drain only inspect non-empty lanes); routedTo counts input
+	// lanes whose computed route targets each output (VC allocation
+	// requires one); owned counts granted output VCs per output port
+	// (switch traversal requires one).
+	occIn    [numPorts]int16
+	routedTo [numPorts]int8
+	owned    [numPorts]int8
+	// needRoute counts lanes holding an unrouted fresh head
+	// (route == routeNone with flits buffered); phase 1 is a no-op
+	// whenever it is zero.
+	needRoute int8
+	// Precomputed neighbor geometry: the router on the far side of each
+	// output port (-1 at mesh edges and for the local port) and the
+	// input port the link feeds there.
+	nbr     [numPorts]int32
+	nbrPort [numPorts]int8
 }
 
 // Stats aggregates network activity counters used by the energy model,
@@ -230,6 +290,13 @@ type Network struct {
 	// staged arrivals for the two-phase cycle update
 	arrivals []int // per (router, port, vc): flits arriving this cycle
 	touched  []int // arrival indices written this cycle, to clear in O(touched)
+	vcsN     int   // cached cfg.vcs() for the hot per-cycle paths
+	// dirty-node tracking so Reset clears O(nodes that saw traffic)
+	// instead of O(mesh): every router/queue mutation happens at a node
+	// that received a flit push (router lane or injection queue), so the
+	// push sites are the complete set of dirtying points.
+	dirty   []int32 // node ids with router or queue state to clear on Reset
+	dirtied []bool  // per-node membership flag for dirty
 	// fault-injection state
 	faultsOn   bool                 // any transient fault model active
 	dead       map[faults.Link]bool // stuck-at dead links (nil = none)
@@ -237,6 +304,9 @@ type Network struct {
 	corrupted  map[uint64]bool      // packets with a corrupt flit ejected so far
 	maxRetries int                  // resolved end-to-end retry budget
 	hopLimit   int                  // packets exceeding this hop count are killed
+	// ev is the discrete-event scheduler state; nil selects the
+	// reference cycle-stepping engine (see event.go).
+	ev *eventState
 }
 
 // New creates a network from the configuration.
@@ -255,6 +325,7 @@ func New(cfg Config) (*Network, error) {
 		pending:    make(map[uint64]Packet),
 		arrivals:   make([]int, n*numPorts*cfg.vcs()),
 		perRouter:  make([]uint64, n),
+		dirtied:    make([]bool, n),
 		faultsOn:   cfg.Faults.LinkFlitRate > 0,
 		dead:       cfg.Faults.DeadSet(),
 		maxRetries: cfg.MaxRetries,
@@ -266,10 +337,11 @@ func New(cfg Config) (*Network, error) {
 	// node once, so a packet exceeding this hop count can only mean a
 	// routing bug; kill it deterministically instead of hanging.
 	nw.hopLimit = 2*n + 16
-	if nw.dead != nil {
-		nw.buildDeadRoutes()
+	if cfg.Core == CoreEvent {
+		nw.ev = newEventState(n)
 	}
 	v := cfg.vcs()
+	nw.vcsN = v
 	for i := range nw.routers {
 		rt := &nw.routers[i]
 		rt.id = i
@@ -283,7 +355,26 @@ func New(cfg Config) (*Network, error) {
 			for k := range rt.outOwner[p] {
 				rt.outOwner[p][k] = -1
 			}
+			rt.nbr[p] = -1
 		}
+		// Precompute the neighbor table (pure mesh geometry).
+		x, y := nw.coord(i)
+		if y > 0 {
+			rt.nbr[PortNorth], rt.nbrPort[PortNorth] = int32(i-cfg.Width), PortSouth
+		}
+		if y < cfg.Height-1 {
+			rt.nbr[PortSouth], rt.nbrPort[PortSouth] = int32(i+cfg.Width), PortNorth
+		}
+		if x < cfg.Width-1 {
+			rt.nbr[PortEast], rt.nbrPort[PortEast] = int32(i+1), PortWest
+		}
+		if x > 0 {
+			rt.nbr[PortWest], rt.nbrPort[PortWest] = int32(i-1), PortEast
+		}
+	}
+	// After the neighbor tables: the BFS walks the mesh through them.
+	if nw.dead != nil {
+		nw.buildDeadRoutes()
 	}
 	return nw, nil
 }
@@ -293,6 +384,14 @@ func (nw *Network) Nodes() int { return len(nw.routers) }
 
 // Cycle returns the current simulation cycle.
 func (nw *Network) Cycle() uint64 { return nw.cycle }
+
+// CoreName reports which engine drives this network ("event" or "step").
+func (nw *Network) CoreName() string {
+	if nw.ev != nil {
+		return CoreEvent.String()
+	}
+	return CoreStep.String()
+}
 
 // Stats returns a copy of the activity counters.
 func (nw *Network) Stats() Stats { return nw.stats }
@@ -307,19 +406,37 @@ func (nw *Network) PerRouterTraversals() []uint64 {
 	return append([]uint64(nil), nw.perRouter...)
 }
 
+// markDirty records that node id's router or injection queue may hold
+// state Reset must clear. Called from the flit push sites only: every
+// other mutation (route fields, round-robin pointers, output-VC grants,
+// traversal counters) happens at a router that holds a flit, and a flit
+// can only be present after a push.
+func (nw *Network) markDirty(id int) {
+	if !nw.dirtied[id] {
+		nw.dirtied[id] = true
+		nw.dirty = append(nw.dirty, int32(id))
+	}
+}
+
 // Reset returns the network to its post-New state while keeping every
 // allocated buffer (router lanes, injection queues, arrival staging),
 // so a pooled Network can simulate many independent workloads without
 // re-allocating its geometry. The fault configuration and precomputed
 // dead-link routes are preserved (they are pure functions of the
-// Config); the clock, stats, queues, and sink are cleared.
+// Config); the clock, stats, queues, and sink are cleared. Cost is
+// O(nodes that saw traffic), not O(mesh): only dirty nodes are cleared.
 func (nw *Network) Reset() {
-	for i := range nw.inject {
+	for _, id := range nw.dirty {
+		i := int(id)
+		nw.dirtied[i] = false
 		nw.inject[i].reset()
-	}
-	for r := range nw.routers {
-		rt := &nw.routers[r]
+		nw.perRouter[i] = 0
+		rt := &nw.routers[i]
 		rt.occ = 0
+		rt.occIn = [numPorts]int16{}
+		rt.routedTo = [numPorts]int8{}
+		rt.owned = [numPorts]int8{}
+		rt.needRoute = 0
 		for p := 0; p < numPorts; p++ {
 			for k := range rt.in[p].vcs {
 				lane := &rt.in[p].vcs[k]
@@ -333,16 +450,21 @@ func (nw *Network) Reset() {
 			rt.rrVC[p] = 0
 		}
 	}
+	nw.dirty = nw.dirty[:0]
 	clear(nw.pending)
 	clear(nw.corrupted)
-	clear(nw.perRouter)
-	clear(nw.arrivals)
+	for _, ai := range nw.touched {
+		nw.arrivals[ai] = 0
+	}
 	nw.touched = nw.touched[:0]
 	nw.sink = nil
 	nw.nextID = 0
 	nw.cycle = 0
 	nw.stats = Stats{}
 	nw.flits = 0
+	if nw.ev != nil {
+		nw.ev.reset()
+	}
 }
 
 // AdvanceIdle advances the clock to target in one jump, provided the
@@ -523,29 +645,15 @@ func (nw *Network) routeMinimal(id, dst int) int {
 }
 
 // neighbor returns the router on the other side of output port p of
-// router id, and the input port it arrives on; ok=false at mesh edges.
+// router id, and the input port it arrives on; ok=false at mesh edges
+// and for the local port. O(1) via the table precomputed in New.
 func (nw *Network) neighbor(id, p int) (nid, nport int, ok bool) {
-	x, y := nw.coord(id)
-	switch p {
-	case PortNorth:
-		y--
-		nport = PortSouth
-	case PortSouth:
-		y++
-		nport = PortNorth
-	case PortEast:
-		x++
-		nport = PortWest
-	case PortWest:
-		x--
-		nport = PortEast
-	default:
+	rt := &nw.routers[id]
+	n := rt.nbr[p]
+	if n < 0 {
 		return 0, 0, false
 	}
-	if x < 0 || x >= nw.cfg.Width || y < 0 || y >= nw.cfg.Height {
-		return 0, 0, false
-	}
-	return y*nw.cfg.Width + x, nport, true
+	return int(n), int(rt.nbrPort[p]), true
 }
 
 // Inject queues a packet at its source node's network interface. The NI
@@ -594,6 +702,8 @@ func (nw *Network) enqueueFlits(p Packet, enqueued uint64, attempt uint8) {
 		})
 	}
 	nw.flits += p.Flits
+	nw.markDirty(p.Src)
+	nw.wakeInject(p.Src)
 }
 
 // SendMessage segments an arbitrarily large message of the given flit
@@ -632,75 +742,147 @@ func (nw *Network) InjectQueueLen(node int) int { return nw.inject[node].size() 
 // ejection and drop-drain (moves between queues and lanes cancel out).
 func (nw *Network) Idle() bool { return nw.flits == 0 }
 
-// Step advances the network one clock cycle. Routers with no buffered
-// flits (occ == 0) are skipped in phases 1 and 2: every lane is empty,
-// so neither route computation, drop-drain, VC allocation, nor switch
-// arbitration can change any state there.
+// Step advances the network one clock cycle on whichever engine the
+// configuration selected. Both engines run the identical per-router
+// phase functions (routeRouter, moveRouter, injectNode) in the same
+// three-phase order and ascending router-id order; the stepping engine
+// scans every router, the event engine only the scheduled ones.
 func (nw *Network) Step() {
+	if nw.ev != nil {
+		nw.stepEvent()
+		return
+	}
+	nw.beginCycle()
+	// Phase 1: route computation for fresh heads on every VC lane.
+	for r := range nw.routers {
+		if nw.routers[r].occ != 0 {
+			nw.routeRouter(r)
+		}
+	}
+	// Phase 2: VC allocation + switch traversal. Routers with no buffered
+	// flits (occ == 0) are skipped: every lane is empty, so neither
+	// drop-drain, VC allocation, nor switch arbitration can change any
+	// state there.
+	for r := range nw.routers {
+		if nw.routers[r].occ != 0 {
+			nw.moveRouter(r)
+		}
+	}
+	// Phase 3: injection into local input ports.
+	for nidx := range nw.inject {
+		nw.injectNode(nidx)
+	}
+	nw.endCycle()
+}
+
+// beginCycle clears the arrival staging written during the previous
+// cycle (in O(touched) rather than O(mesh)).
+func (nw *Network) beginCycle() {
 	for _, ai := range nw.touched {
 		nw.arrivals[ai] = 0
 	}
 	nw.touched = nw.touched[:0]
-	v := nw.cfg.vcs()
-	// Phase 1: route computation for fresh heads on every VC lane. A head
-	// that no live link can carry toward its destination kills the packet
-	// (unroutable); its lane drains the worm's flits into the void.
-	for r := range nw.routers {
-		rt := &nw.routers[r]
-		if rt.occ == 0 {
-			continue
+}
+
+// endCycle advances the clock.
+func (nw *Network) endCycle() {
+	nw.cycle++
+	nw.stats.Cycles = nw.cycle
+}
+
+// routeRouter is phase 1 for one router: route computation for fresh
+// heads on every VC lane. A head that no live link can carry toward its
+// destination kills the packet (unroutable); its lane then drains the
+// worm's flits into the void.
+func (nw *Network) routeRouter(r int) {
+	rt := &nw.routers[r]
+	if rt.occ == 0 {
+		return
+	}
+	if rt.needRoute == 0 {
+		return // no lane holds an unrouted fresh head
+	}
+	for p := 0; p < numPorts; p++ {
+		if rt.occIn[p] == 0 {
+			continue // no buffered flit on this input, no fresh head possible
 		}
-		for p := 0; p < numPorts; p++ {
-			for k := range rt.in[p].vcs {
-				lane := &rt.in[p].vcs[k]
-				if lane.route == routeNone && lane.size() > 0 {
-					head := lane.front()
-					if head.ftype == HeadFlit || head.ftype == HeadTailFlit {
-						lane.route = nw.route(r, head.dst)
-						if nw.dead != nil && lane.route >= 0 && int(head.hops) > nw.hopLimit {
-							// Misroute livelock: the packet keeps bouncing
-							// between live links without reaching dst.
-							lane.route = routeDrop
-						}
-						if lane.route == routeDrop {
-							nw.stats.UnroutablePackets++
-							delete(nw.pending, head.packetID)
-						}
+		for k := range rt.in[p].vcs {
+			lane := &rt.in[p].vcs[k]
+			if lane.route == routeNone && lane.size() > 0 {
+				head := lane.front()
+				if head.ftype == HeadFlit || head.ftype == HeadTailFlit {
+					out := nw.route(r, head.dst)
+					if nw.dead != nil && out >= 0 && int(head.hops) > nw.hopLimit {
+						// Misroute livelock: the packet keeps bouncing
+						// between live links without reaching dst.
+						out = routeDrop
+					}
+					lane.route = out
+					rt.needRoute--
+					if out == routeDrop {
+						nw.stats.UnroutablePackets++
+						delete(nw.pending, head.packetID)
+					} else {
+						rt.routedTo[out]++
 					}
 				}
 			}
 		}
 	}
-	// Phase 2: VC allocation + switch traversal. Each output physical
-	// channel moves at most one flit per cycle, chosen round-robin among
-	// its output VCs; each output VC is held by one input lane until the
-	// tail passes.
-	for r := range nw.routers {
-		rt := &nw.routers[r]
-		if rt.occ == 0 {
-			continue
-		}
-		// Drain lanes holding a killed packet: one flit per cycle vanishes
-		// without contending for any output.
-		if nw.dead != nil {
-			for p := 0; p < numPorts; p++ {
-				for k := range rt.in[p].vcs {
-					lane := &rt.in[p].vcs[k]
-					if lane.route != routeDrop || lane.size() == 0 {
-						continue
-					}
-					f := lane.pop()
-					rt.occ--
-					nw.flits--
-					if f.ftype == TailFlit || f.ftype == HeadTailFlit {
-						lane.route = routeNone
+}
+
+// moveRouter is phase 2 for one router: drop-drain, VC allocation, and
+// switch traversal. Each output physical channel moves at most one flit
+// per cycle, chosen round-robin among its output VCs; each output VC is
+// held by one input lane until the tail passes. Any state change
+// reschedules the router for the next cycle (a router that changed
+// nothing cannot act next cycle either, until an arrival or a
+// downstream credit wakes it).
+func (nw *Network) moveRouter(r int) {
+	rt := &nw.routers[r]
+	if rt.occ == 0 {
+		return
+	}
+	v := nw.vcsN
+	worked := false
+	// Drain lanes holding a killed packet: one flit per cycle vanishes
+	// without contending for any output.
+	if nw.dead != nil {
+		for p := 0; p < numPorts; p++ {
+			if rt.occIn[p] == 0 {
+				continue
+			}
+			for k := range rt.in[p].vcs {
+				lane := &rt.in[p].vcs[k]
+				if lane.route != routeDrop || lane.size() == 0 {
+					continue
+				}
+				f := lane.pop()
+				rt.occ--
+				rt.occIn[p]--
+				nw.flits--
+				worked = true
+				nw.wakeUpstream(r, p)
+				if f.ftype == TailFlit || f.ftype == HeadTailFlit {
+					lane.route = routeNone
+					if lane.size() > 0 {
+						rt.needRoute++ // next worm's head is now at the front
 					}
 				}
 			}
 		}
-		for out := 0; out < numPorts; out++ {
-			// Allocate free output VCs to requesting input lanes (an
-			// input lane on VC k requests output VC k).
+	}
+	for out := 0; out < numPorts; out++ {
+		// A port no routed lane targets and no granted VC holds cannot
+		// allocate or send; skipping it changes nothing (exact, since
+		// allocation requires a lane with route == out and traversal
+		// requires an owner).
+		if rt.routedTo[out] == 0 && rt.owned[out] == 0 {
+			continue
+		}
+		// Allocate free output VCs to requesting input lanes (an
+		// input lane on VC k requests output VC k).
+		if rt.routedTo[out] > 0 {
 			for k := 0; k < v; k++ {
 				if rt.outOwner[out][k] >= 0 {
 					continue
@@ -711,82 +893,122 @@ func (nw *Network) Step() {
 					if lane.route == out && lane.size() > 0 {
 						rt.outOwner[out][k] = cand
 						rt.rrIn[out][k] = cand
+						rt.owned[out]++
+						worked = true
 						break
 					}
 				}
 			}
-			// Physical link arbitration: first ready output VC in
-			// round-robin order sends one flit.
-			for step := 1; step <= v; step++ {
-				k := (rt.rrVC[out] + step) % v
-				owner := rt.outOwner[out][k]
-				if owner < 0 {
-					continue
-				}
-				lane := &rt.in[owner].vcs[k]
-				if lane.size() == 0 {
-					continue // next flit not arrived yet
-				}
-				f := *lane.front()
-				if out == PortLocal {
-					nw.ejectFlit(r, f)
-					nw.flits--
-				} else {
-					nid, nport, ok := nw.neighbor(r, out)
-					if !ok {
-						// Minimal mesh routing never routes off-mesh; bug guard.
-						panic(fmt.Sprintf("noc: router %d routed off mesh via %s", r, PortName(out)))
-					}
-					dstLane := &nw.routers[nid].in[nport].vcs[k]
-					ai := (nid*numPorts+nport)*v + k
-					if dstLane.size()+nw.arrivals[ai] >= nw.cfg.BufferDepth {
-						continue // no credit downstream on this VC
-					}
-					f.hops++
-					if nw.faultsOn && nw.cfg.Faults.LinkCorrupt(f.packetID, int(f.seq), int(f.attempt), r) {
-						// Transient link fault: the flit's payload is
-						// corrupted in transit. The per-packet checksum
-						// catches it at the destination NI.
-						f.corrupt = true
-						nw.stats.CorruptFlits++
-					}
-					dstLane.push(f)
-					nw.routers[nid].occ++
-					nw.arrivals[ai]++
-					nw.touched = append(nw.touched, ai)
-					nw.stats.LinkTraverse++
-				}
-				nw.stats.RouterTraverse++
-				nw.perRouter[r]++
-				lane.pop()
-				rt.occ--
-				if f.ftype == TailFlit || f.ftype == HeadTailFlit {
-					rt.outOwner[out][k] = -1
-					lane.route = routeNone
-				}
-				rt.rrVC[out] = k
-				break // one flit per physical channel per cycle
-			}
 		}
-	}
-	// Phase 3: injection into local input ports (one flit per cycle per
-	// node, into the flit's assigned VC lane).
-	for nidx := range nw.inject {
-		q := &nw.inject[nidx]
-		if q.size() == 0 {
+		// Physical link arbitration: first ready output VC in
+		// round-robin order sends one flit.
+		if rt.owned[out] == 0 {
 			continue
 		}
-		k := int(q.front().vc)
-		lane := &nw.routers[nidx].in[PortLocal].vcs[k]
-		ai := (nidx*numPorts+PortLocal)*v + k
-		if lane.size()+nw.arrivals[ai] < nw.cfg.BufferDepth {
-			lane.push(q.pop())
-			nw.routers[nidx].occ++
-			nw.stats.FlitsInjected++
+		for step := 1; step <= v; step++ {
+			// rrVC < v and step <= v, so one conditional subtraction
+			// replaces the (variable-divisor) modulo.
+			k := rt.rrVC[out] + step
+			if k >= v {
+				k -= v
+			}
+			owner := rt.outOwner[out][k]
+			if owner < 0 {
+				continue
+			}
+			lane := &rt.in[owner].vcs[k]
+			if lane.size() == 0 {
+				continue // next flit not arrived yet
+			}
+			f := *lane.front()
+			if out == PortLocal {
+				nw.ejectFlit(r, f)
+				nw.flits--
+			} else {
+				nid, nport, ok := nw.neighbor(r, out)
+				if !ok {
+					// Minimal mesh routing never routes off-mesh; bug guard.
+					panic(fmt.Sprintf("noc: router %d routed off mesh via %s", r, PortName(out)))
+				}
+				dstLane := &nw.routers[nid].in[nport].vcs[k]
+				ai := (nid*numPorts+nport)*v + k
+				if dstLane.size()+nw.arrivals[ai] >= nw.cfg.BufferDepth {
+					continue // no credit downstream on this VC
+				}
+				f.hops++
+				if nw.faultsOn && nw.cfg.Faults.LinkCorrupt(f.packetID, int(f.seq), int(f.attempt), r) {
+					// Transient link fault: the flit's payload is
+					// corrupted in transit. The per-packet checksum
+					// catches it at the destination NI.
+					f.corrupt = true
+					nw.stats.CorruptFlits++
+				}
+				dstLane.push(f)
+				nw.markDirty(nid)
+				nrt := &nw.routers[nid]
+				nrt.occ++
+				nrt.occIn[nport]++
+				if dstLane.route == routeNone && dstLane.size() == 1 {
+					nrt.needRoute++ // fresh head landed in an empty lane
+				}
+				nw.arrivals[ai]++
+				nw.touched = append(nw.touched, ai)
+				nw.stats.LinkTraverse++
+				nw.wakeRouter(nid)
+			}
+			nw.stats.RouterTraverse++
+			nw.perRouter[r]++
+			lane.pop()
+			rt.occ--
+			rt.occIn[owner]--
+			worked = true
+			nw.wakeUpstream(r, owner)
+			if f.ftype == TailFlit || f.ftype == HeadTailFlit {
+				rt.outOwner[out][k] = -1
+				rt.owned[out]--
+				rt.routedTo[out]--
+				lane.route = routeNone
+				if lane.size() > 0 {
+					rt.needRoute++ // next worm's head is now at the front
+				}
+			}
+			rt.rrVC[out] = k
+			break // one flit per physical channel per cycle
 		}
 	}
-	nw.cycle++
-	nw.stats.Cycles = nw.cycle
+	if worked {
+		nw.wakeRouterNext(r)
+	}
+}
+
+// injectNode is phase 3 for one node: injection into the local input
+// port (one flit per cycle per node, into the flit's assigned VC lane).
+func (nw *Network) injectNode(nidx int) {
+	q := &nw.inject[nidx]
+	if q.size() == 0 {
+		return
+	}
+	v := nw.vcsN
+	k := int(q.front().vc)
+	rt := &nw.routers[nidx]
+	lane := &rt.in[PortLocal].vcs[k]
+	ai := (nidx*numPorts+PortLocal)*v + k
+	if lane.size()+nw.arrivals[ai] < nw.cfg.BufferDepth {
+		lane.push(q.pop())
+		nw.markDirty(nidx)
+		rt.occ++
+		rt.occIn[PortLocal]++
+		if lane.route == routeNone && lane.size() == 1 {
+			rt.needRoute++ // fresh head landed in an empty lane
+		}
+		nw.stats.FlitsInjected++
+		nw.wakeRouterNext(nidx)
+		if q.size() > 0 {
+			nw.wakeInjectNext(nidx)
+		}
+	}
+	// Blocked on a full local lane: the pop that frees a slot wakes this
+	// node (wakeUpstream on the local port).
 }
 
 // ejectFlit consumes a flit at its destination NI. The NI verifies the

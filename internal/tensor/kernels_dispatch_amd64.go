@@ -1,0 +1,78 @@
+// amd64 kernel table and CPU feature detection. Detection is done with
+// raw CPUID/XGETBV (cpuid_amd64.s) instead of a dependency: AVX2 is
+// usable only when the CPU advertises it AND the OS saves the YMM state
+// (OSXSAVE set and XCR0 enabling both SSE and AVX state), the same
+// checks golang.org/x/sys/cpu performs.
+
+package tensor
+
+// Implemented in cpuid_amd64.s.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// Implemented in kernels_saxpy_amd64.s.
+//
+//go:noescape
+func saxpy4SSE2(orow []float32, a0, a1, a2, a3 float32, b0, b1, b2, b3 []float32)
+
+//go:noescape
+func saxpy1SSE2(orow []float32, a float32, brow []float32)
+
+//go:noescape
+func saxpy4AVX2(orow []float32, a0, a1, a2, a3 float32, b0, b1, b2, b3 []float32)
+
+//go:noescape
+func saxpy1AVX2(orow []float32, a float32, brow []float32)
+
+//go:noescape
+func saxpy4FMA(orow []float32, a0, a1, a2, a3 float32, b0, b1, b2, b3 []float32)
+
+//go:noescape
+func saxpy1FMA(orow []float32, a float32, brow []float32)
+
+// cpuFeatures reports the vector extensions usable by this process.
+func cpuFeatures() (avx2, fma bool) {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false, false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		bitFMA     = 1 << 12
+		bitOSXSAVE = 1 << 27
+		bitAVX     = 1 << 28
+	)
+	if ecx1&bitOSXSAVE == 0 || ecx1&bitAVX == 0 {
+		return false, false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX): the OS saves YMM state on context
+	// switch. Without them, executing VEX.256 code faults.
+	xeax, _ := xgetbv0()
+	if xeax&0x6 != 0x6 {
+		return false, false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const bitAVX2 = 1 << 5
+	avx2 = ebx7&bitAVX2 != 0
+	fma = avx2 && ecx1&bitFMA != 0
+	return avx2, fma
+}
+
+// archKernels returns the vector kernels this CPU supports, narrowest
+// first. SSE2 is part of the amd64 baseline and always present.
+func archKernels() []saxpyKernel {
+	ks := []saxpyKernel{
+		{name: KernelSSE2, saxpy4: saxpy4SSE2, saxpy1: saxpy1SSE2, auto: true},
+	}
+	avx2, fma := cpuFeatures()
+	if avx2 {
+		ks = append(ks, saxpyKernel{name: KernelAVX2, saxpy4: saxpy4AVX2, saxpy1: saxpy1AVX2, auto: true})
+	}
+	if fma {
+		// Present so VECMM=fma / SetMatMulKernel can reach it, but never
+		// auto-selected: FMA rounds once per term where the reference
+		// rounds twice, so results are NOT bit-identical.
+		ks = append(ks, saxpyKernel{name: KernelFMA, saxpy4: saxpy4FMA, saxpy1: saxpy1FMA, auto: false})
+	}
+	return ks
+}

@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package tensor
+
+// archKernels returns no vector kernels: only the portable Go kernel is
+// available off amd64. (The dispatch machinery still works, so a future
+// NEON port only needs to add an arch file like kernels_dispatch_amd64.go.)
+func archKernels() []saxpyKernel { return nil }

@@ -34,7 +34,7 @@ shift $((OPTIND - 1))
 
 pkgs=("$@")
 if [ ${#pkgs[@]} -eq 0 ]; then
-	pkgs=(./internal/tensor/ ./internal/nn/ ./internal/core/ ./internal/accel/)
+	pkgs=(./internal/tensor/ ./internal/nn/ ./internal/core/ ./internal/accel/ ./internal/noc/)
 fi
 
 raw="$(mktemp)"
