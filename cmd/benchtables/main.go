@@ -43,6 +43,7 @@ import (
 	"sync"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -199,6 +200,10 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "JSON file recording completed experiments and per-model sweep results; resumed runs skip them")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		tracePath    = flag.String("trace", "", "write a Chrome trace-event JSON (open at ui.perfetto.dev) to this file")
+		metricsPath  = flag.String("metrics", "", "write the metrics snapshot to this file (.csv extension selects CSV, else text)")
+		manifestPath = flag.String("manifest", "", "write a reproducibility manifest (JSON) to this file")
 	)
 	flag.Parse()
 	csvDir = *csvOut
@@ -250,6 +255,9 @@ func main() {
 		// checkpoint file doubles as the experiments.Checkpoint store.
 		opts.Checkpoint = cp
 	}
+	if *tracePath != "" || *metricsPath != "" || *manifestPath != "" {
+		opts.Obs = obs.New()
+	}
 	stopProf, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fatal(err)
@@ -259,6 +267,77 @@ func main() {
 	if runErr != nil {
 		fatal(runErr)
 	}
+	if err := writeObsOutputs(opts, *experiment, *tracePath, *metricsPath, *manifestPath); err != nil {
+		fatal(err)
+	}
+}
+
+// writeObsOutputs writes the trace, metrics, and manifest files selected
+// by flags after a successful run.
+func writeObsOutputs(opts experiments.Options, experiment, tracePath, metricsPath, manifestPath string) error {
+	o := opts.Obs
+	if o == nil {
+		return nil
+	}
+	writeTo := func(path string, write func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if tracePath != "" {
+		if err := writeTo(tracePath, func(f *os.File) error { return o.T().WriteChromeJSON(f) }); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		write := o.M().WriteText
+		if strings.HasSuffix(metricsPath, ".csv") {
+			write = o.M().WriteCSV
+		}
+		if err := writeTo(metricsPath, func(f *os.File) error { return write(f) }); err != nil {
+			return err
+		}
+	}
+	if manifestPath == "" {
+		return nil
+	}
+	man := &obs.Manifest{
+		Tool:             "benchtables",
+		Experiment:       experiment,
+		Seed:             opts.Seed,
+		NoCCore:          opts.Accel.Mesh.Core.String(),
+		MatMulKernel:     tensor.MatMulKernel(),
+		AvailableKernels: tensor.MatMulKernels(),
+		VecmmOverride:    os.Getenv("VECMM"),
+		Mesh:             [2]int{opts.Accel.Mesh.Width, opts.Accel.Mesh.Height},
+		MemNodes:         opts.Accel.MemNodes,
+		MACLanes:         opts.Accel.MACLanes,
+		TraceEvents:      o.T().EventCount(),
+	}
+	return man.WriteFile(manifestPath)
+}
+
+// fracPct is the NaN-safe percentage: an empty or aborted run divides by
+// zero only on paper — here it reports 0.
+func fracPct(part, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * part / total
+}
+
+// ratio is the NaN-safe normalization used by the figure tables.
+func ratio(v, max float64) float64 {
+	if max == 0 {
+		return 0
+	}
+	return v / max
 }
 
 // runExperiments dispatches -experiment (either "all" with checkpoint
@@ -422,15 +501,15 @@ func runFig2(opts experiments.Options) error {
 		e := r.Energy
 		et := e.Total()
 		fmt.Printf("%-10s %8.3f | mem %4.0f%% comm %4.0f%% comp %4.0f%% | comm %4.1f%% compute %4.1f%% local %4.1f%% main %5.1f%% (Enorm %.3f)\n",
-			r.Layer, float64(r.Cycles)/float64(maxCyc),
-			100*float64(lt.Memory)/total,
-			100*float64(lt.Communication)/total,
-			100*float64(lt.Computation)/total,
-			100*(e.CommDyn+e.CommLeak)/et,
-			100*(e.CompDyn+e.CompLeak)/et,
-			100*(e.LocalDyn+e.LocalLeak)/et,
-			100*(e.MainDyn+e.MainLeak)/et,
-			et/maxE)
+			r.Layer, ratio(float64(r.Cycles), float64(maxCyc)),
+			fracPct(float64(lt.Memory), total),
+			fracPct(float64(lt.Communication), total),
+			fracPct(float64(lt.Computation), total),
+			fracPct(e.CommDyn+e.CommLeak, et),
+			fracPct(e.CompDyn+e.CompLeak, et),
+			fracPct(e.LocalDyn+e.LocalLeak, et),
+			fracPct(e.MainDyn+e.MainLeak, et),
+			ratio(et, maxE))
 	}
 	var recs [][]string
 	for _, r := range rows {
@@ -492,10 +571,10 @@ func runFig10(opts experiments.Options) error {
 		et := e.Total()
 		fmt.Printf("%-14s %-7s %9.4f %9.3f %9.3f | %5.1f%% %5.1f%% %5.1f%% %5.1f%%\n",
 			p.Model, p.Config, p.Accuracy, p.LatencyNorm, p.EnergyNorm,
-			100*(e.MainDyn+e.MainLeak)/et,
-			100*(e.CommDyn+e.CommLeak)/et,
-			100*(e.CompDyn+e.CompLeak)/et,
-			100*(e.LocalDyn+e.LocalLeak)/et)
+			fracPct(e.MainDyn+e.MainLeak, et),
+			fracPct(e.CommDyn+e.CommLeak, et),
+			fracPct(e.CompDyn+e.CompLeak, et),
+			fracPct(e.LocalDyn+e.LocalLeak, et))
 	}
 	var recs [][]string
 	for _, p := range pts {

@@ -11,10 +11,14 @@
 //	nocsim -model LeNet-5 -dead-links 5-6,6-5
 //	nocsim -model LeNet-5 -core step           # reference stepping core
 //	nocsim -model LeNet-5 -selftest            # run both cores, diff results
+//	nocsim -model LeNet-5 -trace out.json      # Perfetto-loadable trace
+//	nocsim -model LeNet-5 -metrics m.txt -manifest run.json
 //
 // Layers are simulated concurrently on -workers goroutines; the results
 // are collected in layer order, so every worker count prints the same
-// numbers.
+// numbers. The -trace/-trace-csv/-metrics/-manifest outputs are equally
+// deterministic: byte-identical at any -workers value and across the
+// event/step cores (see internal/obs).
 //
 // The fault flags inject deterministic transient link corruption
 // (recovered by checksum-triggered retransmission, whose traffic shows
@@ -38,6 +42,8 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/noc"
+	"repro/internal/obs"
+	"repro/internal/tensor"
 )
 
 // parseDeadLinks parses "5-6,6-5" into unidirectional link pairs.
@@ -73,8 +79,20 @@ func main() {
 		selftest  = flag.Bool("selftest", false, "run the inference on BOTH cores and diff every number; non-zero exit on divergence")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		tracePath    = flag.String("trace", "", "write a Chrome trace-event JSON (open at ui.perfetto.dev) to this file")
+		traceCSV     = flag.String("trace-csv", "", "write the trace as a flat CSV timeline to this file")
+		metricsPath  = flag.String("metrics", "", "write the metrics snapshot to this file (.csv extension selects CSV, else text)")
+		manifestPath = flag.String("manifest", "", "write a reproducibility manifest (JSON) to this file")
+		printKernel  = flag.Bool("print-kernel", false, "print the matmul kernel dispatch decision and exit")
 	)
 	flag.Parse()
+
+	if *printKernel {
+		fmt.Printf("kernel=%s available=%s vecmm=%s\n",
+			tensor.MatMulKernel(), strings.Join(tensor.MatMulKernels(), ","), os.Getenv("VECMM"))
+		return
+	}
 
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -102,6 +120,7 @@ func main() {
 		f.Close()
 	}
 	var compressed map[string]*core.Compressed
+	var codecPlan []obs.CodecAssignment
 	if *delta >= 0 {
 		w, err := m.SelectedWeights()
 		if err != nil {
@@ -112,6 +131,7 @@ func main() {
 			fatal(err)
 		}
 		compressed = map[string]*core.Compressed{m.SelectedLayer: c}
+		codecPlan = []obs.CodecAssignment{{Layer: m.SelectedLayer, Codec: fmt.Sprintf("segment@%.3g%%", *delta)}}
 		fmt.Printf("compressed %s at delta %.3g%%: CR %.2f\n",
 			m.SelectedLayer, *delta, c.CompressionRatio(core.DefaultStorage))
 	}
@@ -143,7 +163,11 @@ func main() {
 	if *selftest {
 		os.Exit(runSelftest(ctx, cfg, m.Name, specs, *workers))
 	}
-	res, clock, err := runOnce(ctx, cfg, m.Name, specs, *workers)
+	var o *obs.Observer
+	if *tracePath != "" || *traceCSV != "" || *metricsPath != "" || *manifestPath != "" {
+		o = obs.New()
+	}
+	res, clock, err := runOnce(ctx, cfg, m.Name, specs, *workers, o)
 	if err != nil {
 		fatal(err)
 	}
@@ -152,9 +176,7 @@ func main() {
 	fmt.Printf("latency: %d cycles (%.3f ms)\n", res.Cycles, res.Seconds(clock)*1e3)
 	lt := res.Latency
 	fmt.Printf("  memory %.1f%%  communication %.1f%%  computation %.1f%%\n",
-		100*float64(lt.Memory)/float64(lt.Total()),
-		100*float64(lt.Communication)/float64(lt.Total()),
-		100*float64(lt.Computation)/float64(lt.Total()))
+		pct(lt.Memory, lt.Total()), pct(lt.Communication, lt.Total()), pct(lt.Computation, lt.Total()))
 	e := res.Energy
 	fmt.Printf("energy: %.3f uJ\n", e.Total()/1e6)
 	fmt.Printf("  comm   dyn %8.3f uJ  leak %8.3f uJ\n", e.CommDyn/1e6, e.CommLeak/1e6)
@@ -175,6 +197,109 @@ func main() {
 				l.Name, l.Kind, l.Flow, l.Cycles, l.SimRounds, l.Rounds, l.Energy.Total()/1e6)
 		}
 	}
+
+	if err := writeObsOutputs(o, *tracePath, *traceCSV, *metricsPath); err != nil {
+		fatal(err)
+	}
+	if *manifestPath != "" {
+		man := buildManifest("nocsim", m.Name, *seed, *faultSeed, *delta, cfg, codecPlan, res, o)
+		if err := man.WriteFile(*manifestPath); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// pct is the NaN-safe percentage: a zero denominator (empty or aborted
+// run) reports 0 instead of poisoning the output.
+func pct(part, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+// writeObsOutputs writes the trace and metrics files selected by flags.
+func writeObsOutputs(o *obs.Observer, tracePath, traceCSV, metricsPath string) error {
+	writeTo := func(path string, write func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if tracePath != "" {
+		if err := writeTo(tracePath, func(f *os.File) error { return o.T().WriteChromeJSON(f) }); err != nil {
+			return err
+		}
+	}
+	if traceCSV != "" {
+		if err := writeTo(traceCSV, func(f *os.File) error { return o.T().WriteCSV(f) }); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		write := o.M().WriteText
+		if strings.HasSuffix(metricsPath, ".csv") {
+			write = o.M().WriteCSV
+		}
+		if err := writeTo(metricsPath, func(f *os.File) error { return write(f) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildManifest assembles the reproducibility record for one run: the
+// inputs and environment choices that determine the numbers, plus the
+// deterministic results themselves. Worker counts and wall-clock time
+// are deliberately absent, so manifests from the same configuration are
+// byte-identical at any parallelism.
+func buildManifest(tool, modelName string, seed, faultSeed int64, delta float64, cfg accel.Config, codecPlan []obs.CodecAssignment, res *accel.Result, o *obs.Observer) *obs.Manifest {
+	man := &obs.Manifest{
+		Tool:             tool,
+		Model:            modelName,
+		Seed:             seed,
+		FaultSeed:        faultSeed,
+		NoCCore:          cfg.Mesh.Core.String(),
+		MatMulKernel:     tensor.MatMulKernel(),
+		AvailableKernels: tensor.MatMulKernels(),
+		VecmmOverride:    os.Getenv("VECMM"),
+		Mesh:             [2]int{cfg.Mesh.Width, cfg.Mesh.Height},
+		MemNodes:         cfg.MemNodes,
+		MACLanes:         cfg.MACLanes,
+		CodecPlan:        codecPlan,
+		TraceEvents:      o.T().EventCount(),
+	}
+	if delta >= 0 {
+		man.Delta = delta
+	}
+	if res != nil {
+		man.Results = &obs.RunResults{
+			TotalCycles:   res.Cycles,
+			EnergyPJ:      res.Energy.Total(),
+			MemoryCycles:  res.Latency.Memory,
+			CommCycles:    res.Latency.Communication,
+			ComputeCycles: res.Latency.Computation,
+			FlitsInjected: res.Traffic.NoCFlits,
+			DRAMReads:     res.Traffic.DRAMReadWords,
+			DRAMWrites:    res.Traffic.DRAMWriteWords,
+		}
+		for _, l := range res.Layers {
+			man.TierTimings = append(man.TierTimings, obs.TierTiming{
+				Layer:         l.Name,
+				TotalCycles:   l.Cycles,
+				MemoryCycles:  l.Latency.Memory,
+				CommCycles:    l.Latency.Communication,
+				ComputeCycles: l.Latency.Computation,
+				EnergyPJ:      l.Energy.Total(),
+			})
+		}
+	}
+	return man
 }
 
 func fatal(err error) {
@@ -183,12 +308,13 @@ func fatal(err error) {
 }
 
 // runOnce simulates the model on the core selected in cfg.Mesh.Core.
-func runOnce(ctx context.Context, cfg accel.Config, name string, specs []accel.LayerSpec, workers int) (*accel.Result, float64, error) {
+func runOnce(ctx context.Context, cfg accel.Config, name string, specs []accel.LayerSpec, workers int, o *obs.Observer) (*accel.Result, float64, error) {
 	sim, err := accel.NewSimulator(cfg)
 	if err != nil {
 		return nil, 0, err
 	}
 	sim.SetWorkers(workers)
+	sim.SetObserver(o)
 	res, err := sim.SimulateModelContext(ctx, name, specs)
 	if err != nil {
 		return nil, 0, err
@@ -203,7 +329,7 @@ func runOnce(ctx context.Context, cfg accel.Config, name string, specs []accel.L
 func runSelftest(ctx context.Context, cfg accel.Config, name string, specs []accel.LayerSpec, workers int) int {
 	run := func(c noc.Core) *accel.Result {
 		cfg.Mesh.Core = c
-		res, _, err := runOnce(ctx, cfg, name, specs, workers)
+		res, _, err := runOnce(ctx, cfg, name, specs, workers, nil)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,7 @@
+//go:build race
+
+package accel
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation inflates allocation counts.
+const raceEnabled = true

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -36,7 +37,8 @@ type Simulator struct {
 	peMI    []int       // per PE index: dense index of its MI into layerScratch.mis
 	miPEs   [][]int     // per MemNodes index: assigned PE nodes, ascending
 	workers int
-	pool    sync.Pool // *layerScratch
+	obsv    *obs.Observer // nil = all instrumentation disabled (zero cost)
+	pool    sync.Pool     // *layerScratch
 }
 
 // NewSimulator validates the configuration and precomputes the PE to
@@ -72,6 +74,16 @@ func (s *Simulator) Config() Config { return s.cfg }
 // method.
 func (s *Simulator) SetWorkers(n int) { s.workers = parallel.Workers(n) }
 
+// SetObserver installs the observability sink: per-layer trace buffers
+// (DRAM/compute phase spans plus the NoC packet lifecycle) and the
+// metrics registry (cycle tiers, traffic counters, latency histogram).
+// nil (the default) disables everything at zero cost. Like SetWorkers,
+// call before handing the Simulator to concurrent users. Metric values
+// and exported traces are deterministic at any worker count: counters
+// are additive atomics and trace buffers are keyed by (model, layer
+// index), never by completion order.
+func (s *Simulator) SetObserver(o *obs.Observer) { s.obsv = o }
+
 // SimulateModel runs every layer and aggregates the results. Layers are
 // independent — each SimulateLayer call owns its noc.Network — so they are
 // simulated concurrently on the configured worker count; results are
@@ -90,7 +102,7 @@ func (s *Simulator) SimulateModelContext(ctx context.Context, modelName string, 
 	}
 	layers, err := parallel.Map(ctx, s.workers, len(specs),
 		func(ctx context.Context, i int) (LayerResult, error) {
-			lr, err := s.SimulateLayerContext(ctx, specs[i])
+			lr, err := s.simulateLayer(ctx, specs[i], s.obsv.LayerBuffer(modelName, i, specs[i].Name))
 			if err != nil {
 				return LayerResult{}, fmt.Errorf("accel: layer %q: %w", specs[i].Name, err)
 			}
@@ -134,6 +146,14 @@ type miSlot struct {
 	nextRead int    // next round to issue
 }
 
+// phase span names emitted per layer when tracing is enabled.
+const (
+	spanDRAMRead  = "dram_read"  // weight/input fetch at a memory interface
+	spanDRAMWrite = "dram_write" // output writeback at a memory interface
+	spanMAC       = "mac"        // per-round PE compute
+	spanDecompMAC = "decompress+mac"
+)
+
 // miState is the runtime state of one memory interface. The writeback
 // queue is a head-indexed ring (like noc's flit queues) so its backing
 // array is reused across the layer, and the in-service job is held by
@@ -145,6 +165,7 @@ type miState struct {
 	wHead    int
 	current  dramJob
 	busy     bool // current holds an in-service job
+	startAt  uint64
 	finishAt uint64
 }
 
@@ -384,6 +405,13 @@ func (s *Simulator) SimulateLayer(spec LayerSpec) (LayerResult, error) {
 // every few thousand simulated cycles so a deadline or cancellation
 // interrupts even a degenerate configuration mid-layer.
 func (s *Simulator) SimulateLayerContext(ctx context.Context, spec LayerSpec) (LayerResult, error) {
+	return s.simulateLayer(ctx, spec, s.obsv.LayerBuffer(spec.Name, 0, spec.Name))
+}
+
+// simulateLayer is the cycle loop, with buf (possibly nil) receiving the
+// layer's phase spans and NoC packet lifecycle. The disabled path costs
+// one pointer comparison per emission site and zero allocations.
+func (s *Simulator) simulateLayer(ctx context.Context, spec LayerSpec, buf *obs.Buffer) (LayerResult, error) {
 	if err := spec.Validate(); err != nil {
 		return LayerResult{}, err
 	}
@@ -394,6 +422,16 @@ func (s *Simulator) SimulateLayerContext(ctx context.Context, spec LayerSpec) (L
 	}
 	defer s.pool.Put(sc)
 	nw := sc.nw
+	if buf != nil {
+		nw.SetTrace(buf)
+	}
+	if m := s.obsv.M(); m != nil {
+		nw.SetLatencyHistogram(m.Histogram("noc_packet_latency_cycles", obs.Pow2Buckets(24)))
+	}
+	compSpan := spanMAC
+	if spec.Compressed {
+		compSpan = spanDecompMAC
+	}
 
 	// Per-round per-PE message sizes (bytes).
 	wRound := ceilDiv(g.wBytesPE, uint64(g.rounds))
@@ -460,6 +498,10 @@ func (s *Simulator) SimulateLayerContext(ctx context.Context, spec LayerSpec) (L
 			// One write job per delivered packet, sized by the packet.
 			mi := &sc.mis[s.peMI[meta.peIdx]]
 			mi.pushWrite(dramJob{words: uint64(d.Packet.Flits), isWrite: true, pe: meta.pe, peIdx: meta.peIdx, round: meta.round})
+			if buf != nil {
+				buf.Instant("eject", "noc", d.Packet.Dst, d.Cycle,
+					obs.KV{K: "pe", V: uint64(meta.pe)}, obs.KV{K: "round", V: uint64(meta.round)})
+			}
 		}
 	})
 
@@ -506,6 +548,14 @@ func (s *Simulator) SimulateLayerContext(ctx context.Context, spec LayerSpec) (L
 				if now >= mi.finishAt {
 					job := mi.current
 					mi.busy = false
+					if buf != nil {
+						name := spanDRAMRead
+						if job.isWrite {
+							name = spanDRAMWrite
+						}
+						buf.Span(name, "memory", mi.node, mi.startAt, mi.finishAt-mi.startAt,
+							obs.KV{K: "pe", V: uint64(job.pe)}, obs.KV{K: "round", V: uint64(job.round)}, obs.KV{K: "words", V: job.words})
+					}
 					if job.isWrite {
 						dramWriteWords += job.words
 						outstandingWrites--
@@ -529,6 +579,7 @@ func (s *Simulator) SimulateLayerContext(ctx context.Context, spec LayerSpec) (L
 				if mi.writesPending() > 0 {
 					mi.current = mi.popWrite()
 					mi.busy = true
+					mi.startAt = now
 					mi.finishAt = now + dramLatency +
 						dramServiceCycles(mi.current.words, s.cfg.Energy.DRAMWordsPerCy)
 					memBusy = true
@@ -545,6 +596,7 @@ func (s *Simulator) SimulateLayerContext(ctx context.Context, spec LayerSpec) (L
 						sl.nextRead++
 						mi.current = dramJob{words: sl.words, pe: sl.pe, peIdx: sl.peIdx, round: r}
 						mi.busy = true
+						mi.startAt = now
 						mi.finishAt = now + dramLatency +
 							dramServiceCycles(sl.words, s.cfg.Energy.DRAMWordsPerCy)
 						memBusy = true
@@ -564,6 +616,10 @@ func (s *Simulator) SimulateLayerContext(ctx context.Context, spec LayerSpec) (L
 			if pe.computing {
 				if now >= pe.busyUntil {
 					pe.computing = false
+					if buf != nil {
+						buf.Span(compSpan, "compute", pe.node, pe.busyUntil-g.computeRound, g.computeRound,
+							obs.KV{K: "round", V: uint64(pe.round)})
+					}
 					if outFlits > 0 {
 						npkts, err := nw.SendMessage(pe.node, pe.mi, outFlits, outputMeta{pe: pe.node, peIdx: i, round: pe.round})
 						if err != nil {
@@ -681,6 +737,29 @@ func (s *Simulator) SimulateLayerContext(ctx context.Context, spec LayerSpec) (L
 		SimRounds: g.simRounds,
 	}
 	lr.Energy = s.layerEnergy(spec, g, lr)
+	if buf != nil {
+		// The whole layer as one span over the simulated (pre-scale)
+		// cycles; extrapolated rounds are not traced, only counted.
+		buf.Span(spec.Name, "layer", -1, 0, simCycles,
+			obs.KV{K: "rounds", V: uint64(g.rounds)}, obs.KV{K: "sim_rounds", V: uint64(g.simRounds)})
+	}
+	if m := s.obsv.M(); m != nil {
+		// Counters add the post-scale values, so metric totals match the
+		// reported Result regardless of how many rounds were simulated.
+		m.Counter("accel_layers").Inc()
+		m.Counter("accel_cycles_total").Add(lr.Cycles)
+		m.Counter("accel_cycles_memory").Add(lat.Memory)
+		m.Counter("accel_cycles_communication").Add(lat.Communication)
+		m.Counter("accel_cycles_computation").Add(lat.Computation)
+		m.Counter("accel_dram_read_words").Add(traffic.DRAMReadWords)
+		m.Counter("accel_dram_write_words").Add(traffic.DRAMWriteWords)
+		m.Counter("accel_noc_flits").Add(traffic.NoCFlits)
+		m.Counter("accel_energy_pj").Add(uint64(lr.Energy.Total()))
+		occ := m.Histogram("noc_router_traversals", obs.Pow2Buckets(24))
+		for _, v := range nw.PerRouterTraversals() {
+			occ.Observe(v)
+		}
+	}
 	return lr, nil
 }
 

@@ -38,6 +38,7 @@ func Fig2(opts Options) ([]Fig2Row, error) {
 		return nil, err
 	}
 	sim.SetWorkers(opts.Workers)
+	sim.SetObserver(opts.Obs)
 	specs, err := accel.SpecsFromModel(m, nil, opts.Storage)
 	if err != nil {
 		return nil, err
@@ -263,6 +264,7 @@ func Fig10(opts Options) ([]Fig10Point, error) {
 		return nil, err
 	}
 	sim.SetWorkers(opts.Workers)
+	sim.SetObserver(opts.Obs)
 	// One work item per model: the delta sweep mutates the model's
 	// selected layer in place, so points within a model are produced
 	// serially, while the models themselves fan out. The shared Simulator

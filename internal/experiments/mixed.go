@@ -59,6 +59,7 @@ func MixedCodec(opts Options) ([]MixedPoint, error) {
 		return nil, err
 	}
 	sim.SetWorkers(opts.Workers)
+	sim.SetObserver(opts.Obs)
 	perModel, err := parallel.Map(opts.ctx(), opts.workers(), len(builders),
 		func(_ context.Context, bi int) ([]MixedPoint, error) {
 			return checkpointed(opts, "mixed/"+builders[bi].Name, func() ([]MixedPoint, error) {
@@ -197,6 +198,7 @@ func mixedModel(b models.Builder, sim *accel.Simulator, opts Options) ([]MixedPo
 		popts.Codecs = codecs.All()
 		popts.MaxAccuracyDrop = budget
 		popts.MaxEvals = opts.mixedEvals()
+		popts.Metrics = opts.Obs.M()
 		plan, err := planner.Greedy(m, func() (float64, error) { return ev.fineAccuracy(m) }, popts)
 		if err != nil {
 			return nil, err

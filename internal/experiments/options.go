@@ -16,6 +16,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/core"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -55,6 +56,11 @@ type Options struct {
 	// recomputed on the next run. Implementations must be safe for
 	// concurrent use (models fan out over the worker pool).
 	Checkpoint Checkpoint
+	// Obs, when non-nil, receives traces and metrics from the
+	// accelerator simulations and planner searches the experiment runs
+	// (see internal/obs). Nil disables all instrumentation at zero
+	// cost; the experiment's numeric output is identical either way.
+	Obs *obs.Observer
 }
 
 // Checkpoint persists intermediate experiment results between runs.

@@ -3,6 +3,8 @@ package noc
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // BenchmarkStepLoaded measures the per-cycle cost of the router pipeline
@@ -102,6 +104,35 @@ func benchRunUntilIdleSparse(b *testing.B, core Core) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nw.Reset()
+		if err := nw.Inject(Packet{Src: 0, Dst: 255, Flits: 4}); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := nw.RunUntilIdle(100_000); !ok {
+			b.Fatal("did not drain")
+		}
+	}
+}
+
+// BenchmarkRunUntilIdleSparseObs is BenchmarkRunUntilIdleSparse with
+// tracing and the latency histogram enabled — the other half of the
+// on/off pair pinning the instrumentation overhead. Compare against
+// BenchmarkRunUntilIdleSparse for the enabled-path delta; the disabled
+// path itself is pinned at 0 allocs by TestDisabledObsZeroAllocs.
+func BenchmarkRunUntilIdleSparseObs(b *testing.B) {
+	nw, err := New(Config{Width: 16, Height: 16, BufferDepth: 4, FlitBits: 64, MaxPacketFlit: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	buf := tr.Buffer("bench", 0, "noc")
+	hist := obs.NewHistogram(obs.Pow2Buckets(20))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Reset()
+		buf.Reset()
+		nw.SetTrace(buf)
+		nw.SetLatencyHistogram(hist)
 		if err := nw.Inject(Packet{Src: 0, Dst: 255, Flits: 4}); err != nil {
 			b.Fatal(err)
 		}

@@ -3,20 +3,25 @@ package noc
 import (
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // corePair drives the event core and the stepping core through the same
 // workload in lockstep and asserts byte-identical observable state:
 // Stats (sim cycles, latency sums, energy-relevant activity counters,
-// fault counters), per-router heatmaps, and the full delivery stream.
+// fault counters), per-router heatmaps, the full delivery stream, and
+// the exported obs trace stream.
 type corePair struct {
 	t      *testing.T
 	ev, st *Network
 	evDel  []Delivery
 	stDel  []Delivery
+	evTr   *obs.Trace
+	stTr   *obs.Trace
 }
 
 func newCorePair(t *testing.T, cfg Config) *corePair {
@@ -37,6 +42,9 @@ func newCorePair(t *testing.T, cfg Config) *corePair {
 	}
 	p.ev.SetSink(func(d Delivery) { p.evDel = append(p.evDel, d) })
 	p.st.SetSink(func(d Delivery) { p.stDel = append(p.stDel, d) })
+	p.evTr, p.stTr = obs.NewTrace(), obs.NewTrace()
+	p.ev.SetTrace(p.evTr.Buffer("diff", 0, "noc"))
+	p.st.SetTrace(p.stTr.Buffer("diff", 0, "noc"))
 	return p
 }
 
@@ -102,6 +110,20 @@ func (p *corePair) compare() {
 	}
 	if !reflect.DeepEqual(p.evDel, p.stDel) {
 		p.t.Fatalf("delivery streams diverge: event %d deliveries, step %d", len(p.evDel), len(p.stDel))
+	}
+	// The exported trace streams must be byte-identical: both cores walk
+	// the same simulated schedule, so the packet lifecycle events they
+	// emit (and their canonical (cycle, node, seq) order) must match.
+	var evJSON, stJSON strings.Builder
+	if err := p.evTr.WriteChromeJSON(&evJSON); err != nil {
+		p.t.Fatal(err)
+	}
+	if err := p.stTr.WriteChromeJSON(&stJSON); err != nil {
+		p.t.Fatal(err)
+	}
+	if evJSON.String() != stJSON.String() {
+		p.t.Fatalf("trace streams diverge (event %d events, step %d events)",
+			p.evTr.EventCount(), p.stTr.EventCount())
 	}
 }
 

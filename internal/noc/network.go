@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // Routing selects the routing algorithm.
@@ -307,6 +308,11 @@ type Network struct {
 	// ev is the discrete-event scheduler state; nil selects the
 	// reference cycle-stepping engine (see event.go).
 	ev *eventState
+	// observability hooks; both nil (free) unless installed. Emissions
+	// are guarded with a pointer comparison at every call site so the
+	// disabled path costs one branch and zero allocations.
+	trace   *obs.Buffer    // packet lifecycle events
+	latHist *obs.Histogram // delivered-packet latency distribution
 }
 
 // New creates a network from the configuration.
@@ -400,6 +406,16 @@ func (nw *Network) Stats() Stats { return nw.stats }
 // flit is ejected at its destination.
 func (nw *Network) SetSink(fn func(Delivery)) { nw.sink = fn }
 
+// SetTrace installs a trace buffer recording packet lifecycle events
+// (inject, delivery spans, retransmissions, drops). Emission order is a
+// pure function of simulated time, so the exported stream is identical
+// for the event and step cores. Cleared by Reset; nil disables tracing.
+func (nw *Network) SetTrace(b *obs.Buffer) { nw.trace = b }
+
+// SetLatencyHistogram installs a histogram fed with every delivered
+// packet's latency in cycles. Cleared by Reset; nil disables.
+func (nw *Network) SetLatencyHistogram(h *obs.Histogram) { nw.latHist = h }
+
 // PerRouterTraversals returns a copy of the per-router flit traversal
 // counters — the utilization heatmap of the mesh.
 func (nw *Network) PerRouterTraversals() []uint64 {
@@ -458,6 +474,8 @@ func (nw *Network) Reset() {
 	}
 	nw.touched = nw.touched[:0]
 	nw.sink = nil
+	nw.trace = nil
+	nw.latHist = nil
 	nw.nextID = 0
 	nw.cycle = 0
 	nw.stats = Stats{}
@@ -677,6 +695,10 @@ func (nw *Network) Inject(p Packet) error {
 	nw.pending[p.ID] = p
 	nw.enqueueFlits(p, nw.cycle, 0)
 	nw.stats.PacketsIn++
+	if nw.trace != nil {
+		nw.trace.Instant("inject", "noc", p.Src, nw.cycle,
+			obs.KV{K: "pkt", V: p.ID}, obs.KV{K: "dst", V: uint64(p.Dst)}, obs.KV{K: "flits", V: uint64(p.Flits)})
+	}
 	return nil
 }
 
@@ -821,6 +843,10 @@ func (nw *Network) routeRouter(r int) {
 					rt.needRoute--
 					if out == routeDrop {
 						nw.stats.UnroutablePackets++
+						if nw.trace != nil {
+							nw.trace.Instant("unroutable", "noc", r, nw.cycle,
+								obs.KV{K: "pkt", V: head.packetID}, obs.KV{K: "dst", V: uint64(head.dst)})
+						}
 						delete(nw.pending, head.packetID)
 					} else {
 						rt.routedTo[out]++
@@ -1032,6 +1058,10 @@ func (nw *Network) ejectFlit(node int, f flit) {
 		delete(nw.corrupted, f.packetID)
 		if int(f.attempt) >= nw.maxRetries {
 			nw.stats.LostPackets++
+			if nw.trace != nil {
+				nw.trace.Instant("drop", "noc", node, nw.cycle+1,
+					obs.KV{K: "pkt", V: f.packetID}, obs.KV{K: "attempt", V: uint64(f.attempt)})
+			}
 			delete(nw.pending, f.packetID)
 			return
 		}
@@ -1046,6 +1076,16 @@ func (nw *Network) ejectFlit(node int, f flit) {
 	delivered := nw.cycle + 1
 	lat := delivered - f.enqueued
 	nw.stats.LatencySum += lat
+	if nw.latHist != nil {
+		nw.latHist.Observe(lat)
+	}
+	if nw.trace != nil {
+		// The packet's in-flight life as a span on the destination node,
+		// keyed to its injection cycle so export order is simulated-time
+		// order regardless of when the tail arrives.
+		nw.trace.Span("pkt", "noc", node, f.enqueued, lat,
+			obs.KV{K: "pkt", V: f.packetID}, obs.KV{K: "src", V: uint64(f.src)}, obs.KV{K: "attempt", V: uint64(f.attempt)})
+	}
 	if nw.sink != nil {
 		pkt, ok := nw.pending[f.packetID]
 		if !ok {
@@ -1068,6 +1108,10 @@ func (nw *Network) retransmit(tail flit) {
 		return
 	}
 	nw.stats.RetransmittedPackets++
+	if nw.trace != nil {
+		nw.trace.Instant("retransmit", "noc", p.Src, nw.cycle+1,
+			obs.KV{K: "pkt", V: p.ID}, obs.KV{K: "attempt", V: uint64(tail.attempt) + 1})
+	}
 	nw.enqueueFlits(p, tail.enqueued, tail.attempt+1)
 }
 

@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. Adds are atomic, so
+// concurrent layer simulations feed one counter without coordination and
+// the final value is independent of interleaving. A nil *Counter is
+// inert: Add/Inc are single-branch no-ops.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-written uint64 value plus a monotonic maximum. Set is
+// last-write-wins and therefore only order-independent when written from
+// one goroutine (CLI wiring, end-of-run summaries); Max is a CAS loop
+// and deterministic under any interleaving. A nil *Gauge is inert.
+type Gauge struct {
+	v   atomic.Uint64
+	max atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v uint64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	g.Max(v)
+}
+
+// Max raises the recorded maximum to v if it exceeds it.
+func (g *Gauge) Max(v uint64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.max.Load()
+		if v <= cur || g.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the last Set value (0 for a nil gauge).
+func (g *Gauge) Value() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// MaxValue returns the maximum observed value (0 for a nil gauge).
+func (g *Gauge) MaxValue() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// Histogram is a fixed-bucket distribution over uint64 samples (cycle
+// counts, sizes). Buckets are inclusive upper bounds in ascending order
+// plus an implicit overflow bucket; counts, the sum, and the maximum are
+// atomic, so the aggregated distribution is identical at any worker
+// count. Quantiles are extracted from bucket counts, so they are exact
+// to bucket resolution and fully deterministic. A nil *Histogram is
+// inert.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1; last is overflow
+	n      atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+}
+
+// NewHistogram builds a standalone histogram over the given ascending
+// inclusive upper bounds. Most callers use Metrics.Histogram instead.
+func NewHistogram(bounds []uint64) *Histogram {
+	b := append([]uint64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Pow2Buckets returns power-of-two bucket bounds 1, 2, 4, ..., 2^maxExp
+// — the default ladder for cycle-count distributions.
+func Pow2Buckets(maxExp int) []uint64 {
+	b := make([]uint64, maxExp+1)
+	for i := range b {
+		b[i] = 1 << uint(i)
+	}
+	return b
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	// Binary search over the fixed bounds: first bucket with bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.n.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of samples (0 for a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sample sum (0 for a nil histogram).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the sample mean, 0 on an empty histogram.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) to bucket resolution: the
+// upper bound of the bucket containing the q-th sample, or the exact
+// maximum for samples past the last bound. Returns 0 on an empty
+// histogram.
+func (h *Histogram) Quantile(q float64) uint64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max.Load()
+		}
+	}
+	return h.max.Load()
+}
+
+// Metrics is the registry: named counters, gauges, and histograms with
+// deterministic (name-sorted) export. Get-or-create lookups take a
+// mutex; hot paths resolve their handles once and then touch only
+// atomics. A nil *Metrics returns nil (inert) handles.
+type Metrics struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counts: map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil when
+// the registry is disabled.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.counts[name]
+	if c == nil {
+		c = &Counter{}
+		m.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil when the
+// registry is disabled.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g := m.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (later bounds are ignored — the first registration
+// wins). Nil when the registry is disabled.
+func (m *Metrics) Histogram(name string, bounds []uint64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.hists[name]
+	if h == nil {
+		h = NewHistogram(bounds)
+		m.hists[name] = h
+	}
+	return h
+}
+
+// WriteText renders every metric, sorted by kind then name, one per
+// line. Histograms report count, mean, p50/p95/p99, and max.
+func (m *Metrics) WriteText(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, name := range sortedKeys(m.counts) {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", name, m.counts[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(m.gauges) {
+		g := m.gauges[name]
+		if _, err := fmt.Fprintf(w, "gauge %s %d max %d\n", name, g.Value(), g.MaxValue()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(m.hists) {
+		h := m.hists[name]
+		if _, err := fmt.Fprintf(w, "histogram %s count %d mean %.3f p50 %d p95 %d p99 %d max %d\n",
+			name, h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.max.Load()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the same snapshot as CSV rows
+// (kind,name,value,mean,p50,p95,p99,max).
+func (m *Metrics) WriteCSV(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := fmt.Fprintln(w, "kind,name,value,mean,p50,p95,p99,max"); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(m.counts) {
+		if _, err := fmt.Fprintf(w, "counter,%s,%d,,,,,\n", name, m.counts[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(m.gauges) {
+		g := m.gauges[name]
+		if _, err := fmt.Fprintf(w, "gauge,%s,%d,,,,,%d\n", name, g.Value(), g.MaxValue()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(m.hists) {
+		h := m.hists[name]
+		if _, err := fmt.Fprintf(w, "histogram,%s,%d,%.3f,%d,%d,%d,%d\n",
+			name, h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.max.Load()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

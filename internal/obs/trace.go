@@ -1,0 +1,365 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// KV is one numeric event argument.
+type KV struct {
+	K string
+	V uint64
+}
+
+// Event is one trace record: an instant (Dur == 0 semantics carried by
+// Instant) or a span. Cycle is simulated time — wall clock never appears
+// in a trace. Seq is the per-buffer emission index; (Cycle, Node, Seq)
+// is the canonical export order.
+type Event struct {
+	Name    string
+	Cat     string
+	Node    int32 // mesh node id (Perfetto tid); -1 for buffer-global events
+	Cycle   uint64
+	Dur     uint64
+	Seq     uint32
+	Instant bool
+	Args    []KV
+}
+
+// Buffer collects the events of one unit of work (one layer simulation,
+// one NoC run). A buffer is single-writer: the simulation that owns it
+// appends in deterministic order, so Seq numbering is reproducible. A
+// nil *Buffer is inert: Span/Instant are single-branch no-ops that never
+// allocate (call sites should still guard with `if buf != nil` so
+// variadic argument slices are not materialized on the disabled path).
+type Buffer struct {
+	scope   string
+	idx     int
+	label   string
+	limit   int // max events (0 = unlimited); overflow counted in dropped
+	dropped uint64
+	events  []Event
+}
+
+// Span records a [start, start+dur) phase on a node.
+func (b *Buffer) Span(name, cat string, node int, start, dur uint64, args ...KV) {
+	b.emit(Event{Name: name, Cat: cat, Node: int32(node), Cycle: start, Dur: dur, Args: args})
+}
+
+// Instant records a point event on a node.
+func (b *Buffer) Instant(name, cat string, node int, cycle uint64, args ...KV) {
+	b.emit(Event{Name: name, Cat: cat, Node: int32(node), Cycle: cycle, Instant: true, Args: args})
+}
+
+func (b *Buffer) emit(e Event) {
+	if b == nil {
+		return
+	}
+	if b.limit > 0 && len(b.events) >= b.limit {
+		b.dropped++
+		return
+	}
+	e.Seq = uint32(len(b.events))
+	if len(e.Args) == 0 {
+		e.Args = nil
+	}
+	b.events = append(b.events, e)
+}
+
+// Len returns the number of recorded events (0 for a nil buffer).
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.events)
+}
+
+// Dropped returns the events discarded by the buffer limit.
+func (b *Buffer) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.dropped
+}
+
+// Reset discards the recorded events, keeping the backing array (for
+// benchmark loops re-driving one buffer).
+func (b *Buffer) Reset() {
+	if b == nil {
+		return
+	}
+	b.events = b.events[:0]
+	b.dropped = 0
+}
+
+// sorted returns the buffer's events in canonical (Cycle, Node, Seq)
+// order. Spans recorded at completion time (the simulator learns the
+// duration only then) are thereby re-keyed to their start cycle, so the
+// export order depends only on simulated time and geometry.
+func (b *Buffer) sorted() []Event {
+	ev := append([]Event(nil), b.events...)
+	sort.SliceStable(ev, func(i, j int) bool {
+		if ev[i].Cycle != ev[j].Cycle {
+			return ev[i].Cycle < ev[j].Cycle
+		}
+		if ev[i].Node != ev[j].Node {
+			return ev[i].Node < ev[j].Node
+		}
+		return ev[i].Seq < ev[j].Seq
+	})
+	return ev
+}
+
+// bufferKey orders buffers deterministically regardless of the goroutine
+// interleaving that created them.
+type bufferKey struct {
+	scope string
+	idx   int
+}
+
+// Trace owns the trace buffers of a run. Buffers are keyed by a
+// deterministic (scope, index) pair — e.g. (model name, layer index) —
+// and sorted by that key at export, so the assigned Perfetto pids and
+// the byte output are identical at any worker count. A nil *Trace is
+// inert.
+type Trace struct {
+	mu      sync.Mutex
+	limit   int
+	buffers map[bufferKey]*Buffer
+}
+
+// NewTrace returns an empty tracer.
+func NewTrace() *Trace {
+	return &Trace{buffers: map[bufferKey]*Buffer{}}
+}
+
+// SetBufferLimit caps each subsequently created buffer at n events
+// (0 = unlimited); overflow is counted per buffer and reported in the
+// export metadata, never silently discarded.
+func (t *Trace) SetBufferLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// Buffer returns the buffer for (scope, idx), creating it on first use.
+// Concurrent calls for distinct keys are safe; the buffer itself is
+// single-writer. Nil when the tracer is disabled.
+func (t *Trace) Buffer(scope string, idx int, label string) *Buffer {
+	if t == nil {
+		return nil
+	}
+	key := bufferKey{scope: scope, idx: idx}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buffers[key]
+	if b == nil {
+		b = &Buffer{scope: scope, idx: idx, label: label, limit: t.limit}
+		t.buffers[key] = b
+	}
+	return b
+}
+
+// EventCount returns the total recorded events across all buffers.
+func (t *Trace) EventCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, b := range t.buffers {
+		n += len(b.events)
+	}
+	return n
+}
+
+// DroppedCount returns the total events discarded by buffer limits.
+func (t *Trace) DroppedCount() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n uint64
+	for _, b := range t.buffers {
+		n += b.dropped
+	}
+	return n
+}
+
+// Reset discards every buffer (for benchmark loops reusing one tracer).
+func (t *Trace) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k := range t.buffers {
+		delete(t.buffers, k)
+	}
+}
+
+// sortedBuffers returns the buffers in (scope, idx) order with their
+// export pid assigned by position.
+func (t *Trace) sortedBuffers() []*Buffer {
+	keys := make([]bufferKey, 0, len(t.buffers))
+	for k := range t.buffers {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].scope != keys[j].scope {
+			return keys[i].scope < keys[j].scope
+		}
+		return keys[i].idx < keys[j].idx
+	})
+	bufs := make([]*Buffer, len(keys))
+	for i, k := range keys {
+		bufs[i] = t.buffers[k]
+	}
+	return bufs
+}
+
+// WriteChromeJSON exports the trace in Chrome trace-event format,
+// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing. One
+// Perfetto process per buffer (named "<scope>/<label>"), tid = mesh node
+// id, ts/dur in simulated cycles (displayed as microseconds). Output is
+// deterministic: buffers sorted by (scope, idx), events by
+// (cycle, node, seq).
+func (t *Trace) WriteChromeJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+	}
+	var dropped uint64
+	for pid, b := range t.sortedBuffers() {
+		dropped += b.dropped
+		sep()
+		bw.WriteString(`{"name":"process_name","ph":"M","pid":`)
+		bw.WriteString(strconv.Itoa(pid))
+		bw.WriteString(`,"args":{"name":`)
+		writeJSONString(bw, b.scope+"/"+b.label)
+		bw.WriteString(`}}`)
+		for _, e := range b.sorted() {
+			sep()
+			bw.WriteString(`{"name":`)
+			writeJSONString(bw, e.Name)
+			bw.WriteString(`,"cat":`)
+			writeJSONString(bw, e.Cat)
+			if e.Instant {
+				bw.WriteString(`,"ph":"i","s":"t"`)
+			} else {
+				bw.WriteString(`,"ph":"X","dur":`)
+				bw.WriteString(strconv.FormatUint(e.Dur, 10))
+			}
+			bw.WriteString(`,"ts":`)
+			bw.WriteString(strconv.FormatUint(e.Cycle, 10))
+			bw.WriteString(`,"pid":`)
+			bw.WriteString(strconv.Itoa(pid))
+			bw.WriteString(`,"tid":`)
+			bw.WriteString(strconv.FormatInt(int64(e.Node), 10))
+			if len(e.Args) > 0 {
+				bw.WriteString(`,"args":{`)
+				for i, kv := range e.Args {
+					if i > 0 {
+						bw.WriteByte(',')
+					}
+					writeJSONString(bw, kv.K)
+					bw.WriteByte(':')
+					bw.WriteString(strconv.FormatUint(kv.V, 10))
+				}
+				bw.WriteByte('}')
+			}
+			bw.WriteByte('}')
+		}
+	}
+	bw.WriteString(`],"otherData":{"clock":"sim-cycles","dropped_events":"`)
+	bw.WriteString(strconv.FormatUint(dropped, 10))
+	bw.WriteString(`"}}`)
+	return bw.Flush()
+}
+
+// WriteCSV exports a flat timeline: one row per event in the same
+// canonical order as the Chrome export.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString("scope,layer,name,cat,node,cycle,dur,args\n"); err != nil {
+		return err
+	}
+	for _, b := range t.sortedBuffers() {
+		for _, e := range b.sorted() {
+			args := ""
+			for i, kv := range e.Args {
+				if i > 0 {
+					args += ";"
+				}
+				args += kv.K + "=" + strconv.FormatUint(kv.V, 10)
+			}
+			fmt.Fprintf(bw, "%s,%s,%s,%s,%d,%d,%d,%s\n",
+				csvField(b.scope), csvField(b.label), csvField(e.Name), csvField(e.Cat),
+				e.Node, e.Cycle, e.Dur, args)
+		}
+	}
+	return bw.Flush()
+}
+
+// csvField keeps the CSV writer allocation-free for the common
+// comma-free identifiers and quotes anything else.
+func csvField(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == ',' || c == '"' || c == '\n' || c == '\r' {
+			q := `"`
+			for j := 0; j < len(s); j++ {
+				if s[j] == '"' {
+					q += `""`
+				} else {
+					q += string(s[j])
+				}
+			}
+			return q + `"`
+		}
+	}
+	return s
+}
+
+// writeJSONString writes s as a JSON string literal (ASCII-safe
+// escaping; trace names are controlled identifiers).
+func writeJSONString(bw *bufio.Writer, s string) {
+	bw.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			bw.WriteByte('\\')
+			bw.WriteByte(c)
+		case c < 0x20:
+			fmt.Fprintf(bw, `\u%04x`, c)
+		default:
+			bw.WriteByte(c)
+		}
+	}
+	bw.WriteByte('"')
+}

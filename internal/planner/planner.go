@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/models"
+	"repro/internal/obs"
 )
 
 // AccuracyFunc measures the accuracy of the model in its *current*
@@ -55,6 +56,10 @@ type Options struct {
 	MaxEvals int
 	// Storage is the segment storage accounting.
 	Storage core.StorageModel
+	// Metrics, when non-nil, receives the search's trial counters
+	// (evaluations, rounds, committed escalations, dead rungs). The
+	// search itself is unaffected.
+	Metrics *obs.Metrics
 }
 
 // DefaultOptions returns a 5%-drop budget over the paper's delta ladder.
@@ -275,6 +280,14 @@ func Greedy(m *models.Model, accuracy AccuracyFunc, opts Options) (*Plan, error)
 	floor := base - opts.MaxAccuracyDrop
 	current := base
 
+	// Trial counters; the handles are nil (inert) when no registry is
+	// installed, so the hot loop pays one branch per increment.
+	mEvals := opts.Metrics.Counter("planner_evals")
+	mRounds := opts.Metrics.Counter("planner_rounds")
+	mEscalations := opts.Metrics.Counter("planner_escalations")
+	mDeadRungs := opts.Metrics.Counter("planner_dead_rungs")
+	mEvals.Inc() // the baseline evaluation
+
 	type escalation struct {
 		st    *layerState
 		idx   int
@@ -307,6 +320,7 @@ func Greedy(m *models.Model, accuracy AccuracyFunc, opts Options) (*Plan, error)
 			}
 			acc, err := accuracy()
 			evals++
+			mEvals.Inc()
 			// Revert to the committed cached state before judging.
 			if rerr := st.restore(m); rerr != nil {
 				return nil, rerr
@@ -316,6 +330,7 @@ func Greedy(m *models.Model, accuracy AccuracyFunc, opts Options) (*Plan, error)
 			}
 			if acc < floor {
 				st.dead[idx] = true
+				mDeadRungs.Inc()
 				continue
 			}
 			drop := current - acc
@@ -342,7 +357,9 @@ func Greedy(m *models.Model, accuracy AccuracyFunc, opts Options) (*Plan, error)
 				return nil, err
 			}
 			current = best.acc
+			mEscalations.Inc()
 		}
+		mRounds.Inc()
 		if best == nil || exhausted || evals >= maxEvals {
 			break
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/train"
 )
 
@@ -183,6 +184,30 @@ func TestGreedyTinyEvalBudgetKeepsWinner(t *testing.T) {
 	}
 	if len(plan.Assignments) == 0 {
 		t.Fatal("budget-exhausted search discarded its evaluated escalation")
+	}
+}
+
+// TestGreedyMetricsCounters checks the trial counters track the search:
+// planner_evals matches the reported Plan.Evals and the escalation count
+// matches the committed assignments' ladder positions.
+func TestGreedyMetricsCounters(t *testing.T) {
+	m, testSet := trainedLeNet(t)
+	acc := func() (float64, error) { return train.Accuracy(m.Graph, testSet) }
+	opts := DefaultOptions()
+	opts.MaxEvals = 40
+	opts.Metrics = obs.NewMetrics()
+	plan, err := Greedy(m, acc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opts.Metrics.Counter("planner_evals").Value(); got != uint64(plan.Evals) {
+		t.Errorf("planner_evals = %d, plan.Evals = %d", got, plan.Evals)
+	}
+	if opts.Metrics.Counter("planner_rounds").Value() == 0 {
+		t.Error("planner_rounds not incremented")
+	}
+	if esc := opts.Metrics.Counter("planner_escalations").Value(); esc == 0 && len(plan.Assignments) > 0 {
+		t.Error("escalations committed but planner_escalations is 0")
 	}
 }
 
