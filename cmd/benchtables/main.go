@@ -28,6 +28,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/csv"
 	"encoding/json"
@@ -42,6 +43,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/atomicio"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/tensor"
@@ -51,7 +53,9 @@ import (
 // experiment alongside the human-readable tables on stdout.
 var csvDir string
 
-// writeCSV stores rows under csvDir (no-op when -csv is unset).
+// writeCSV stores rows under csvDir (no-op when -csv is unset). Files
+// are published atomically so an interrupted run leaves either the
+// previous complete CSV or the new one, never a truncated mix.
 func writeCSV(name string, header []string, rows [][]string) error {
 	if csvDir == "" {
 		return nil
@@ -59,12 +63,8 @@ func writeCSV(name string, header []string, rows [][]string) error {
 	if err := os.MkdirAll(csvDir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(csvDir, name+".csv"))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := csv.NewWriter(f)
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
 	if err := w.Write(header); err != nil {
 		return err
 	}
@@ -72,7 +72,10 @@ func writeCSV(name string, header []string, rows [][]string) error {
 		return err
 	}
 	w.Flush()
-	return w.Error()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return atomicio.WriteFile(filepath.Join(csvDir, name+".csv"), buf.Bytes(), 0o644)
 }
 
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
@@ -97,6 +100,10 @@ type checkpointDoc struct {
 }
 
 // loadCheckpoint reads the checkpoint (a missing file is an empty one).
+// A file that does not parse — truncated by a crash predating atomic
+// writes, or hand-mangled — is detected and ignored with a warning, not
+// half-loaded: resuming from scratch is always correct, resuming from a
+// partial parse is not.
 func loadCheckpoint(path string) (*checkpointFile, error) {
 	cp := &checkpointFile{path: path, done: map[string]bool{}, models: map[string]json.RawMessage{}}
 	if path == "" {
@@ -113,7 +120,8 @@ func loadCheckpoint(path string) (*checkpointFile, error) {
 	if err := json.Unmarshal(data, &names); err != nil {
 		var doc checkpointDoc
 		if err := json.Unmarshal(data, &doc); err != nil {
-			return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+			fmt.Fprintf(os.Stderr, "benchtables: checkpoint %s is corrupt (%v); ignoring it and starting fresh\n", path, err)
+			return cp, nil
 		}
 		names = doc.Done
 		for k, v := range doc.Models {
@@ -126,8 +134,9 @@ func loadCheckpoint(path string) (*checkpointFile, error) {
 	return cp, nil
 }
 
-// save persists the checkpoint atomically (write-to-temp, rename), so a
-// crash mid-write cannot corrupt it. Callers hold cp.mu.
+// save persists the checkpoint atomically and durably (write-to-temp in
+// the same directory, fsync, rename, directory fsync), so a crash — or
+// a power cut — mid-write cannot corrupt it. Callers hold cp.mu.
 func (cp *checkpointFile) save() error {
 	if cp.path == "" {
 		return nil
@@ -144,11 +153,7 @@ func (cp *checkpointFile) save() error {
 	if err != nil {
 		return err
 	}
-	tmp := cp.path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, cp.path)
+	return atomicio.WriteFile(cp.path, append(data, '\n'), 0o644)
 }
 
 // mark records one completed experiment and persists the checkpoint.
@@ -234,17 +239,18 @@ func main() {
 	}
 
 	runners := map[string]func(experiments.Options) error{
-		"table1": runTable1,
-		"table2": runTable2,
-		"table3": runTable3,
-		"fig2":   runFig2,
-		"fig3":   runFig3,
-		"fig9":   runFig9,
-		"fig10":  runFig10,
-		"mixed":  runMixed,
-		"faults": runFaults,
+		"table1":  runTable1,
+		"table2":  runTable2,
+		"table3":  runTable3,
+		"fig2":    runFig2,
+		"fig3":    runFig3,
+		"fig9":    runFig9,
+		"fig10":   runFig10,
+		"mixed":   runMixed,
+		"faults":  runFaults,
+		"cluster": runCluster,
 	}
-	order := []string{"table1", "table2", "fig2", "fig3", "fig9", "fig10", "table3", "mixed", "faults"}
+	order := []string{"table1", "table2", "fig2", "fig3", "fig9", "fig10", "table3", "mixed", "faults", "cluster"}
 
 	cp, err := loadCheckpoint(*checkpoint)
 	if err != nil {
@@ -633,4 +639,29 @@ func runFaults(opts experiments.Options) error {
 	}
 	return writeCSV("faults", []string{"model", "stream", "rate", "delta_pct",
 		"words", "flips", "detected", "baseline", "accuracy"}, recs)
+}
+
+func runCluster(opts experiments.Options) error {
+	rows, err := experiments.ClusterFaultSweep(opts)
+	if err != nil {
+		return err
+	}
+	header("Cluster fault sweep: availability and latency under chaos during a weight-version rollout")
+	fmt.Printf("%-14s %-15s %6s %7s %7s %7s %6s %6s %6s %7s %6s %-11s %7s\n",
+		"model", "scenario", "drop", "avail", "p50", "p99", "served", "failed", "stale", "reduced", "fover", "epoch", "leaders")
+	var recs [][]string
+	for _, r := range rows {
+		fmt.Printf("%-14s %-15s %6.2f %7.3f %7d %7d %6d %6d %6d %7d %6d %-11s %7d\n",
+			r.Model, r.Scenario, r.DropRate, r.Availability, r.P50, r.P99,
+			r.Served, r.Failed, r.ServedStale, r.ReducedReplica, r.FailedOver,
+			r.EpochOutcome, r.LeaderChanges)
+		recs = append(recs, []string{r.Model, r.Scenario, ftoa(r.DropRate), ftoa(r.Availability),
+			strconv.FormatUint(r.P50, 10), strconv.FormatUint(r.P99, 10),
+			strconv.Itoa(r.Served), strconv.Itoa(r.Failed), strconv.Itoa(r.ServedStale),
+			strconv.Itoa(r.ReducedReplica), strconv.Itoa(r.FailedOver),
+			strconv.Itoa(r.MixedVersion), r.EpochOutcome, strconv.Itoa(r.LeaderChanges)})
+	}
+	return writeCSV("cluster", []string{"model", "scenario", "drop_rate", "availability",
+		"p50_ticks", "p99_ticks", "served", "failed", "served_stale", "reduced_replica",
+		"failed_over", "mixed_version", "epoch_outcome", "leader_changes"}, recs)
 }

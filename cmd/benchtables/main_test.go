@@ -15,11 +15,12 @@ import (
 // between a serial run and a 4-worker run.
 func TestByteIdenticalAcrossWorkers(t *testing.T) {
 	runners := map[string]func(experiments.Options) error{
-		"table1": runTable1,
-		"table2": runTable2,
-		"fig2":   runFig2,
-		"fig3":   runFig3,
-		"faults": runFaults,
+		"table1":  runTable1,
+		"table2":  runTable2,
+		"fig2":    runFig2,
+		"fig3":    runFig3,
+		"faults":  runFaults,
+		"cluster": runCluster,
 	}
 	for name, run := range runners {
 		t.Run(name, func(t *testing.T) {
@@ -89,7 +90,8 @@ func captureOutput(t *testing.T, run func(experiments.Options) error, opts exper
 }
 
 // TestCheckpointRoundTrip: marked experiments persist and reload; a
-// missing file is an empty set; corruption is reported, not ignored.
+// missing file is an empty set; a corrupt file is ignored (fresh start),
+// never half-loaded.
 func TestCheckpointRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.json")
 	cp, err := loadCheckpoint(path)
@@ -114,8 +116,12 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadCheckpoint(path); err == nil {
-		t.Fatal("corrupt checkpoint accepted")
+	fresh, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("corrupt checkpoint treated as fatal: %v", err)
+	}
+	if len(fresh.done) != 0 || len(fresh.models) != 0 {
+		t.Fatalf("corrupt checkpoint half-loaded: %v / %v", fresh.done, fresh.models)
 	}
 
 	// The empty path disables persistence but still tracks in memory.

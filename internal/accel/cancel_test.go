@@ -1,0 +1,164 @@
+package accel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// cancelSpecs is a model big enough that cancellation lands mid-layer:
+// each layer runs far more than the simulator's 1024-iteration context
+// polling interval.
+func cancelSpecs() []LayerSpec {
+	var specs []LayerSpec
+	for i := 0; i < 4; i++ {
+		specs = append(specs, LayerSpec{
+			Name:        fmt.Sprintf("big%d", i),
+			Kind:        "CONV",
+			MACs:        200_000_000,
+			WeightBytes: 2 << 20,
+			InputBytes:  1 << 19,
+			OutputBytes: 1 << 19,
+			OutSpatial:  1 << 12,
+		})
+	}
+	return specs
+}
+
+// smallSpecs is a model that completes in milliseconds, for
+// before/after result comparison.
+func smallSpecs() []LayerSpec {
+	return []LayerSpec{
+		{Name: "s0", Kind: "CONV", MACs: 300_000, WeightBytes: 8192, InputBytes: 4096, OutputBytes: 4096, OutSpatial: 256},
+		{Name: "s1", Kind: "FC", MACs: 200_000, WeightBytes: 16384, InputBytes: 2048, OutputBytes: 1024, OutSpatial: 1},
+	}
+}
+
+// countdownCtx reports cancellation after its Err method has been
+// polled n times — a deterministic way to land a cancel mid-layer.
+type countdownCtx struct {
+	context.Context
+	polls int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.polls <= 0 {
+		return context.Canceled
+	}
+	c.polls--
+	return nil
+}
+
+func TestSimulateLayerContextPreCanceled(t *testing.T) {
+	sim, err := NewSimulator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = sim.SimulateLayerContext(ctx, cancelSpecs()[0])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSimulateLayerContextCancelMidLayer(t *testing.T) {
+	sim, err := NewSimulator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let a few polls pass first, so the cancel interrupts a layer that
+	// is genuinely underway rather than one that never started.
+	ctx := &countdownCtx{Context: context.Background(), polls: 3}
+	start := time.Now()
+	_, err = sim.SimulateLayerContext(ctx, cancelSpecs()[0])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("cancellation took %v, not prompt", el)
+	}
+
+	// The aborted run's pooled scratch must not poison later runs: the
+	// same simulator must produce the exact result of a fresh one.
+	after, err := sim.SimulateModel("small", smallSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewSimulator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.SimulateModel("small", smallSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, exp := fmt.Sprintf("%+v", after), fmt.Sprintf("%+v", want); got != exp {
+		t.Fatalf("simulator poisoned by canceled layer:\nafter cancel: %s\nfresh:        %s", got, exp)
+	}
+}
+
+func TestSimulateModelContextDeadlineMidModel(t *testing.T) {
+	sim, err := NewSimulator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetWorkers(4)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = sim.SimulateModelContext(ctx, "big", cancelSpecs())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("model abandon took %v after a 20ms deadline", el)
+	}
+
+	// All four workers' scratches went back to the pool mid-layer; the
+	// next full run must still be byte-identical to a fresh simulator's.
+	after, err := sim.SimulateModel("small", smallSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewSimulator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.SetWorkers(4)
+	want, err := fresh.SimulateModel("small", smallSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, exp := fmt.Sprintf("%+v", after), fmt.Sprintf("%+v", want); got != exp {
+		t.Fatalf("simulator poisoned by deadline abort:\nafter abort: %s\nfresh:       %s", got, exp)
+	}
+}
+
+func TestSimulateModelContextRepeatedCancels(t *testing.T) {
+	sim, err := NewSimulator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Abort several times in a row; the pool keeps absorbing half-used
+	// scratches, and completed runs stay deterministic throughout.
+	var ref string
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := sim.SimulateModelContext(ctx, "big", cancelSpecs()); !errors.Is(err, context.Canceled) {
+			t.Fatalf("round %d: err = %v, want context.Canceled", i, err)
+		}
+		res, err := sim.SimulateModel("small", smallSpecs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := fmt.Sprintf("%+v", res); ref == "" {
+			ref = s
+		} else if s != ref {
+			t.Fatalf("round %d: result drifted after aborts:\n%s\nwant %s", i, s, ref)
+		}
+	}
+}

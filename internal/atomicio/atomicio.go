@@ -1,0 +1,66 @@
+// Package atomicio provides crash-safe file writes for the artifacts a
+// run must never half-produce: checkpoints, result CSVs, manifests.
+//
+// WriteFile stages the content in a temporary file in the destination's
+// directory (same filesystem, so the final step is a true rename, not a
+// copy), fsyncs the file, renames it over the destination, and fsyncs
+// the directory so the rename itself survives a power cut. A reader
+// therefore sees either the old complete file or the new complete file
+// — never a prefix of the new one.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The temporary file is
+// created with O_EXCL under a name derived from the destination; on any
+// failure it is removed and the destination is left untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicio: %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	// Data must be durable before the rename publishes the name: a
+	// rename that survives a crash must never point at unwritten blocks.
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicio: %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename is durable. Some
+// filesystems (and all of Windows) refuse directory fsync; that is
+// reported as nil because the rename itself still succeeded.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,70 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := WriteFile(path, []byte("first\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first\n" {
+		t.Fatalf("content %q", got)
+	}
+	if err := WriteFile(path, []byte("second\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second\n" {
+		t.Fatalf("content after replace %q", got)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Fatalf("perm %v", fi.Mode().Perm())
+	}
+}
+
+func TestWriteFileLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.json")
+	for i := 0; i < 3; i++ {
+		if err := WriteFile(path, []byte("{}"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	if len(ents) != 1 {
+		t.Fatalf("dir has %d entries, want 1", len(ents))
+	}
+}
+
+func TestWriteFileFailureKeepsOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keep.txt")
+	if err := WriteFile(path, []byte("durable"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Writing into a missing directory fails before touching the
+	// destination.
+	bad := filepath.Join(dir, "nope", "keep.txt")
+	if err := WriteFile(bad, []byte("x"), 0o644); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+	if got, _ := os.ReadFile(path); string(got) != "durable" {
+		t.Fatalf("old content lost: %q", got)
+	}
+}

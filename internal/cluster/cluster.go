@@ -1,0 +1,545 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/accel"
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// Well-known fabric addresses for the non-node actors.
+const (
+	RouterID     = 1000
+	ControllerID = 1001
+)
+
+// Spec describes one cluster scenario: topology, weight-version plans,
+// workload, and the chaos schedule. The zero values of most knobs get
+// sensible defaults from (*Spec).withDefaults.
+type Spec struct {
+	Nodes  int   // accelerator nodes (Raft members)
+	Shards int   // model shards; shard s is replicated on nodes with id%Shards == s
+	Seed   int64 // drives faults, backoff jitter, election timeouts
+
+	// Faults is the message-level fault environment (drop/delay/dup/
+	// reorder). Its Seed is overridden with Spec.Seed.
+	Faults    faults.Model
+	LinkDelay Tick // nominal one-way RPC latency (0 = 50 ticks)
+
+	// Accel is the per-node accelerator platform; Versions are the
+	// weight-version epochs (ascending). Versions[0] is preloaded and
+	// active everywhere at t=0; later versions arrive by rollout.
+	Accel         accel.Config
+	Versions      []VersionPlan
+	CyclesPerTick uint64 // accel cycles per fabric tick (0 = 1000)
+	SimWorkers    int    // workers inside each node's accel simulator
+
+	// Workload: an open-loop client issuing Requests requests, one
+	// every Interval ticks, each with a completion deadline.
+	Requests        int
+	Interval        Tick
+	RequestTimeout  Tick // per-attempt RPC timeout (0 = derived)
+	RequestRetries  int  // extra attempts per replica
+	RequestDeadline Tick // end-to-end SLO (0 = derived)
+
+	// Chaos schedule (tick 0 = disabled).
+	RolloutAt      Tick // controller submits Versions[1] as a new epoch
+	RolloutRetries int  // controller re-proposals after silence
+	KillLeaderAt   Tick // crash the current leader
+	RestartAt      Tick // revive the crashed leader
+	PartitionAt    Tick // isolate a minority node group
+	HealAt         Tick // heal the partition
+	Horizon        Tick // run until (0 = derived from the workload)
+}
+
+// withDefaults fills derived knobs. Defaults depend only on the Spec,
+// never on the environment, so they do not perturb determinism.
+func (s Spec) withDefaults() Spec {
+	if s.LinkDelay == 0 {
+		s.LinkDelay = 50
+	}
+	if s.CyclesPerTick == 0 {
+		s.CyclesPerTick = 1000
+	}
+	if s.SimWorkers == 0 {
+		s.SimWorkers = 1
+	}
+	if s.Interval == 0 {
+		s.Interval = 200
+	}
+	s.Faults.Seed = s.Seed
+	return s
+}
+
+// Validate checks the scenario.
+func (s Spec) Validate() error {
+	switch {
+	case s.Nodes < 1:
+		return fmt.Errorf("cluster: %d nodes", s.Nodes)
+	case s.Shards < 1 || s.Shards > s.Nodes:
+		return fmt.Errorf("cluster: %d shards for %d nodes", s.Shards, s.Nodes)
+	case len(s.Versions) == 0:
+		return fmt.Errorf("cluster: no weight-version plans")
+	case s.Requests < 0:
+		return fmt.Errorf("cluster: %d requests", s.Requests)
+	}
+	for i, v := range s.Versions {
+		if len(v.Specs) == 0 {
+			return fmt.Errorf("cluster: version %d has no layer specs", v.Version)
+		}
+		if i > 0 && v.Version <= s.Versions[i-1].Version {
+			return fmt.Errorf("cluster: version numbers not ascending")
+		}
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return err
+	}
+	return s.Accel.Validate()
+}
+
+// Report is the scenario outcome. Every field derives from virtual
+// time and typed counters, so for a fixed Spec the report is
+// byte-identical at any worker count and across runs.
+type Report struct {
+	RouterStats
+	Availability    float64 // Served / Requests
+	P50, P95, P99   Tick    // served-request latency percentiles
+	ServedByVersion map[int]int
+
+	EpochOutcome  string // "committed", "rolled-back", or "partial"
+	FinalActive   []int  // per node id; -1 = still crashed at the end
+	LeaderChanges int
+	Fabric        FabricStats
+}
+
+// Cluster is one assembled scenario instance. Use Run; the type is
+// exported for tests that drive phases manually.
+type Cluster struct {
+	spec   Spec
+	fabric *Fabric
+	nodes  []*Node
+	router *Router
+	obsv   *obs.Observer
+	buf    *obs.Buffer
+
+	minVersion    int
+	plans         map[int]VersionPlan
+	shardReplicas [][]int         // shard -> node ids, ascending
+	tickCache     map[[2]int]Tick // (version, shard) -> service ticks
+
+	rolloutStart Tick
+	rolloutEnd   Tick
+	killedLeader int
+}
+
+// New assembles a cluster from a validated spec.
+func New(spec Spec, o *obs.Observer) (*Cluster, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		spec:         spec,
+		fabric:       NewFabric(spec.Faults, spec.LinkDelay),
+		obsv:         o,
+		plans:        map[int]VersionPlan{},
+		tickCache:    map[[2]int]Tick{},
+		killedLeader: -1,
+	}
+	c.buf = o.LayerBuffer("cluster", 0, "cluster")
+	for _, v := range spec.Versions {
+		c.plans[v.Version] = v
+	}
+	c.minVersion = spec.Versions[0].Version
+
+	peers := make([]int, spec.Nodes)
+	for i := range peers {
+		peers[i] = i
+	}
+	c.shardReplicas = make([][]int, spec.Shards)
+	for id := 0; id < spec.Nodes; id++ {
+		shard := id % spec.Shards
+		n, err := newNode(c, id, shard, peers)
+		if err != nil {
+			return nil, err
+		}
+		// Version 0 of the spec list is preloaded and active: the
+		// cluster starts in steady state, serving the initial epoch.
+		if err := n.stage(spec.Versions[0]); err != nil {
+			return nil, err
+		}
+		n.active = spec.Versions[0].Version
+		c.nodes = append(c.nodes, n)
+		c.shardReplicas[shard] = append(c.shardReplicas[shard], id)
+	}
+	c.router = newRouter(c, RouterID)
+	NewEndpoint(c.fabric, ControllerID) // the controller calls, never serves
+	return c, nil
+}
+
+// planByVersion looks a version plan up.
+func (c *Cluster) planByVersion(v int) (VersionPlan, bool) {
+	p, ok := c.plans[v]
+	return p, ok
+}
+
+// hasPlan reports whether a version number is known to the spec.
+func (c *Cluster) hasPlan(v int) bool { _, ok := c.plans[v]; return ok }
+
+// shardSpecs slices a version plan to one shard's contiguous layer
+// range (balanced by layer count).
+func shardSpecs(specs []accel.LayerSpec, shard, shards int) []accel.LayerSpec {
+	n := len(specs)
+	lo := shard * n / shards
+	hi := (shard + 1) * n / shards
+	if lo == hi { // more shards than layers: give the shard one layer
+		lo = shard % n
+		hi = lo + 1
+	}
+	return specs[lo:hi]
+}
+
+// shardServiceTicks costs one (version, shard) pair by simulating the
+// shard's layer slice on the node's accelerator, cached cluster-wide
+// (all replicas of a shard run identical hardware, and the simulation
+// is deterministic, so sharing the number loses nothing).
+func (c *Cluster) shardServiceTicks(sim *accel.Simulator, plan VersionPlan, shard int) (Tick, error) {
+	key := [2]int{plan.Version, shard}
+	if t, ok := c.tickCache[key]; ok {
+		return t, nil
+	}
+	specs := shardSpecs(plan.Specs, shard, c.spec.Shards)
+	res, err := sim.SimulateModel(fmt.Sprintf("v%d/shard%d", plan.Version, shard), specs)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: costing version %d shard %d: %w", plan.Version, shard, err)
+	}
+	t := Tick(res.Cycles / c.spec.CyclesPerTick)
+	if t < 1 {
+		t = 1
+	}
+	c.tickCache[key] = t
+	return t, nil
+}
+
+// maxServiceTicks returns the slowest staged shard service time, for
+// deriving timeout defaults.
+func (c *Cluster) maxServiceTicks() Tick {
+	var max Tick
+	for _, t := range c.tickCache {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Observability hooks (no-ops when obs is disabled).
+
+func (c *Cluster) observeLeader(now Tick, id int) {
+	if c.buf != nil {
+		c.buf.Instant("leader_elected", "raft", id, now)
+	}
+	if m := c.obsv.M(); m != nil {
+		m.Counter("cluster_leader_elections").Inc()
+	}
+}
+
+func (c *Cluster) observeStage(now Tick, id, version int) {
+	if c.buf != nil {
+		c.buf.Instant("stage_applied", "rollout", id, now, obs.KV{K: "version", V: uint64(version)})
+	}
+}
+
+func (c *Cluster) observeActivate(now Tick, id, version int) {
+	if c.buf != nil {
+		c.buf.Instant("activate_applied", "rollout", id, now, obs.KV{K: "version", V: uint64(version)})
+	}
+	if c.rolloutEnd == 0 && version > c.minVersion {
+		c.rolloutEnd = now
+	}
+	if m := c.obsv.M(); m != nil {
+		m.Counter("cluster_activations").Inc()
+	}
+}
+
+// currentLeader returns the live node currently believing it leads
+// (lowest id wins ties, which only exist transiently).
+func (c *Cluster) currentLeader() *Node {
+	for _, n := range c.nodes {
+		if n.ep.Alive() && n.raft.IsLeader() {
+			return n
+		}
+	}
+	return nil
+}
+
+// minorityGroup picks the partition's minority side: up to ⌊N/2⌋ of the
+// highest-id live non-leader nodes — but never a node whose shard would
+// be left without a live replica outside the minority. The scenario
+// measures degraded service (reduced replicas, stale epochs), not a
+// black hole: stranding a whole shard would conflate "the router
+// degrades gracefully" with "the model is simply gone".
+func (c *Cluster) minorityGroup() []int {
+	leaderID := -1
+	if l := c.currentLeader(); l != nil {
+		leaderID = l.id
+	}
+	liveLeft := make([]int, c.spec.Shards) // live replicas outside the minority
+	for _, n := range c.nodes {
+		if n.ep.Alive() {
+			liveLeft[n.shard]++
+		}
+	}
+	var ids []int
+	for i := len(c.nodes) - 1; i >= 0 && len(ids) < c.spec.Nodes/2; i-- {
+		n := c.nodes[i]
+		if n.id == leaderID || !n.ep.Alive() || liveLeft[n.shard] <= 1 {
+			continue
+		}
+		liveLeft[n.shard]--
+		ids = append(ids, n.id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Run executes the scenario: boots Raft, schedules the workload and the
+// chaos timeline, drives the event loop to the horizon, and classifies
+// the epoch outcome.
+func Run(spec Spec, o *obs.Observer) (*Report, error) {
+	c, err := New(spec, o)
+	if err != nil {
+		return nil, err
+	}
+	return c.run()
+}
+
+func (c *Cluster) run() (*Report, error) {
+	s := c.spec
+	f := c.fabric
+
+	// Pre-cost every shard at the initial version so timeout defaults
+	// exist before traffic starts (nodes staged version 0 in New).
+	if s.RequestTimeout == 0 {
+		s.RequestTimeout = 2*c.maxServiceTicks() + 20*f.LinkDelay
+	}
+	if s.RequestDeadline == 0 {
+		s.RequestDeadline = 8 * (s.RequestTimeout + s.RequestDeadlineSlack())
+	}
+	c.spec = s
+
+	for _, n := range c.nodes {
+		n.raft.start(0)
+	}
+
+	// Workload.
+	for i := 0; i < s.Requests; i++ {
+		id := i
+		f.After(Tick(i)*s.Interval+1, func(now Tick) { c.router.submit(now, id) })
+	}
+
+	// Rollout.
+	if s.RolloutAt > 0 && len(s.Versions) > 1 {
+		c.scheduleRollout(s.Versions[1], s.RolloutAt, s.RolloutRetries)
+	}
+
+	// Chaos timeline.
+	if s.KillLeaderAt > 0 {
+		f.After(s.KillLeaderAt, func(now Tick) {
+			l := c.currentLeader()
+			if l == nil { // nobody leads right now; kill the oldest node
+				l = c.nodes[0]
+			}
+			c.killedLeader = l.id
+			f.Crash(l.id)
+			if c.buf != nil {
+				c.buf.Instant("node_killed", "chaos", l.id, now)
+			}
+		})
+	}
+	if s.RestartAt > 0 {
+		f.After(s.RestartAt, func(now Tick) {
+			if c.killedLeader < 0 {
+				return
+			}
+			f.Restart(c.killedLeader)
+			c.nodes[c.killedLeader].restart(now)
+			if c.buf != nil {
+				c.buf.Instant("node_restarted", "chaos", c.killedLeader, now)
+			}
+		})
+	}
+	if s.PartitionAt > 0 {
+		f.After(s.PartitionAt, func(now Tick) {
+			minority := c.minorityGroup()
+			rest := []int{RouterID, ControllerID}
+			inMinority := map[int]bool{}
+			for _, id := range minority {
+				inMinority[id] = true
+			}
+			for _, n := range c.nodes {
+				if !inMinority[n.id] {
+					rest = append(rest, n.id)
+				}
+			}
+			f.Partition(rest, minority)
+			if c.buf != nil {
+				c.buf.Instant("partition", "chaos", -1, now, obs.KV{K: "minority", V: uint64(len(minority))})
+			}
+		})
+	}
+	if s.HealAt > 0 {
+		f.After(s.HealAt, func(now Tick) {
+			f.Heal()
+			if c.buf != nil {
+				c.buf.Instant("heal", "chaos", -1, now)
+			}
+		})
+	}
+
+	horizon := s.Horizon
+	if horizon == 0 {
+		horizon = Tick(s.Requests)*s.Interval + 20*s.RequestDeadline + 20000
+	}
+	f.RunUntil(horizon)
+	return c.report(horizon), nil
+}
+
+// RequestDeadlineSlack is the fixed per-request scheduling slack used
+// when deriving the deadline default.
+func (s Spec) RequestDeadlineSlack() Tick { return 4 * s.Interval }
+
+// scheduleRollout submits the epoch to whichever node is leader,
+// following leader hints and re-proposing after silence (bounded).
+// Re-proposals are safe: staging and activation are idempotent per
+// version.
+func (c *Cluster) scheduleRollout(plan VersionPlan, at Tick, retries int) {
+	cmd := Command{Kind: "stage", Version: plan.Version, Level: plan.Level}
+	ctrl := c.fabric.eps[ControllerID]
+	var tryPropose func(target, left int)
+	tryPropose = func(target, left int) {
+		if target < 0 || target >= c.spec.Nodes {
+			target = 0
+		}
+		ctrl.Go(target, "Sched.Propose", cmd,
+			CallOpts{Timeout: 4 * electionBase, Retries: 0},
+			func(done Tick, reply any, err error) {
+				if err == nil {
+					if c.buf != nil {
+						c.buf.Instant("rollout_accepted", "rollout", reply.(int), done, obs.KV{K: "version", V: uint64(plan.Version)})
+					}
+					return
+				}
+				if left <= 0 {
+					return
+				}
+				// Follow the hint when one was offered; else try the
+				// next node round-robin.
+				next := (target + 1) % c.spec.Nodes
+				if hint := parseLeaderHint(err.Error()); hint >= 0 && hint < c.spec.Nodes && hint != target {
+					next = hint
+				}
+				tryPropose(next, left-1)
+			})
+	}
+	c.fabric.After(at, func(now Tick) {
+		if c.buf != nil {
+			c.buf.Instant("rollout_submitted", "rollout", -1, now, obs.KV{K: "version", V: uint64(plan.Version)})
+		}
+		c.rolloutStart = now
+		tryPropose(0, retries)
+	})
+}
+
+// parseLeaderHint extracts the "(hint N)" suffix a non-leader's refusal
+// carries; -1 when absent.
+func parseLeaderHint(s string) int {
+	i := len(s) - 1
+	if i < 0 || s[i] != ')' {
+		return -1
+	}
+	j := i
+	for j > 0 && s[j-1] >= '0' && s[j-1] <= '9' {
+		j--
+	}
+	if j == i || j < 6 || s[j-6:j] != "(hint " {
+		return -1
+	}
+	n := 0
+	for _, ch := range s[j:i] {
+		n = n*10 + int(ch-'0')
+	}
+	return n
+}
+
+// report assembles the outcome.
+func (c *Cluster) report(horizon Tick) *Report {
+	r := &Report{
+		RouterStats:     c.router.stats,
+		ServedByVersion: c.router.byVersion,
+		FinalActive:     make([]int, len(c.nodes)),
+		Fabric:          c.fabric.Stats(),
+	}
+	if r.Requests > 0 {
+		r.Availability = float64(r.Served) / float64(r.Requests)
+	}
+	lat := append([]Tick(nil), c.router.latencies...)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pick := func(q float64) Tick {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(lat)-1))
+		return lat[i]
+	}
+	r.P50, r.P95, r.P99 = pick(0.50), pick(0.95), pick(0.99)
+
+	rollV := -1
+	if len(c.spec.Versions) > 1 {
+		rollV = c.spec.Versions[1].Version
+	}
+	liveActive := map[int]bool{}
+	for i, n := range c.nodes {
+		if !n.ep.Alive() {
+			r.FinalActive[i] = -1
+			continue
+		}
+		r.FinalActive[i] = n.active
+		liveActive[n.active] = true
+		r.LeaderChanges += n.raft.leaderChanges
+	}
+	switch {
+	case rollV < 0 || c.spec.RolloutAt == 0:
+		r.EpochOutcome = "none"
+	case len(liveActive) == 1 && liveActive[rollV]:
+		r.EpochOutcome = "committed"
+	case !liveActive[rollV]:
+		r.EpochOutcome = "rolled-back"
+	default:
+		r.EpochOutcome = "partial"
+	}
+	if c.buf != nil && c.spec.RolloutAt > 0 {
+		end := c.rolloutEnd
+		if end == 0 {
+			end = horizon
+		}
+		if end > c.spec.RolloutAt {
+			c.buf.Span("epoch_rollout", "rollout", -1, c.spec.RolloutAt, end-c.spec.RolloutAt,
+				obs.KV{K: "outcome_committed", V: boolU64(r.EpochOutcome == "committed")})
+		}
+	}
+	if m := c.obsv.M(); m != nil {
+		m.Counter("cluster_requests_total").Add(uint64(r.Requests))
+		m.Counter("cluster_requests_failed").Add(uint64(r.Failed))
+	}
+	return r
+}
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

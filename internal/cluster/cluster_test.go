@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/faults"
+	"repro/internal/parallel"
+)
+
+// testVersions builds two synthetic weight-version epochs: version 1 is
+// the raw model, version 2 a compressed plan (half the weight bytes).
+// Small geometry keeps the per-shard costing simulations fast.
+func testVersions() []VersionPlan {
+	var raw, comp []accel.LayerSpec
+	for i := 0; i < 6; i++ {
+		kind, spatial := "CONV", 64
+		if i >= 4 {
+			kind, spatial = "FC", 1
+		}
+		s := accel.LayerSpec{
+			Name:        fmt.Sprintf("l%d", i),
+			Kind:        kind,
+			MACs:        200_000,
+			WeightBytes: 4096,
+			InputBytes:  2048,
+			OutputBytes: 2048,
+			OutSpatial:  spatial,
+		}
+		raw = append(raw, s)
+		cs := s
+		cs.WeightBytes = s.WeightBytes / 2
+		cs.WeightCount = s.WeightBytes / 4
+		cs.Compressed = true
+		comp = append(comp, cs)
+	}
+	return []VersionPlan{
+		{Version: 1, Level: 0, Specs: raw},
+		{Version: 2, Level: 10, Specs: comp},
+	}
+}
+
+// testSpec is the baseline 5-node scenario.
+func testSpec(seed int64) Spec {
+	return Spec{
+		Nodes:    5,
+		Shards:   2,
+		Seed:     seed,
+		Accel:    accel.DefaultConfig(),
+		Versions: testVersions(),
+		Requests: 60,
+		Interval: 200,
+	}
+}
+
+// render flattens a report into a canonical string for byte-for-byte
+// comparison (fmt prints maps in sorted key order).
+func render(r *Report) string {
+	return fmt.Sprintf("%+v", *r)
+}
+
+func TestClusterSteadyState(t *testing.T) {
+	rep, err := Run(testSpec(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Availability != 1 {
+		t.Fatalf("availability %.3f, want 1.0 with no faults:\n%s", rep.Availability, render(rep))
+	}
+	if rep.MixedVersion != 0 || rep.Failed != 0 {
+		t.Fatalf("mixed=%d failed=%d, want 0/0:\n%s", rep.MixedVersion, rep.Failed, render(rep))
+	}
+	if rep.ServedByVersion[1] != rep.Served {
+		t.Fatalf("served versions %v, want all at version 1", rep.ServedByVersion)
+	}
+	if rep.EpochOutcome != "none" {
+		t.Fatalf("epoch outcome %q without a rollout", rep.EpochOutcome)
+	}
+}
+
+func TestClusterRolloutCommitsCleanly(t *testing.T) {
+	s := testSpec(2)
+	s.RolloutAt = 2000
+	s.RolloutRetries = 10
+	rep, err := Run(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EpochOutcome != "committed" {
+		t.Fatalf("epoch outcome %q, want committed:\n%s", rep.EpochOutcome, render(rep))
+	}
+	for id, v := range rep.FinalActive {
+		if v != 2 {
+			t.Fatalf("node %d finished at version %d, want 2:\n%s", id, v, render(rep))
+		}
+	}
+	if rep.MixedVersion != 0 {
+		t.Fatalf("mixed-version responses: %d", rep.MixedVersion)
+	}
+	if rep.ServedByVersion[2] == 0 {
+		t.Fatalf("nothing served at the new epoch: %v", rep.ServedByVersion)
+	}
+	if rep.Availability < 0.95 {
+		t.Fatalf("availability %.3f under a clean rollout:\n%s", rep.Availability, render(rep))
+	}
+}
+
+// chaosSpec is the acceptance scenario: a 5-node cluster rolling out a
+// compressed weight epoch while the leader is killed mid-rollout and a
+// minority is partitioned away, over a lossy fabric; both heal later.
+func chaosSpec(seed int64) Spec {
+	s := testSpec(seed)
+	s.Faults = faults.Model{
+		MsgDropRate:  0.02,
+		MsgDelayRate: 0.05,
+		MsgDupRate:   0.02,
+	}
+	s.RequestRetries = 1 // one retransmit absorbs most single drops
+	s.RolloutAt = 2500
+	s.RolloutRetries = 20
+	s.KillLeaderAt = 2650 // between the stage proposal and its activation
+	s.PartitionAt = 3000
+	s.HealAt = 9000
+	s.RestartAt = 11000
+	return s
+}
+
+// degradedFloor is the availability the degraded modes must preserve in
+// the chaos scenario: failover and previous-epoch fallback keep serving
+// while a node is dead and a minority is stranded.
+const degradedFloor = 0.90
+
+func checkChaosInvariants(t *testing.T, rep *Report) {
+	t.Helper()
+	if rep.MixedVersion != 0 {
+		t.Fatalf("served %d mixed-version responses:\n%s", rep.MixedVersion, render(rep))
+	}
+	if rep.Availability < degradedFloor {
+		t.Fatalf("availability %.3f below the degraded-mode floor %.2f:\n%s",
+			rep.Availability, degradedFloor, render(rep))
+	}
+	if rep.EpochOutcome != "committed" && rep.EpochOutcome != "rolled-back" {
+		t.Fatalf("epoch outcome %q after heal, want committed or rolled-back:\n%s",
+			rep.EpochOutcome, render(rep))
+	}
+	// After heal + restart, live nodes must agree on the serving version.
+	agree := map[int]bool{}
+	for _, v := range rep.FinalActive {
+		if v >= 0 {
+			agree[v] = true
+		}
+	}
+	if len(agree) != 1 {
+		t.Fatalf("live nodes disagree on the active version %v:\n%s", rep.FinalActive, render(rep))
+	}
+}
+
+func TestClusterChaosLeaderKillAndPartition(t *testing.T) {
+	rep, err := Run(chaosSpec(7), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkChaosInvariants(t, rep)
+	if rep.FailedOver == 0 {
+		t.Fatalf("chaos run performed no failovers — scenario too tame:\n%s", render(rep))
+	}
+}
+
+// TestClusterChaosDeterministicAcrossWorkers is the acceptance pin: the
+// chaos scenario's outcome is byte-identical for a fixed seed whether
+// scenarios run serially or on 4 workers (run under -race in CI).
+func TestClusterChaosDeterministicAcrossWorkers(t *testing.T) {
+	seeds := []int64{7, 21, 1009}
+	run := func(workers int) []string {
+		out, err := parallel.Map(context.Background(), workers, len(seeds),
+			func(_ context.Context, i int) (string, error) {
+				rep, err := Run(chaosSpec(seeds[i]), nil)
+				if err != nil {
+					return "", err
+				}
+				return render(rep), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, workers := range []int{4} {
+		par := run(workers)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("seed %d: workers=%d diverged from serial\nserial: %s\npar:    %s",
+					seeds[i], workers, serial[i], par[i])
+			}
+		}
+	}
+	// And replaying serially is also byte-identical.
+	again := run(1)
+	for i := range serial {
+		if again[i] != serial[i] {
+			t.Fatalf("seed %d: replay diverged", seeds[i])
+		}
+	}
+	for i, r := range serial {
+		rep, err := Run(chaosSpec(seeds[i]), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkChaosInvariants(t, rep)
+		if render(rep) != r {
+			t.Fatalf("seed %d: fresh run diverged from pooled run", seeds[i])
+		}
+	}
+}
+
+func TestClusterReportRendersStable(t *testing.T) {
+	rep, err := Run(testSpec(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := render(rep)
+	for _, want := range []string{"Availability", "EpochOutcome", "FinalActive", "MixedVersion"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered report missing %q: %s", want, s)
+		}
+	}
+}

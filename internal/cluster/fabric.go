@@ -1,0 +1,258 @@
+// Package cluster lifts the single-chip simulation stack to a
+// fault-tolerant accelerator cluster: N simulated accelerator nodes
+// (each wrapping an accel.Simulator and a codec plan) serve sharded
+// inference requests behind an unreliable RPC fabric, while a
+// Raft-style replicated scheduler rolls out new compressed weight
+// versions as atomic epochs — an epoch either commits on a quorum or
+// rolls back, and a leader killed mid-rollout never leaves replicas
+// serving mixed versions.
+//
+// Everything runs on a deterministic discrete-event fabric with a
+// virtual clock: messages, timers, crashes, partitions, and the fault
+// schedule (drop/delay/duplicate/reorder, driven by internal/faults'
+// seed-hash contract) are totally ordered by (tick, sequence) and
+// executed by a single goroutine per cluster instance. Two runs with
+// the same Spec are therefore byte-identical — at any worker count and
+// under the race detector — and scenario-level parallelism (sweeps)
+// composes on top through internal/parallel exactly like the rest of
+// the experiment engine.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/faults"
+)
+
+// Tick is the fabric's virtual time unit. The accelerator simulators
+// report cycles; Spec.CyclesPerTick converts them (default: 1000 cycles
+// per tick, i.e. 1 µs ticks for the paper's 1 GHz platform).
+type Tick = uint64
+
+// Message is one transmission on the fabric. Retransmissions are fresh
+// transmissions with fresh IDs, so the fault model decides their fate
+// independently (the same contract as NoC retransmit attempts).
+type Message struct {
+	ID      uint64 // fabric-unique transmission id
+	From    int
+	To      int
+	Method  string // registered handler name, e.g. "Raft.AppendEntries"
+	CallID  uint64 // correlates a reply with its pending call
+	IsReply bool
+	Payload any
+	Err     string // remote handler error, carried on replies
+}
+
+// event is one scheduled action: a message delivery or a timer firing.
+// The (at, seq) pair totally orders the run.
+type event struct {
+	at  Tick
+	seq uint64
+	fn  func(now Tick)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// FabricStats counts what the fabric did to the traffic it carried.
+type FabricStats struct {
+	Sent        uint64 // transmissions requested
+	Delivered   uint64 // handler invocations (duplicates count twice)
+	DroppedLink uint64 // lost to the fault model's drop decision
+	Unreachable uint64 // lost to a crash, partition, or downed link
+	Delayed     uint64 // held beyond the nominal latency
+	Duplicated  uint64 // delivered twice
+	Reordered   uint64 // deliberately delivered out of FIFO order
+}
+
+// Fabric is the deterministic in-process message fabric: a virtual
+// clock, an event calendar, per-node crash state, partition groups and
+// per-link disconnect controls, and the message-level fault model.
+//
+// A Fabric and everything registered on it form one single-threaded
+// simulation: all callbacks run on the goroutine driving Step/RunUntil.
+// It is not safe for concurrent use — run one Fabric per goroutine.
+type Fabric struct {
+	Faults    faults.Model
+	LinkDelay Tick // nominal one-way message latency
+
+	now      Tick
+	seq      uint64 // event/message sequence; also the fault-decision key
+	calendar eventHeap
+	crashed  map[int]bool
+	group    map[int]int     // partition group per endpoint (default 0)
+	downLink map[[2]int]bool // unidirectional disconnected links
+	eps      map[int]*Endpoint
+	stats    FabricStats
+}
+
+// NewFabric builds a fabric with the given fault model and nominal
+// one-way link delay (0 selects 50 ticks).
+func NewFabric(fm faults.Model, linkDelay Tick) *Fabric {
+	if linkDelay == 0 {
+		linkDelay = 50
+	}
+	return &Fabric{
+		Faults:    fm,
+		LinkDelay: linkDelay,
+		crashed:   map[int]bool{},
+		group:     map[int]int{},
+		downLink:  map[[2]int]bool{},
+		eps:       map[int]*Endpoint{},
+	}
+}
+
+// Now returns the virtual clock.
+func (f *Fabric) Now() Tick { return f.now }
+
+// Stats returns the fabric's traffic counters.
+func (f *Fabric) Stats() FabricStats { return f.stats }
+
+// After schedules fn to run d ticks from now. Timers are not subject to
+// message faults; they model local clocks.
+func (f *Fabric) After(d Tick, fn func(now Tick)) {
+	f.seq++
+	heap.Push(&f.calendar, &event{at: f.now + d, seq: f.seq, fn: fn})
+}
+
+// Step pops and executes the next event; it reports false when the
+// calendar is empty.
+func (f *Fabric) Step() bool {
+	if len(f.calendar) == 0 {
+		return false
+	}
+	e := heap.Pop(&f.calendar).(*event)
+	if e.at > f.now {
+		f.now = e.at
+	}
+	e.fn(f.now)
+	return true
+}
+
+// RunUntil executes events until the clock would pass t (events at
+// exactly t still run) or the calendar empties.
+func (f *Fabric) RunUntil(t Tick) {
+	for len(f.calendar) > 0 && f.calendar[0].at <= t {
+		f.Step()
+	}
+	if f.now < t {
+		f.now = t
+	}
+}
+
+// Crash marks an endpoint dead: pending and future deliveries to or
+// from it are discarded, and its timers are suppressed via Alive checks
+// in the endpoint callbacks.
+func (f *Fabric) Crash(id int) { f.crashed[id] = true }
+
+// Restart revives a crashed endpoint. State the endpoint kept across
+// the crash (its "disk") is up to the endpoint.
+func (f *Fabric) Restart(id int) { delete(f.crashed, id) }
+
+// Crashed reports whether an endpoint is currently crashed.
+func (f *Fabric) Crashed(id int) bool { return f.crashed[id] }
+
+// Partition splits the endpoints into isolated groups: only endpoints
+// in the same group can exchange messages. Endpoints not listed keep
+// group 0. Calling Partition replaces any previous partition.
+func (f *Fabric) Partition(groups ...[]int) {
+	f.group = map[int]int{}
+	for gi, g := range groups {
+		for _, id := range g {
+			f.group[id] = gi
+		}
+	}
+}
+
+// Heal removes all partitions (downed links are separate; see SetLink).
+func (f *Fabric) Heal() { f.group = map[int]int{} }
+
+// SetLink connects (up) or disconnects (down) the unidirectional link
+// from a to b, independent of partitions.
+func (f *Fabric) SetLink(a, b int, up bool) {
+	if up {
+		delete(f.downLink, [2]int{a, b})
+	} else {
+		f.downLink[[2]int{a, b}] = true
+	}
+}
+
+// reachable reports whether a message from a to b would be delivered
+// right now: both ends alive, same partition group, link up.
+func (f *Fabric) reachable(a, b int) bool {
+	return !f.crashed[a] && !f.crashed[b] && f.group[a] == f.group[b] && !f.downLink[[2]int{a, b}]
+}
+
+// send applies the fault model to one transmission and schedules its
+// delivery (or doesn't). Reachability is checked at delivery time, so a
+// message in flight across a partition boundary is lost, and one sent
+// just before a heal arrives.
+func (f *Fabric) send(msg Message) {
+	f.seq++
+	msg.ID = f.seq
+	f.stats.Sent++
+
+	if f.Faults.MsgDrop(msg.ID, msg.From, msg.To) {
+		f.stats.DroppedLink++
+		return
+	}
+	delay := f.LinkDelay
+	if extra := f.Faults.MsgDelay(msg.ID, msg.From, msg.To); extra > 0 {
+		f.stats.Delayed++
+		delay += extra
+	}
+	if f.Faults.MsgReorder(msg.ID, msg.From, msg.To) {
+		// A reorder is a bounded deterministic extra hold: the message
+		// lands behind transmissions sent up to 3 link delays later.
+		f.stats.Reordered++
+		delay += 3 * f.LinkDelay
+	}
+	f.deliverAfter(delay, msg)
+	if f.Faults.MsgDuplicate(msg.ID, msg.From, msg.To) {
+		f.stats.Duplicated++
+		f.deliverAfter(delay+f.LinkDelay/2+1, msg)
+	}
+}
+
+// deliverAfter schedules one delivery attempt of msg.
+func (f *Fabric) deliverAfter(d Tick, msg Message) {
+	f.After(d, func(now Tick) {
+		if !f.reachable(msg.From, msg.To) {
+			f.stats.Unreachable++
+			return
+		}
+		ep := f.eps[msg.To]
+		if ep == nil {
+			f.stats.Unreachable++
+			return
+		}
+		f.stats.Delivered++
+		ep.deliver(now, msg)
+	})
+}
+
+// register attaches an endpoint; ids must be unique.
+func (f *Fabric) register(ep *Endpoint) {
+	if _, dup := f.eps[ep.id]; dup {
+		panic(fmt.Sprintf("cluster: duplicate endpoint id %d", ep.id))
+	}
+	f.eps[ep.id] = ep
+}

@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// trace records deliveries for byte-for-byte schedule comparison.
+type trace struct{ b strings.Builder }
+
+func (tr *trace) got(now Tick, id int, msg Message) {
+	fmt.Fprintf(&tr.b, "%d:%d<-%d:%s#%d\n", now, id, msg.From, msg.Method, msg.ID)
+}
+
+// echoEndpoint registers an endpoint whose single handler records the
+// delivery and echoes the payload.
+func echoEndpoint(f *Fabric, id int, tr *trace) *Endpoint {
+	ep := NewEndpoint(f, id)
+	ep.Handle("Echo", func(now Tick, from int, arg any) (any, Tick, error) {
+		if tr != nil {
+			tr.got(now, id, Message{From: from, Method: "Echo"})
+		}
+		return arg, 0, nil
+	})
+	return ep
+}
+
+func TestFabricDeliversInOrder(t *testing.T) {
+	f := NewFabric(faults.Model{}, 10)
+	var tr trace
+	a := echoEndpoint(f, 0, &tr)
+	echoEndpoint(f, 1, &tr)
+
+	var replies []string
+	for i := 0; i < 3; i++ {
+		v := i
+		a.Go(1, "Echo", v, CallOpts{}, func(now Tick, reply any, err error) {
+			if err != nil {
+				t.Errorf("call %d: %v", v, err)
+				return
+			}
+			replies = append(replies, fmt.Sprintf("%d@%d", reply.(int), now))
+		})
+	}
+	f.RunUntil(1000)
+	want := "0@20 1@20 2@20"
+	if got := strings.Join(replies, " "); got != want {
+		t.Fatalf("replies = %q, want %q", got, want)
+	}
+	st := f.Stats()
+	if st.Sent != 6 || st.Delivered != 6 || st.DroppedLink+st.Unreachable != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFabricCrashAndPartition(t *testing.T) {
+	f := NewFabric(faults.Model{}, 10)
+	a := echoEndpoint(f, 0, nil)
+	echoEndpoint(f, 1, nil)
+	echoEndpoint(f, 2, nil)
+
+	call := func(dst int) error {
+		var got error
+		called := false
+		a.Go(dst, "Echo", 1, CallOpts{Timeout: 100}, func(_ Tick, _ any, err error) {
+			called = true
+			got = err
+		})
+		f.RunUntil(f.Now() + 1000)
+		if !called {
+			t.Fatalf("call to %d never completed", dst)
+		}
+		return got
+	}
+
+	f.Crash(1)
+	if err := call(1); err != ErrTimeout {
+		t.Fatalf("crashed dst: err = %v, want ErrTimeout", err)
+	}
+	f.Restart(1)
+	if err := call(1); err != nil {
+		t.Fatalf("restarted dst: err = %v", err)
+	}
+
+	f.Partition([]int{0}, []int{1, 2})
+	if err := call(1); err != ErrTimeout {
+		t.Fatalf("partitioned dst: err = %v, want ErrTimeout", err)
+	}
+	if err := call(0); err != nil { // self-call stays in-group
+		t.Fatalf("same-group dst: err = %v", err)
+	}
+	f.Heal()
+	if err := call(2); err != nil {
+		t.Fatalf("healed dst: err = %v", err)
+	}
+
+	f.SetLink(0, 2, false)
+	if err := call(2); err != ErrTimeout {
+		t.Fatalf("downed link: err = %v, want ErrTimeout", err)
+	}
+	f.SetLink(0, 2, true)
+	if err := call(2); err != nil {
+		t.Fatalf("restored link: err = %v", err)
+	}
+}
+
+func TestFabricPartitionLosesInFlight(t *testing.T) {
+	f := NewFabric(faults.Model{}, 50)
+	a := echoEndpoint(f, 0, nil)
+	echoEndpoint(f, 1, nil)
+
+	var timedOut bool
+	a.Go(1, "Echo", 1, CallOpts{Timeout: 300}, func(_ Tick, _ any, err error) {
+		timedOut = err == ErrTimeout
+	})
+	// Partition lands while the request is in flight: reachability is
+	// checked at delivery time, so the message is lost.
+	f.After(10, func(Tick) { f.Partition([]int{0}, []int{1}) })
+	f.RunUntil(5000)
+	if !timedOut {
+		t.Fatal("in-flight message crossed a partition boundary")
+	}
+	if f.Stats().Unreachable == 0 {
+		t.Fatalf("stats = %+v, want Unreachable > 0", f.Stats())
+	}
+}
+
+func TestRPCRetryBackoffDeterministic(t *testing.T) {
+	// A dead destination forces every attempt to time out; the attempt
+	// send times pin the exponential backoff schedule.
+	schedule := func() string {
+		f := NewFabric(faults.Model{Seed: 42}, 10)
+		a := NewEndpoint(f, 0)
+		NewEndpoint(f, 1)
+		f.Crash(1)
+		var sends []string
+		var done bool
+		a.Go(1, "Echo", 1, CallOpts{Timeout: 100, Retries: 3, Backoff: 50}, func(now Tick, _ any, err error) {
+			done = true
+			if err != ErrTimeout {
+				t.Errorf("err = %v, want ErrTimeout", err)
+			}
+			sends = append(sends, fmt.Sprintf("done@%d", now))
+		})
+		f.RunUntil(100000)
+		if !done {
+			t.Fatal("call never completed")
+		}
+		sends = append(sends, fmt.Sprintf("sent=%d", f.Stats().Sent))
+		return strings.Join(sends, " ")
+	}
+	first := schedule()
+	if second := schedule(); second != first {
+		t.Fatalf("retry schedule not deterministic:\n%s\n%s", first, second)
+	}
+	if !strings.Contains(first, "sent=4") {
+		t.Fatalf("schedule %q: want 4 attempts (1 + 3 retries)", first)
+	}
+}
+
+func TestFabricFaultScheduleReproducible(t *testing.T) {
+	run := func(seed int64) string {
+		fm := faults.Model{
+			Seed:        seed,
+			MsgDropRate: 0.2, MsgDelayRate: 0.3, MsgDupRate: 0.15, MsgReorderRate: 0.1,
+		}
+		f := NewFabric(fm, 10)
+		var tr trace
+		eps := make([]*Endpoint, 4)
+		for i := range eps {
+			eps[i] = echoEndpoint(f, i, &tr)
+		}
+		for i := 0; i < 200; i++ {
+			src, dst := i%4, (i+1+i/4)%4
+			eps[src].Go(dst, "Echo", i, CallOpts{Timeout: 500}, func(Tick, any, error) {})
+		}
+		f.RunUntil(1 << 20)
+		fmt.Fprintf(&tr.b, "stats=%+v\n", f.Stats())
+		return tr.b.String()
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatal("same seed produced different fabric schedules")
+	}
+	if c := run(8); c == a {
+		t.Fatal("different seeds produced identical fabric schedules")
+	}
+	if !strings.Contains(a, "Dropped") {
+		t.Fatalf("stats missing from trace: %q", a[:min(len(a), 200)])
+	}
+}
+
+func TestFabricZeroRatesFaultFree(t *testing.T) {
+	f := NewFabric(faults.Model{Seed: 99}, 10)
+	a := echoEndpoint(f, 0, nil)
+	echoEndpoint(f, 1, nil)
+	ok := 0
+	for i := 0; i < 50; i++ {
+		a.Go(1, "Echo", i, CallOpts{}, func(_ Tick, _ any, err error) {
+			if err == nil {
+				ok++
+			}
+		})
+	}
+	f.RunUntil(1 << 20)
+	st := f.Stats()
+	if ok != 50 || st.DroppedLink+st.Delayed+st.Duplicated+st.Reordered != 0 {
+		t.Fatalf("ok=%d stats=%+v, want pristine delivery", ok, st)
+	}
+}
+
+// FuzzFabricDelivery drives random traffic through random fault rates
+// and checks the fabric's invariants: replay determinism, conservation
+// of transmissions, and no completion delivered twice.
+func FuzzFabricDelivery(f *testing.F) {
+	f.Add(int64(1), uint8(20), uint8(30), uint8(10), uint8(10), uint8(50))
+	f.Add(int64(42), uint8(0), uint8(0), uint8(0), uint8(0), uint8(10))
+	f.Add(int64(-7), uint8(100), uint8(100), uint8(100), uint8(100), uint8(30))
+	f.Fuzz(func(t *testing.T, seed int64, drop, delay, dup, reorder, n uint8) {
+		fm := faults.Model{
+			Seed:           seed,
+			MsgDropRate:    float64(drop%101) / 100,
+			MsgDelayRate:   float64(delay%101) / 100,
+			MsgDupRate:     float64(dup%101) / 100,
+			MsgReorderRate: float64(reorder%101) / 100,
+		}
+		if err := fm.Validate(); err != nil {
+			t.Fatalf("rates out of range: %v", err)
+		}
+		run := func() (string, FabricStats) {
+			fb := NewFabric(fm, 10)
+			var tr trace
+			eps := make([]*Endpoint, 3)
+			for i := range eps {
+				eps[i] = echoEndpoint(fb, i, &tr)
+			}
+			completions := map[int]int{}
+			for i := 0; i < int(n%64)+1; i++ {
+				id := i
+				eps[i%3].Go((i+1)%3, "Echo", i, CallOpts{Timeout: 200, Retries: 2, Backoff: 20},
+					func(Tick, any, error) { completions[id]++ })
+			}
+			fb.RunUntil(1 << 22)
+			for id, c := range completions {
+				if c != 1 {
+					t.Fatalf("call %d completed %d times", id, c)
+				}
+			}
+			return tr.b.String(), fb.Stats()
+		}
+		t1, s1 := run()
+		t2, s2 := run()
+		if t1 != t2 || s1 != s2 {
+			t.Fatal("same (seed, rates, traffic) diverged on replay")
+		}
+		if s1.Delivered > s1.Sent+s1.Duplicated {
+			t.Fatalf("delivered %d > sent %d + duplicated %d", s1.Delivered, s1.Sent, s1.Duplicated)
+		}
+		if fm.MsgDropRate == 0 && s1.DroppedLink != 0 {
+			t.Fatalf("drop rate 0 but %d drops", s1.DroppedLink)
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/obs"
+)
+
+// VersionPlan is one weight-version epoch: the full model's layer specs
+// under that version's codec plan (version 1 is typically the raw
+// model; later versions are compressed plans). Nodes simulate only
+// their shard's slice.
+type VersionPlan struct {
+	Version int
+	Level   float64 // codec plan parameter (e.g. compression tolerance %)
+	Specs   []accel.LayerSpec
+}
+
+// inferArgs / inferReply are the inference RPC payload. The reply
+// piggybacks the node's committed-active version so the router learns
+// rollout progress without a separate watch channel.
+type inferArgs struct {
+	Version int // weight version the request must be served with
+	ReqID   int
+}
+type inferReply struct {
+	Version      int  // version actually used (== args.Version on success)
+	Active       int  // node's committed-active version (router gossip)
+	ServiceTicks Tick // service time the shard simulation cost out
+}
+
+// probeReply is the health/status RPC payload.
+type probeReply struct {
+	Active int
+	Staged []int
+	Leader int
+	Term   uint64
+}
+
+// Node is one simulated accelerator server: a Raft member plus a weight
+// store and an inference service. The underlying accel.Simulator runs
+// the node's model shard once per staged version to cost out its
+// service time; requests then occupy the node's (single) serving
+// pipeline for that long, which is where queueing delay — and the p99
+// tail under failures — comes from.
+type Node struct {
+	c     *Cluster
+	ep    *Endpoint
+	raft  *Raft
+	id    int
+	shard int
+	sim   *accel.Simulator
+
+	// Weight store ("disk"): staged versions and the committed-active
+	// one. Survives Crash/Restart like the Raft log.
+	staged map[int]Tick // version -> per-request service ticks
+	active int          // serving default; requests may also target any staged version
+	maxVer int          // highest version ever staged (stats)
+
+	busyUntil Tick // serving pipeline occupancy
+
+	served map[int]uint64 // per-version served count (stats)
+}
+
+// newNode wires a node's endpoint, Raft instance, and RPC handlers.
+func newNode(c *Cluster, id, shard int, peers []int) (*Node, error) {
+	sim, err := accel.NewSimulator(c.spec.Accel)
+	if err != nil {
+		return nil, err
+	}
+	sim.SetWorkers(c.spec.SimWorkers)
+	n := &Node{
+		c: c, id: id, shard: shard, sim: sim,
+		staged: map[int]Tick{},
+		served: map[int]uint64{},
+	}
+	n.ep = NewEndpoint(c.fabric, id)
+	n.raft = newRaft(n.ep, peers, n.applyCommand, n.onLeadership)
+	n.ep.Handle("Node.Infer", n.handleInfer)
+	n.ep.Handle("Node.Probe", n.handleProbe)
+	n.ep.Handle("Sched.Propose", n.handlePropose)
+	return n, nil
+}
+
+// stage simulates the node's shard under plan and records its service
+// time. Idempotent: re-staging a version is a no-op.
+func (n *Node) stage(plan VersionPlan) error {
+	if _, ok := n.staged[plan.Version]; ok {
+		return nil
+	}
+	ticks, err := n.c.shardServiceTicks(n.sim, plan, n.shard)
+	if err != nil {
+		return err
+	}
+	n.staged[plan.Version] = ticks
+	if plan.Version > n.maxVer {
+		n.maxVer = plan.Version
+	}
+	return nil
+}
+
+// applyCommand is the Raft apply hook: the weight-rollout state
+// machine. Stage builds the version; activate flips serving to it. The
+// previous version's weights are retained, so in-flight requests
+// targeted at the old epoch still complete consistently.
+func (n *Node) applyCommand(now Tick, index int, cmd Command) {
+	switch cmd.Kind {
+	case "stage":
+		plan, ok := n.c.planByVersion(cmd.Version)
+		if !ok {
+			return // unknown version: nothing to build
+		}
+		if err := n.stage(plan); err != nil {
+			// A node that cannot build the plan keeps serving its active
+			// version; it simply never acks the new epoch.
+			return
+		}
+		n.c.observeStage(now, n.id, cmd.Version)
+		// The leader that applies a stage drives the epoch forward:
+		// propose the matching activation. Followers do nothing — if the
+		// leader dies here, the next leader's onLeadership resumes.
+		if n.raft.IsLeader() {
+			n.proposeActivateIfPending(now)
+		}
+	case "activate":
+		if _, ok := n.staged[cmd.Version]; !ok {
+			// Commit implies a quorum staged it, but this node may have
+			// missed the plan (e.g. rebuilt log after restart): build now.
+			if plan, ok := n.c.planByVersion(cmd.Version); ok {
+				if err := n.stage(plan); err != nil {
+					return
+				}
+			} else {
+				return
+			}
+		}
+		if cmd.Version > n.active {
+			n.active = cmd.Version
+			n.c.observeActivate(now, n.id, cmd.Version)
+		}
+	}
+}
+
+// onLeadership resumes an interrupted rollout: a new leader whose
+// applied state has a staged-but-unactivated version proposes the
+// activation — the "complete" half of complete-or-roll-back. (The
+// roll-back half needs no code: a stage entry that never reached a
+// quorum dies with the old leader's log.)
+func (n *Node) onLeadership(now Tick) {
+	n.c.observeLeader(now, n.id)
+	n.proposeActivateIfPending(now)
+}
+
+// proposeActivateIfPending proposes activation of the highest staged
+// version above the node's active one, if the log does not already
+// carry that activation.
+func (n *Node) proposeActivateIfPending(now Tick) {
+	pending := -1
+	for v := range n.staged {
+		if v > n.active && v > pending {
+			pending = v
+		}
+	}
+	if pending < 0 {
+		return
+	}
+	for _, e := range n.raft.log {
+		if e.Cmd.Kind == "activate" && e.Cmd.Version == pending {
+			return // already proposed (possibly not yet committed)
+		}
+	}
+	n.raft.Propose(now, Command{Kind: "activate", Version: pending})
+}
+
+// handleInfer serves one shard sub-request at the requested weight
+// version. The version gate is the mixed-version firewall: a node never
+// substitutes a different version — it either serves exactly what the
+// router asked for or refuses, and the router then fails over or
+// degrades the whole request to one consistent older epoch.
+func (n *Node) handleInfer(now Tick, _ int, arg any) (any, Tick, error) {
+	a := arg.(inferArgs)
+	ticks, ok := n.staged[a.Version]
+	if !ok {
+		return nil, 0, fmt.Errorf("node %d: version %d not staged (active %d)", n.id, a.Version, n.active)
+	}
+	start := now
+	if n.busyUntil > start {
+		start = n.busyUntil
+	}
+	n.busyUntil = start + ticks
+	n.served[a.Version]++
+	if m := n.c.obsv.M(); m != nil {
+		m.Counter(fmt.Sprintf("cluster_node%d_served_total", n.id)).Inc()
+		m.Histogram("cluster_node_queue_ticks", obs.Pow2Buckets(32)).Observe(start - now)
+	}
+	return inferReply{Version: a.Version, Active: n.active, ServiceTicks: ticks}, n.busyUntil - now, nil
+}
+
+// handleProbe reports the node's health and rollout state.
+func (n *Node) handleProbe(Tick, int, any) (any, Tick, error) {
+	staged := make([]int, 0, len(n.staged))
+	for v := range n.staged {
+		staged = append(staged, v)
+	}
+	// Sort for determinism of anything that formats the reply.
+	for i := 1; i < len(staged); i++ {
+		for j := i; j > 0 && staged[j] < staged[j-1]; j-- {
+			staged[j], staged[j-1] = staged[j-1], staged[j]
+		}
+	}
+	return probeReply{Active: n.active, Staged: staged, Leader: n.raft.Leader(), Term: n.raft.Term()}, 0, nil
+}
+
+// handlePropose is the scheduler's client-facing entry: the rollout
+// controller submits a command here; only the leader accepts it.
+func (n *Node) handlePropose(now Tick, _ int, arg any) (any, Tick, error) {
+	cmd := arg.(Command)
+	if _, isLeader := n.raft.Propose(now, cmd); !isLeader {
+		return nil, 0, fmt.Errorf("node %d: not leader (hint %d)", n.id, n.raft.Leader())
+	}
+	return n.id, 0, nil
+}
+
+// restart re-arms a restarted node's Raft timers. The weight store and
+// log survived the crash; volatile serving state did not.
+func (n *Node) restart(now Tick) {
+	n.busyUntil = 0
+	n.raft.restart(now)
+}

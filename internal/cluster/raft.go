@@ -1,0 +1,441 @@
+package cluster
+
+import "fmt"
+
+// Command is one replicated scheduler decision. Weight rollouts are two
+// commands: "stage" distributes and validates version v on every
+// replica (which keeps serving its active version), and "activate"
+// flips serving to v. Activation is only proposed by a leader that has
+// applied the stage entry, so a committed activate implies the staged
+// plan is replicated on a quorum — the two-phase shape that keeps a
+// mid-rollout leader kill from ever exposing mixed versions.
+type Command struct {
+	Kind    string  // "stage" or "activate"
+	Version int     // weight-version epoch number
+	Level   float64 // codec plan parameter recorded with the epoch
+}
+
+// entry is one replicated log slot.
+type entry struct {
+	Term uint64
+	Cmd  Command
+}
+
+// Raft node states.
+const (
+	follower = iota
+	candidate
+	leader
+)
+
+// Raft timing (ticks). Election timeouts are deterministic per (seed,
+// node, term): same spread as the classic randomized timeout, but
+// byte-reproducible.
+const (
+	heartbeatEvery = 150
+	electionBase   = 600
+	electionSpread = 600
+)
+
+// requestVoteArgs / appendEntriesArgs are the two RPC payloads.
+type requestVoteArgs struct {
+	Term         uint64
+	Candidate    int
+	LastLogIndex int
+	LastLogTerm  uint64
+}
+type requestVoteReply struct {
+	Term    uint64
+	Granted bool
+}
+type appendEntriesArgs struct {
+	Term         uint64
+	Leader       int
+	PrevLogIndex int
+	PrevLogTerm  uint64
+	Entries      []entry
+	LeaderCommit int
+}
+type appendEntriesReply struct {
+	Term    uint64
+	Success bool
+	// MatchHint carries the follower's log length on failure so the
+	// leader can skip back quickly (a simplified conflict hint).
+	MatchHint int
+}
+
+// Raft is a compact Raft implementation specialized for the replicated
+// weight-rollout scheduler: leader election with terms and log-recency
+// voting, heartbeat-driven log replication with consistency checks,
+// quorum commit restricted to current-term entries, and deterministic
+// timeouts. Persistent state (term, vote, log) survives Crash/Restart —
+// it models the node's disk.
+type Raft struct {
+	ep    *Endpoint
+	peers []int // all member ids, self included, ascending
+
+	// Persistent ("disk") state.
+	term     uint64
+	votedFor int // -1 = none
+	log      []entry
+
+	// Volatile state.
+	state       int
+	commitIndex int
+	lastApplied int
+	leaderHint  int // last known leader (-1 unknown)
+	votes       map[int]bool
+	nextIndex   map[int]int
+	matchIndex  map[int]int
+	timerGen    uint64 // invalidates stale election timers
+	beating     bool   // heartbeat loop armed
+
+	// apply is invoked in log order, on every node, exactly once per
+	// committed entry (per lifetime; a restart re-applies from scratch
+	// into the state machine it also persists — see node.go).
+	apply func(now Tick, index int, cmd Command)
+	// onLeader fires when this node wins an election, after its state
+	// is initialized — the scheduler uses it to resume interrupted
+	// rollouts.
+	onLeader func(now Tick)
+
+	// stats
+	leaderChanges int
+}
+
+// newRaft wires a Raft instance onto an endpoint.
+func newRaft(ep *Endpoint, peers []int, apply func(Tick, int, Command), onLeader func(Tick)) *Raft {
+	r := &Raft{
+		ep: ep, peers: peers,
+		votedFor: -1, leaderHint: -1,
+		log:   []entry{{}}, // index 0 sentinel
+		apply: apply, onLeader: onLeader,
+	}
+	ep.Handle("Raft.RequestVote", r.handleRequestVote)
+	ep.Handle("Raft.AppendEntries", r.handleAppendEntries)
+	return r
+}
+
+// start arms the first election timer.
+func (r *Raft) start(now Tick) { r.resetElectionTimer(now) }
+
+// restart is called when a crashed node rejoins: volatile state resets,
+// persistent state (term, vote, log) is retained, and commit/apply
+// bookkeeping replays from the log as the new leader's heartbeats
+// advance commitIndex.
+func (r *Raft) restart(now Tick) {
+	r.state = follower
+	r.votes = nil
+	r.leaderHint = -1
+	r.commitIndex, r.lastApplied = 0, 0
+	r.beating = false
+	r.resetElectionTimer(now)
+}
+
+// quorum returns the majority size.
+func (r *Raft) quorum() int { return len(r.peers)/2 + 1 }
+
+// electionTimeout derives the deterministic per-(node, term) timeout.
+func (r *Raft) electionTimeout() Tick {
+	h := uint64(r.ep.f.Faults.Seed) ^ 0x656c6563 // "elec"
+	for _, k := range [2]uint64{uint64(uint32(r.ep.id)), r.term + 1} {
+		h ^= k
+		h += 0x9e3779b97f4a7c15
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return electionBase + h%electionSpread
+}
+
+// resetElectionTimer re-arms the follower/candidate timeout.
+func (r *Raft) resetElectionTimer(now Tick) {
+	r.timerGen++
+	gen := r.timerGen
+	r.ep.f.After(r.electionTimeout(), func(at Tick) {
+		if gen != r.timerGen || !r.ep.Alive() || r.state == leader {
+			return
+		}
+		r.startElection(at)
+	})
+}
+
+// startElection moves to candidate and solicits votes.
+func (r *Raft) startElection(now Tick) {
+	r.state = candidate
+	r.term++
+	r.votedFor = r.ep.id
+	r.votes = map[int]bool{r.ep.id: true}
+	r.resetElectionTimer(now) // re-candidate on a split vote
+	args := requestVoteArgs{Term: r.term, Candidate: r.ep.id, LastLogIndex: len(r.log) - 1, LastLogTerm: r.log[len(r.log)-1].Term}
+	term := r.term
+	for _, p := range r.peers {
+		if p == r.ep.id {
+			continue
+		}
+		voter := p
+		r.ep.Go(p, "Raft.RequestVote", args,
+			CallOpts{Timeout: electionBase / 2, Backoff: heartbeatEvery / 2},
+			func(at Tick, reply any, err error) {
+				if err != nil || r.state != candidate || r.term != term {
+					return
+				}
+				rv := reply.(requestVoteReply)
+				if rv.Term > r.term {
+					r.stepDown(at, rv.Term)
+					return
+				}
+				if rv.Granted {
+					r.votes[voter] = true
+					if len(r.votes) >= r.quorum() {
+						r.becomeLeader(at)
+					}
+				}
+			})
+	}
+}
+
+// becomeLeader initializes leader state and starts heartbeats.
+func (r *Raft) becomeLeader(now Tick) {
+	if r.state == leader {
+		return
+	}
+	r.state = leader
+	r.leaderHint = r.ep.id
+	r.leaderChanges++
+	r.timerGen++ // kill the election timer
+	r.nextIndex = map[int]int{}
+	r.matchIndex = map[int]int{}
+	for _, p := range r.peers {
+		r.nextIndex[p] = len(r.log)
+		r.matchIndex[p] = 0
+	}
+	// Append a blank entry in the new term. Earlier-term entries cannot
+	// commit by counting (the current-term rule), so without a fresh
+	// entry a leader whose log tail predates its term would stall until
+	// the next client proposal — which for a stranded epoch activation
+	// may never come. Committing the blank entry commits everything
+	// below it.
+	r.log = append(r.log, entry{Term: r.term})
+	r.matchIndex[r.ep.id] = len(r.log) - 1
+	if r.onLeader != nil {
+		r.onLeader(now)
+	}
+	r.broadcast(now)
+	if !r.beating {
+		r.beating = true
+		r.heartbeatLoop(now)
+	}
+}
+
+// heartbeatLoop re-broadcasts AppendEntries while leader.
+func (r *Raft) heartbeatLoop(Tick) {
+	r.ep.f.After(heartbeatEvery, func(at Tick) {
+		if !r.ep.Alive() || r.state != leader {
+			r.beating = false
+			return
+		}
+		r.broadcast(at)
+		r.heartbeatLoop(at)
+	})
+}
+
+// stepDown returns to follower. The vote is only cleared when the term
+// actually advances — a candidate acknowledging the current term's
+// leader keeps its vote, so no node ever votes twice in one term.
+func (r *Raft) stepDown(now Tick, term uint64) {
+	if term > r.term {
+		r.term = term
+		r.votedFor = -1
+	}
+	r.state = follower
+	r.votes = nil
+	r.resetElectionTimer(now)
+}
+
+// Propose appends a command to the leader's log and replicates it. It
+// reports the assigned index and whether this node is the leader.
+func (r *Raft) Propose(now Tick, cmd Command) (int, bool) {
+	if r.state != leader {
+		return 0, false
+	}
+	r.log = append(r.log, entry{Term: r.term, Cmd: cmd})
+	r.matchIndex[r.ep.id] = len(r.log) - 1
+	r.broadcast(now)
+	return len(r.log) - 1, true
+}
+
+// broadcast sends AppendEntries to every peer, tailored to its
+// nextIndex.
+func (r *Raft) broadcast(now Tick) {
+	for _, p := range r.peers {
+		if p == r.ep.id {
+			continue
+		}
+		r.replicateTo(now, p)
+	}
+}
+
+// replicateTo sends one AppendEntries to peer p.
+func (r *Raft) replicateTo(now Tick, p int) {
+	next := r.nextIndex[p]
+	if next < 1 {
+		next = 1
+	}
+	if next > len(r.log) {
+		next = len(r.log)
+	}
+	args := appendEntriesArgs{
+		Term: r.term, Leader: r.ep.id,
+		PrevLogIndex: next - 1,
+		PrevLogTerm:  r.log[next-1].Term,
+		Entries:      append([]entry(nil), r.log[next:]...),
+		LeaderCommit: r.commitIndex,
+	}
+	term := r.term
+	sentUpTo := len(r.log) - 1
+	r.ep.Go(p, "Raft.AppendEntries", args,
+		CallOpts{Timeout: heartbeatEvery},
+		func(at Tick, reply any, err error) {
+			if err != nil || r.state != leader || r.term != term {
+				return // the heartbeat loop is the retry
+			}
+			ae := reply.(appendEntriesReply)
+			if ae.Term > r.term {
+				r.stepDown(at, ae.Term)
+				return
+			}
+			if ae.Success {
+				if sentUpTo > r.matchIndex[p] {
+					r.matchIndex[p] = sentUpTo
+				}
+				if sentUpTo+1 > r.nextIndex[p] {
+					r.nextIndex[p] = sentUpTo + 1
+				}
+				r.advanceCommit(at)
+			} else {
+				// Log inconsistency: adopt the follower's hint, floor 1.
+				ni := ae.MatchHint
+				if ni < 1 {
+					ni = 1
+				}
+				if ni < r.nextIndex[p] {
+					r.nextIndex[p] = ni
+				} else if r.nextIndex[p] > 1 {
+					r.nextIndex[p]--
+				}
+			}
+		})
+}
+
+// advanceCommit moves commitIndex to the highest current-term index
+// replicated on a quorum, then applies.
+func (r *Raft) advanceCommit(now Tick) {
+	for n := len(r.log) - 1; n > r.commitIndex; n-- {
+		if r.log[n].Term != r.term {
+			break // only current-term entries commit by counting
+		}
+		count := 0
+		for _, p := range r.peers {
+			if p == r.ep.id || r.matchIndex[p] >= n {
+				count++
+			}
+		}
+		if count >= r.quorum() {
+			r.commitIndex = n
+			break
+		}
+	}
+	r.applyCommitted(now)
+}
+
+// applyCommitted applies entries up to commitIndex in order. Blank
+// leader-election entries advance lastApplied but never reach the
+// state machine.
+func (r *Raft) applyCommitted(now Tick) {
+	for r.lastApplied < r.commitIndex {
+		r.lastApplied++
+		if cmd := r.log[r.lastApplied].Cmd; cmd.Kind != "" {
+			r.apply(now, r.lastApplied, cmd)
+		}
+	}
+}
+
+// handleRequestVote is the voter side of elections.
+func (r *Raft) handleRequestVote(now Tick, _ int, arg any) (any, Tick, error) {
+	a := arg.(requestVoteArgs)
+	if a.Term > r.term {
+		r.stepDown(now, a.Term)
+	}
+	reply := requestVoteReply{Term: r.term}
+	if a.Term < r.term {
+		return reply, 0, nil
+	}
+	upToDate := a.LastLogTerm > r.log[len(r.log)-1].Term ||
+		(a.LastLogTerm == r.log[len(r.log)-1].Term && a.LastLogIndex >= len(r.log)-1)
+	if (r.votedFor == -1 || r.votedFor == a.Candidate) && upToDate {
+		r.votedFor = a.Candidate
+		reply.Granted = true
+		r.resetElectionTimer(now)
+	}
+	return reply, 0, nil
+}
+
+// handleAppendEntries is the follower side of replication.
+func (r *Raft) handleAppendEntries(now Tick, _ int, arg any) (any, Tick, error) {
+	a := arg.(appendEntriesArgs)
+	reply := appendEntriesReply{Term: r.term, MatchHint: len(r.log)}
+	if a.Term < r.term {
+		return reply, 0, nil
+	}
+	if a.Term > r.term || r.state != follower {
+		r.stepDown(now, a.Term)
+	}
+	r.term = a.Term
+	reply.Term = r.term
+	r.leaderHint = a.Leader
+	r.resetElectionTimer(now)
+
+	if a.PrevLogIndex >= len(r.log) || r.log[a.PrevLogIndex].Term != a.PrevLogTerm {
+		reply.MatchHint = len(r.log)
+		return reply, 0, nil
+	}
+	// Append, truncating any conflicting suffix.
+	for i, e := range a.Entries {
+		idx := a.PrevLogIndex + 1 + i
+		if idx < len(r.log) {
+			if r.log[idx].Term != e.Term {
+				r.log = r.log[:idx]
+				r.log = append(r.log, e)
+			}
+			continue
+		}
+		r.log = append(r.log, e)
+	}
+	if a.LeaderCommit > r.commitIndex {
+		last := a.PrevLogIndex + len(a.Entries)
+		r.commitIndex = min(a.LeaderCommit, last)
+		if r.commitIndex > len(r.log)-1 {
+			r.commitIndex = len(r.log) - 1
+		}
+	}
+	r.applyCommitted(now)
+	reply.Success = true
+	reply.MatchHint = len(r.log)
+	return reply, 0, nil
+}
+
+// IsLeader reports whether this node currently believes it leads.
+func (r *Raft) IsLeader() bool { return r.state == leader }
+
+// Leader returns the node's current leader hint (-1 unknown).
+func (r *Raft) Leader() int { return r.leaderHint }
+
+// Term returns the node's current term.
+func (r *Raft) Term() uint64 { return r.term }
+
+// debugString summarizes the node for test failure messages.
+func (r *Raft) debugString() string {
+	return fmt.Sprintf("id=%d state=%d term=%d log=%d commit=%d applied=%d",
+		r.ep.id, r.state, r.term, len(r.log), r.commitIndex, r.lastApplied)
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// raftHarness is a bare Raft group on a fabric, with per-node applied
+// command logs.
+type raftHarness struct {
+	f       *Fabric
+	rafts   []*Raft
+	applied [][]Command
+}
+
+func newRaftHarness(t *testing.T, n int, fm faults.Model) *raftHarness {
+	t.Helper()
+	h := &raftHarness{f: NewFabric(fm, 10), applied: make([][]Command, n)}
+	peers := make([]int, n)
+	for i := range peers {
+		peers[i] = i
+	}
+	for i := 0; i < n; i++ {
+		node := i
+		ep := NewEndpoint(h.f, i)
+		r := newRaft(ep, peers, func(_ Tick, _ int, cmd Command) {
+			h.applied[node] = append(h.applied[node], cmd)
+		}, nil)
+		h.rafts = append(h.rafts, r)
+		r.start(0)
+	}
+	return h
+}
+
+// leader returns the unique live leader, or -1.
+func (h *raftHarness) leader(t *testing.T) int {
+	t.Helper()
+	id := -1
+	for i, r := range h.rafts {
+		if h.f.Crashed(i) || !r.IsLeader() {
+			continue
+		}
+		if id >= 0 {
+			t.Fatalf("two leaders: %s / %s", h.rafts[id].debugString(), r.debugString())
+		}
+		id = i
+	}
+	return id
+}
+
+// settle runs until a leader exists (bounded).
+func (h *raftHarness) settle(t *testing.T) int {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		h.f.RunUntil(h.f.Now() + electionBase)
+		if id := h.leader(t); id >= 0 {
+			return id
+		}
+	}
+	for _, r := range h.rafts {
+		t.Log(r.debugString())
+	}
+	t.Fatal("no leader elected")
+	return -1
+}
+
+func TestRaftElectsExactlyOneLeader(t *testing.T) {
+	h := newRaftHarness(t, 5, faults.Model{Seed: 1})
+	h.settle(t)
+	h.f.RunUntil(h.f.Now() + 10*electionBase)
+	if h.leader(t) < 0 {
+		t.Fatal("leadership not stable")
+	}
+	// All live nodes agree on who leads.
+	lead := h.leader(t)
+	for _, r := range h.rafts {
+		if got := r.Leader(); got != lead {
+			t.Fatalf("%s: leader hint %d, want %d", r.debugString(), got, lead)
+		}
+	}
+}
+
+func TestRaftReplicatesInOrder(t *testing.T) {
+	h := newRaftHarness(t, 5, faults.Model{Seed: 2})
+	lead := h.settle(t)
+	for i := 1; i <= 4; i++ {
+		if _, ok := h.rafts[lead].Propose(h.f.Now(), Command{Kind: "stage", Version: i}); !ok {
+			t.Fatalf("leader %d refused proposal", lead)
+		}
+	}
+	h.f.RunUntil(h.f.Now() + 20*electionBase)
+	want := fmt.Sprint([]Command{{Kind: "stage", Version: 1}, {Kind: "stage", Version: 2}, {Kind: "stage", Version: 3}, {Kind: "stage", Version: 4}})
+	for i, cmds := range h.applied {
+		if got := fmt.Sprint(cmds); got != want {
+			t.Fatalf("node %d applied %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestRaftCommittedEntriesSurviveLeaderCrash(t *testing.T) {
+	h := newRaftHarness(t, 5, faults.Model{Seed: 3})
+	lead := h.settle(t)
+	h.rafts[lead].Propose(h.f.Now(), Command{Kind: "stage", Version: 1})
+	h.f.RunUntil(h.f.Now() + 20*electionBase) // commit everywhere
+
+	h.f.Crash(lead)
+	next := h.settle(t)
+	if next == lead {
+		t.Fatal("crashed node still leads")
+	}
+	h.rafts[next].Propose(h.f.Now(), Command{Kind: "activate", Version: 1})
+	h.f.RunUntil(h.f.Now() + 20*electionBase)
+	for i, cmds := range h.applied {
+		if i == lead {
+			continue
+		}
+		if len(cmds) != 2 || cmds[0].Kind != "stage" || cmds[1].Kind != "activate" {
+			t.Fatalf("node %d applied %v, want [stage activate]", i, cmds)
+		}
+	}
+
+	// The crashed ex-leader rejoins and catches up from its kept log.
+	h.f.Restart(lead)
+	h.rafts[lead].restart(h.f.Now())
+	h.f.RunUntil(h.f.Now() + 20*electionBase)
+	if cmds := h.applied[lead]; len(cmds) < 3 { // 1 pre-crash + 2 replayed
+		t.Fatalf("rejoined node re-applied %v", cmds)
+	}
+}
+
+func TestRaftMinorityCannotCommit(t *testing.T) {
+	h := newRaftHarness(t, 5, faults.Model{Seed: 4})
+	lead := h.settle(t)
+
+	// Strand the leader with one follower; the other three are majority.
+	var minority, majority []int
+	minority = append(minority, lead, (lead+1)%5)
+	for i := 0; i < 5; i++ {
+		if i != minority[0] && i != minority[1] {
+			majority = append(majority, i)
+		}
+	}
+	h.f.Partition(minority, majority)
+	h.rafts[lead].Propose(h.f.Now(), Command{Kind: "stage", Version: 9})
+	h.f.RunUntil(h.f.Now() + 30*electionBase)
+	for i, cmds := range h.applied {
+		if len(cmds) != 0 {
+			t.Fatalf("node %d applied %v behind a minority partition", i, cmds)
+		}
+	}
+
+	// After healing, the majority's new leader wins and the stranded
+	// proposal is rolled back — overwritten, never applied.
+	h.f.Heal()
+	h.f.RunUntil(h.f.Now() + 30*electionBase)
+	nl := h.settle(t)
+	h.rafts[nl].Propose(h.f.Now(), Command{Kind: "stage", Version: 10})
+	h.f.RunUntil(h.f.Now() + 30*electionBase)
+	for i, cmds := range h.applied {
+		for _, c := range cmds {
+			if c.Version == 9 {
+				t.Fatalf("node %d applied the minority's proposal %v", i, cmds)
+			}
+		}
+		if len(cmds) == 0 || cmds[len(cmds)-1].Version != 10 {
+			t.Fatalf("node %d applied %v, want trailing version 10", i, cmds)
+		}
+	}
+}
+
+func TestRaftSurvivesLossyFabric(t *testing.T) {
+	h := newRaftHarness(t, 5, faults.Model{
+		Seed:        5,
+		MsgDropRate: 0.10, MsgDelayRate: 0.20, MsgDupRate: 0.10, MsgReorderRate: 0.05,
+	})
+	lead := h.settle(t)
+	for i := 1; i <= 3; i++ {
+		// The leader may change under message loss; re-resolve each time.
+		if _, ok := h.rafts[lead].Propose(h.f.Now(), Command{Kind: "stage", Version: i}); !ok {
+			lead = h.settle(t)
+			h.rafts[lead].Propose(h.f.Now(), Command{Kind: "stage", Version: i})
+		}
+		h.f.RunUntil(h.f.Now() + 30*electionBase)
+		lead = h.settle(t)
+	}
+	h.f.RunUntil(h.f.Now() + 100*electionBase)
+	// Liveness under loss: every node converged to the same applied
+	// sequence, and no node applied an entry out of order or twice.
+	ref := fmt.Sprint(h.applied[lead])
+	for i, cmds := range h.applied {
+		seen := map[int]bool{}
+		last := 0
+		for _, c := range cmds {
+			if seen[c.Version] {
+				t.Fatalf("node %d applied version %d twice: %v", i, c.Version, cmds)
+			}
+			seen[c.Version] = true
+			if c.Version < last {
+				t.Fatalf("node %d applied out of order: %v", i, cmds)
+			}
+			last = c.Version
+		}
+		if got := fmt.Sprint(cmds); got != ref {
+			t.Fatalf("node %d applied %v, leader applied %v", i, got, ref)
+		}
+	}
+}

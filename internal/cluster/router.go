@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"repro/internal/obs"
+)
+
+// RouterStats is the request-plane outcome accounting. Everything is
+// derived from virtual time, so the struct is byte-identical for a
+// fixed Spec at any worker count.
+type RouterStats struct {
+	Requests       int // issued
+	Served         int // completed consistently within the deadline
+	Failed         int // no consistent version reachable, or deadline passed
+	ServedStale    int // served, but at an older epoch than the router's target
+	ReducedReplica int // served with at least one shard down to its last live replica
+	FailedOver     int // replica fail-overs performed
+	MixedVersion   int // requests whose shard responses mixed versions (must stay 0)
+}
+
+// request tracks one client request's fan-out across shards.
+type request struct {
+	id       int
+	start    Tick
+	deadline Tick
+	version  int // epoch this attempt targets — identical for every shard
+	pending  int
+	failed   bool
+	reduced  bool
+	versions []int // per-shard version used, for the mixed-version check
+}
+
+// Router fans client requests out over the model shards, balances
+// replicas, fails over away from dead or partitioned nodes, and
+// degrades gracefully instead of erroring:
+//
+//  1. replica fail-over — every shard tries its replicas in a
+//     deterministic per-request rotation;
+//  2. previous-epoch fallback — if any shard cannot serve the target
+//     version, the whole request restarts one epoch back, so the
+//     response is stale but never mixed;
+//  3. reduced-replica mode — a shard down to one live replica still
+//     serves (counted, so sweeps can see the margin vanish);
+//
+// and only when some shard is unreachable at every epoch does the
+// request fail. The router learns rollout progress from the Active
+// version piggybacked on inference replies: the target only moves to an
+// epoch some node has committed-activated, and moves monotonically.
+type Router struct {
+	c      *Cluster
+	ep     *Endpoint
+	target int // highest committed-activated epoch observed
+	floor  int // lowest epoch any plan provides (fallback limit)
+	stats  RouterStats
+
+	latencies []Tick // per served request, appended in completion order
+	byVersion map[int]int
+}
+
+// newRouter wires the router endpoint.
+func newRouter(c *Cluster, id int) *Router {
+	r := &Router{c: c, ep: NewEndpoint(c.fabric, id), target: c.minVersion, floor: c.minVersion, byVersion: map[int]int{}}
+	return r
+}
+
+// submit starts one client request at the router's current target
+// epoch.
+func (r *Router) submit(now Tick, id int) {
+	r.stats.Requests++
+	req := &request{
+		id:       id,
+		start:    now,
+		deadline: now + r.c.spec.RequestDeadline,
+		version:  r.target,
+		pending:  r.c.spec.Shards,
+		versions: make([]int, r.c.spec.Shards),
+	}
+	for s := 0; s < r.c.spec.Shards; s++ {
+		r.shardCall(now, req, s, 0)
+	}
+}
+
+// replicaOrder returns the shard's replicas rotated deterministically
+// per request, so load spreads without randomness.
+func (r *Router) replicaOrder(req *request, shard int) []int {
+	reps := r.c.shardReplicas[shard]
+	if len(reps) == 0 {
+		return nil
+	}
+	rot := (req.id + shard) % len(reps)
+	out := make([]int, 0, len(reps))
+	out = append(out, reps[rot:]...)
+	out = append(out, reps[:rot]...)
+	return out
+}
+
+// shardCall tries the shard's replicas from position idx onward.
+func (r *Router) shardCall(now Tick, req *request, shard, idx int) {
+	if req.failed {
+		return
+	}
+	order := r.replicaOrder(req, shard)
+	if idx >= len(order) {
+		r.shardExhausted(now, req)
+		return
+	}
+	node := order[idx]
+	live := r.liveReplicas(shard)
+	r.ep.Go(node, "Node.Infer", inferArgs{Version: req.version, ReqID: req.id},
+		CallOpts{Timeout: r.c.spec.RequestTimeout, Retries: r.c.spec.RequestRetries, Backoff: r.c.fabric.LinkDelay},
+		func(at Tick, reply any, err error) {
+			if req.failed {
+				return
+			}
+			if err != nil {
+				r.stats.FailedOver++
+				r.shardCall(at, req, shard, idx+1)
+				return
+			}
+			rep := reply.(inferReply)
+			if rep.Active > r.target && r.c.hasPlan(rep.Active) {
+				// Gossip: some node committed a newer epoch. Future
+				// requests move to it; this one finishes where it started.
+				r.target = rep.Active
+			}
+			if rep.Version != req.version {
+				// A node served a version it was not asked for — the
+				// defect the chaos suite exists to catch.
+				r.stats.MixedVersion++
+				req.failed = true
+				r.stats.Failed++
+				return
+			}
+			req.versions[shard] = rep.Version
+			if live <= 1 {
+				req.reduced = true
+			}
+			req.pending--
+			if req.pending == 0 {
+				r.complete(at, req)
+			}
+		})
+}
+
+// liveReplicas counts the shard's currently reachable replicas (router
+// omniscience is fine here — the count only feeds the reduced-replica
+// statistic, not routing decisions).
+func (r *Router) liveReplicas(shard int) int {
+	n := 0
+	for _, rep := range r.c.shardReplicas[shard] {
+		if r.c.fabric.reachable(r.ep.id, rep) {
+			n++
+		}
+	}
+	return n
+}
+
+// shardExhausted handles a shard with no replica serving the target
+// epoch: degrade the whole request one epoch back, or fail.
+func (r *Router) shardExhausted(now Tick, req *request) {
+	if req.failed {
+		return
+	}
+	req.failed = true // abandon the current fan-out
+	if req.version > r.floor && now < req.deadline {
+		// Restart the entire request at the previous epoch: every shard
+		// re-issues, so the response stays single-version.
+		next := &request{
+			id:       req.id,
+			start:    req.start,
+			deadline: req.deadline,
+			version:  req.version - 1,
+			pending:  r.c.spec.Shards,
+			versions: make([]int, r.c.spec.Shards),
+		}
+		for s := 0; s < r.c.spec.Shards; s++ {
+			r.shardCall(now, next, s, 0)
+		}
+		return
+	}
+	r.stats.Failed++
+}
+
+// complete finishes a consistently served request.
+func (r *Router) complete(now Tick, req *request) {
+	for _, v := range req.versions {
+		if v != req.version {
+			r.stats.MixedVersion++
+			r.stats.Failed++
+			return
+		}
+	}
+	if now > req.deadline {
+		r.stats.Failed++
+		return
+	}
+	r.stats.Served++
+	if req.version < r.target {
+		r.stats.ServedStale++
+	}
+	if req.reduced {
+		r.stats.ReducedReplica++
+	}
+	r.byVersion[req.version]++
+	r.latencies = append(r.latencies, now-req.start)
+	if m := r.c.obsv.M(); m != nil {
+		m.Counter("cluster_requests_served").Inc()
+		m.Histogram("cluster_request_latency_ticks", obs.Pow2Buckets(32)).Observe(now - req.start)
+	}
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors the RPC layer reports to call completions.
+var (
+	// ErrTimeout reports that every attempt of a call timed out.
+	ErrTimeout = errors.New("cluster: rpc timeout")
+	// ErrCrashed reports a call issued by a crashed endpoint.
+	ErrCrashed = errors.New("cluster: endpoint crashed")
+)
+
+// HandlerFunc serves one method: it receives the virtual time, the
+// caller id and the argument, and returns the reply, an optional
+// service delay (the reply leaves the endpoint after that many ticks —
+// how a node models request service time), and an error. Handler errors
+// travel back to the caller as strings, like net/rpc.
+type HandlerFunc func(now Tick, from int, arg any) (reply any, delay Tick, err error)
+
+// CallOpts bounds one logical call.
+type CallOpts struct {
+	// Timeout is the per-attempt deadline in ticks (covers the round
+	// trip plus the handler's service delay).
+	Timeout Tick
+	// Retries is the number of additional attempts after the first.
+	Retries int
+	// Backoff is the base of the deterministic exponential backoff
+	// between attempts: attempt k (0-based) waits Backoff<<k plus a
+	// seeded jitter in [0, Backoff) before resending. Zero disables the
+	// wait (retry immediately at timeout).
+	Backoff Tick
+}
+
+// pendingCall tracks one in-flight logical call.
+type pendingCall struct {
+	dst     int
+	method  string
+	arg     any
+	opts    CallOpts
+	attempt int
+	done    func(now Tick, reply any, err error)
+}
+
+// Endpoint is one addressable participant on the fabric: a set of
+// method handlers plus an asynchronous call client with per-request
+// timeout, bounded retries, and deterministic exponential backoff with
+// seeded jitter. Like the fabric, an endpoint is single-threaded: all
+// handlers and completions run on the fabric's event loop.
+type Endpoint struct {
+	f        *Fabric
+	id       int
+	handlers map[string]HandlerFunc
+	nextCall uint64
+	pending  map[uint64]*pendingCall
+}
+
+// NewEndpoint registers a fresh endpoint with the fabric.
+func NewEndpoint(f *Fabric, id int) *Endpoint {
+	ep := &Endpoint{f: f, id: id, handlers: map[string]HandlerFunc{}, pending: map[uint64]*pendingCall{}}
+	f.register(ep)
+	return ep
+}
+
+// ID returns the endpoint's fabric address.
+func (e *Endpoint) ID() int { return e.id }
+
+// Alive reports whether the endpoint is not crashed.
+func (e *Endpoint) Alive() bool { return !e.f.crashed[e.id] }
+
+// Handle registers the handler for a method name.
+func (e *Endpoint) Handle(method string, fn HandlerFunc) { e.handlers[method] = fn }
+
+// Go starts an asynchronous call and invokes done exactly once: with
+// the reply, with the remote error, or with ErrTimeout after the last
+// attempt's deadline. A crashed caller's completions are suppressed
+// (the node is gone; nobody is waiting).
+func (e *Endpoint) Go(dst int, method string, arg any, opts CallOpts, done func(now Tick, reply any, err error)) {
+	if !e.Alive() {
+		return
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 20 * e.f.LinkDelay
+	}
+	e.nextCall++
+	id := e.nextCall
+	pc := &pendingCall{dst: dst, method: method, arg: arg, opts: opts, done: done}
+	e.pending[id] = pc
+	e.attempt(id, pc)
+}
+
+// attempt sends one transmission for the call and arms its deadline.
+func (e *Endpoint) attempt(callID uint64, pc *pendingCall) {
+	if !e.Alive() {
+		delete(e.pending, callID)
+		return
+	}
+	e.f.send(Message{From: e.id, To: pc.dst, Method: pc.method, CallID: callID, Payload: pc.arg})
+	thisAttempt := pc.attempt
+	e.f.After(pc.opts.Timeout, func(now Tick) {
+		cur, ok := e.pending[callID]
+		if !ok || cur.attempt != thisAttempt {
+			return // completed, or a newer attempt owns the deadline
+		}
+		if cur.attempt >= cur.opts.Retries {
+			delete(e.pending, callID)
+			if e.Alive() {
+				cur.done(now, nil, ErrTimeout)
+			}
+			return
+		}
+		cur.attempt++
+		wait := Tick(0)
+		if b := cur.opts.Backoff; b > 0 {
+			// Deterministic exponential backoff with seeded jitter: the
+			// jitter is a pure function of (seed, endpoint, call,
+			// attempt), so two runs back off identically.
+			wait = b << (cur.attempt - 1)
+			wait += e.jitter(callID, cur.attempt) % b
+		}
+		e.f.After(wait, func(Tick) { e.attempt(callID, cur) })
+	})
+}
+
+// jitter derives the deterministic backoff jitter for one retry.
+func (e *Endpoint) jitter(callID uint64, attempt int) Tick {
+	h := uint64(e.f.Faults.Seed) ^ 0x6a697474 // "jitt"
+	for _, k := range [3]uint64{uint64(uint32(e.id)), callID, uint64(attempt)} {
+		h ^= k
+		h += 0x9e3779b97f4a7c15
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// deliver dispatches one arriving transmission: a reply completes its
+// pending call; a request runs the handler and sends the reply (after
+// the handler's service delay) back through the fabric, where it is
+// subject to the same fault model as any other message.
+func (e *Endpoint) deliver(now Tick, msg Message) {
+	if msg.IsReply {
+		pc, ok := e.pending[msg.CallID]
+		if !ok {
+			return // late, duplicate, or superseded reply
+		}
+		delete(e.pending, msg.CallID)
+		if !e.Alive() {
+			return
+		}
+		if msg.Err != "" {
+			pc.done(now, nil, errors.New(msg.Err))
+			return
+		}
+		pc.done(now, msg.Payload, nil)
+		return
+	}
+	fn, ok := e.handlers[msg.Method]
+	if !ok {
+		e.replyAfter(0, msg, nil, fmt.Errorf("cluster: %d has no handler %q", e.id, msg.Method))
+		return
+	}
+	reply, delay, err := fn(now, msg.From, msg.Payload)
+	e.replyAfter(delay, msg, reply, err)
+}
+
+// replyAfter sends the response to msg after the handler's service
+// delay.
+func (e *Endpoint) replyAfter(delay Tick, msg Message, reply any, err error) {
+	out := Message{From: e.id, To: msg.From, Method: msg.Method, CallID: msg.CallID, IsReply: true, Payload: reply}
+	if err != nil {
+		out.Err = err.Error()
+	}
+	if delay == 0 {
+		e.f.send(out)
+		return
+	}
+	e.f.After(delay, func(Tick) {
+		if e.Alive() {
+			e.f.send(out)
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/models"
+	"repro/internal/parallel"
+)
+
+// ClusterFaultRow is one point of the cluster chaos sweep: a model
+// served by a fault-tolerant accelerator cluster, a chaos scenario
+// (node kills, partitions), and a message-fault intensity — measured as
+// request availability and latency percentiles while a compressed
+// weight-version rollout is in flight.
+type ClusterFaultRow struct {
+	Model    string
+	Scenario string  // "baseline", "kill-leader", "partition", "kill+partition"
+	DropRate float64 // message drop probability (delay/dup scale with it)
+
+	Availability   float64
+	P50, P99       uint64 // served-request latency, fabric ticks
+	Served         int
+	Failed         int
+	ServedStale    int
+	ReducedReplica int
+	FailedOver     int
+	MixedVersion   int // invariant: 0
+	EpochOutcome   string
+	LeaderChanges  int
+}
+
+// clusterScenarios are the chaos schedules the sweep crosses with the
+// drop-rate grid. Times are fabric ticks, aligned with the rollout the
+// same way the chaos regression test is: the kill lands between the
+// stage proposal and its activation.
+var clusterScenarios = []struct {
+	name            string
+	kill, partition bool
+}{
+	{"baseline", false, false},
+	{"kill-leader", true, false},
+	{"partition", false, true},
+	{"kill+partition", true, true},
+}
+
+// clusterDropRates is the message-fault grid (delay and duplication
+// rates ride along at fixed multiples).
+func (o Options) clusterDropRates() []float64 {
+	if o.Fast {
+		return []float64{0, 0.05}
+	}
+	return []float64{0, 0.01, 0.02, 0.05, 0.10}
+}
+
+// ClusterVersionPlans builds the two weight-version epochs a rollout
+// scenario moves between: version 1 is the model's raw specs, version 2
+// compresses the selected layer at the first non-trivial tolerance of
+// its Table II grid. Shared by the sweep and cmd/cluster.
+func ClusterVersionPlans(modelName string, seed int64, storage core.StorageModel) ([]cluster.VersionPlan, error) {
+	b, err := models.ByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	m, err := b.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	rawSpecs, err := accel.SpecsFromModel(m, nil, storage)
+	if err != nil {
+		return nil, err
+	}
+	orig, err := snapshotSelected(m)
+	if err != nil {
+		return nil, err
+	}
+	deltaPct := DeltaGrid(m.Name)[1]
+	comp, err := core.CompressPct(orig, deltaPct)
+	if err != nil {
+		return nil, err
+	}
+	compSpecs, err := accel.SpecsFromModel(m, map[string]*core.Compressed{m.SelectedLayer: comp}, storage)
+	if err != nil {
+		return nil, err
+	}
+	return []cluster.VersionPlan{
+		{Version: 1, Level: 0, Specs: rawSpecs},
+		{Version: 2, Level: deltaPct, Specs: compSpecs},
+	}, nil
+}
+
+// clusterSpec assembles one sweep cell's scenario.
+func clusterSpec(opts Options, plans []cluster.VersionPlan, scenario struct {
+	name            string
+	kill, partition bool
+}, drop float64, cell int) cluster.Spec {
+	s := cluster.Spec{
+		Nodes:    5,
+		Shards:   2,
+		Seed:     opts.Seed + int64(cell)*1_000_003,
+		Accel:    opts.Accel,
+		Versions: plans,
+		Requests: 60,
+		Interval: 200,
+		Faults: faults.Model{
+			MsgDropRate:  drop,
+			MsgDelayRate: 2 * drop,
+			MsgDupRate:   drop,
+		},
+		RequestRetries: 1,
+		RolloutAt:      2500,
+		RolloutRetries: 20,
+	}
+	if opts.Fast {
+		s.Requests = 30
+	}
+	if scenario.kill {
+		s.KillLeaderAt = 2650
+		s.RestartAt = 11000
+	}
+	if scenario.partition {
+		s.PartitionAt = 3000
+		s.HealAt = 9000
+	}
+	return s
+}
+
+// ClusterFaultSweep measures the fault-tolerant accelerator cluster
+// under a grid of chaos scenarios × message-fault rates, while a
+// compressed weight-version epoch rolls out mid-workload. Each cell is
+// an independent deterministic simulation (its own fabric, nodes, and
+// seed), so cells fan out over the worker pool and the rows are
+// byte-identical at any worker count. The MixedVersion column is an
+// invariant check — any nonzero value is a rollout-atomicity bug, and
+// the sweep fails rather than reporting it as data.
+func ClusterFaultSweep(opts Options) ([]ClusterFaultRow, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	modelName := "LeNet-5"
+	if len(opts.Models) > 0 {
+		modelName = opts.Models[0]
+	}
+	plans, err := ClusterVersionPlans(modelName, opts.Seed, opts.Storage)
+	if err != nil {
+		return nil, err
+	}
+	rates := opts.clusterDropRates()
+	cells := len(clusterScenarios) * len(rates)
+	rows, err := parallel.Map(opts.ctx(), opts.workers(), cells,
+		func(_ context.Context, i int) (ClusterFaultRow, error) {
+			scenario := clusterScenarios[i/len(rates)]
+			drop := rates[i%len(rates)]
+			spec := clusterSpec(opts, plans, scenario, drop, i)
+			rep, err := cluster.Run(spec, opts.Obs)
+			if err != nil {
+				return ClusterFaultRow{}, fmt.Errorf("experiments: cluster %s drop=%g: %w", scenario.name, drop, err)
+			}
+			if rep.MixedVersion != 0 {
+				return ClusterFaultRow{}, fmt.Errorf("experiments: cluster %s drop=%g served %d mixed-version responses",
+					scenario.name, drop, rep.MixedVersion)
+			}
+			return ClusterFaultRow{
+				Model:          modelName,
+				Scenario:       scenario.name,
+				DropRate:       drop,
+				Availability:   rep.Availability,
+				P50:            rep.P50,
+				P99:            rep.P99,
+				Served:         rep.Served,
+				Failed:         rep.Failed,
+				ServedStale:    rep.ServedStale,
+				ReducedReplica: rep.ReducedReplica,
+				FailedOver:     rep.FailedOver,
+				MixedVersion:   rep.MixedVersion,
+				EpochOutcome:   rep.EpochOutcome,
+				LeaderChanges:  rep.LeaderChanges,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

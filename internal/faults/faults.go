@@ -1,6 +1,6 @@
 // Package faults is the deterministic fault-injection engine of the
-// simulation stack. It models the three failure modes a compressed weight
-// stream meets on its way from DRAM to a PE datapath:
+// simulation stack. It models the failure modes data meets on its way
+// from DRAM to a PE datapath and between accelerator nodes:
 //
 //   - DRAM word bit-flips: each 32-bit word of a stored stream suffers a
 //     single-bit upset with a configurable probability.
@@ -9,13 +9,16 @@
 //     per-packet checksum and repaired by retransmission; see noc).
 //   - Stuck-at dead links: a set of unidirectional mesh links that never
 //     transfer a flit again (avoided at route time; see noc).
+//   - Message-level RPC faults: each message crossing the cluster fabric
+//     may be dropped, delayed, duplicated, or reordered with configurable
+//     probabilities (see internal/cluster).
 //
 // Every decision is a pure function of the model's Seed and the identity
-// of the event (stream id and word index, or packet id, flit sequence,
-// retransmission attempt and link), never of evaluation order. Two runs
-// with the same (seed, rate) therefore make byte-identical fault
-// decisions at any worker count, and a rate of zero is exactly the
-// fault-free run.
+// of the event (stream id and word index, packet id, flit sequence,
+// retransmission attempt and link, or message transmission id), never of
+// evaluation order. Two runs with the same (seed, rate) therefore make
+// byte-identical fault decisions at any worker count, and a rate of zero
+// is exactly the fault-free run.
 package faults
 
 import (
@@ -46,11 +49,37 @@ type Model struct {
 	LinkFlitRate float64
 	// DeadLinks lists unidirectional links that are permanently stuck.
 	DeadLinks []Link
+
+	// MsgDropRate is the per-transmission probability that a cluster
+	// fabric message vanishes in transit. Retransmissions are distinct
+	// transmissions with their own ids and therefore their own fates.
+	MsgDropRate float64
+	// MsgDelayRate is the per-transmission probability that a message is
+	// held for extra fabric time (1..MsgDelayMax ticks, deterministically
+	// chosen) on top of the nominal link latency.
+	MsgDelayRate float64
+	// MsgDelayMax bounds the extra delay of a delayed message, in fabric
+	// ticks. Zero selects the default of 8x a typical link latency; see
+	// MsgDelay.
+	MsgDelayMax uint64
+	// MsgDupRate is the per-transmission probability that a message is
+	// delivered twice (the duplicate trails the original).
+	MsgDupRate float64
+	// MsgReorderRate is the per-transmission probability that a message
+	// is deliberately delivered out of FIFO order with respect to later
+	// sends on the same link (the fabric realizes this as a bounded
+	// deterministic extra delay).
+	MsgReorderRate float64
 }
+
+// DefaultMsgDelayMax is the extra-delay bound used when MsgDelayMax is
+// left zero.
+const DefaultMsgDelayMax = 400
 
 // Enabled reports whether the model can inject any fault at all.
 func (m Model) Enabled() bool {
-	return m.DRAMWordFlipRate > 0 || m.LinkFlitRate > 0 || len(m.DeadLinks) > 0
+	return m.DRAMWordFlipRate > 0 || m.LinkFlitRate > 0 || len(m.DeadLinks) > 0 ||
+		m.MsgDropRate > 0 || m.MsgDelayRate > 0 || m.MsgDupRate > 0 || m.MsgReorderRate > 0
 }
 
 // Validate checks the model's parameters.
@@ -58,7 +87,14 @@ func (m Model) Validate() error {
 	for _, r := range []struct {
 		name string
 		v    float64
-	}{{"DRAM word flip rate", m.DRAMWordFlipRate}, {"link flit fault rate", m.LinkFlitRate}} {
+	}{
+		{"DRAM word flip rate", m.DRAMWordFlipRate},
+		{"link flit fault rate", m.LinkFlitRate},
+		{"message drop rate", m.MsgDropRate},
+		{"message delay rate", m.MsgDelayRate},
+		{"message duplication rate", m.MsgDupRate},
+		{"message reorder rate", m.MsgReorderRate},
+	} {
 		if math.IsNaN(r.v) || math.IsInf(r.v, 0) || r.v < 0 || r.v > 1 {
 			return fmt.Errorf("faults: %s %v outside [0,1]", r.name, r.v)
 		}
@@ -87,8 +123,12 @@ func (m Model) DeadSet() map[Link]bool {
 // Decision domains keep the event keyspaces disjoint so a link decision
 // can never alias a DRAM decision with the same numeric keys.
 const (
-	domainLink uint64 = 0x6c696e6b // "link"
-	domainDRAM uint64 = 0x6472616d // "dram"
+	domainLink    uint64 = 0x6c696e6b // "link"
+	domainDRAM    uint64 = 0x6472616d // "dram"
+	domainMsgDrop uint64 = 0x6d736764 // "msgd"
+	domainMsgDly  uint64 = 0x6d736c79 // "msly"
+	domainMsgDup  uint64 = 0x6d736475 // "msdu"
+	domainMsgOrd  uint64 = 0x6d736f72 // "msor"
 )
 
 // mix is the splitmix64 finalizer: a high-quality 64-bit avalanche.
@@ -158,6 +198,63 @@ func (m Model) FlipFloat32Stream(w []float64, streamID uint64) int {
 		}
 	}
 	return flips
+}
+
+// Message-level fault decisions. Every decision is keyed by the
+// transmission identity alone — a fabric-unique msgID plus the (src,
+// dst) endpoints — so it is independent of evaluation order and worker
+// count: the fabric can ask in any order, from any goroutine, and two
+// runs with equal (seed, rates) produce byte-identical schedules. A
+// retransmission is a fresh transmission with a fresh msgID, so its
+// fate is decided independently, exactly like NoC retransmit attempts.
+
+// msgKey folds the endpoints into one decision key.
+func msgKey(src, dst int) uint64 {
+	return uint64(uint32(src))<<32 | uint64(uint32(dst))
+}
+
+// MsgDrop decides whether transmission msgID from src to dst vanishes.
+func (m Model) MsgDrop(msgID uint64, src, dst int) bool {
+	if m.MsgDropRate <= 0 {
+		return false
+	}
+	return unit(m.hash(domainMsgDrop, msgID, msgKey(src, dst), 0)) < m.MsgDropRate
+}
+
+// MsgDelay returns the extra fabric ticks transmission msgID is held
+// beyond the nominal link latency: zero when the delay fault does not
+// fire, otherwise a deterministic value in [1, MsgDelayMax].
+func (m Model) MsgDelay(msgID uint64, src, dst int) uint64 {
+	if m.MsgDelayRate <= 0 {
+		return 0
+	}
+	h := m.hash(domainMsgDly, msgID, msgKey(src, dst), 0)
+	if unit(h) >= m.MsgDelayRate {
+		return 0
+	}
+	max := m.MsgDelayMax
+	if max == 0 {
+		max = DefaultMsgDelayMax
+	}
+	return 1 + mix(h)%max
+}
+
+// MsgDuplicate decides whether transmission msgID is delivered twice.
+func (m Model) MsgDuplicate(msgID uint64, src, dst int) bool {
+	if m.MsgDupRate <= 0 {
+		return false
+	}
+	return unit(m.hash(domainMsgDup, msgID, msgKey(src, dst), 0)) < m.MsgDupRate
+}
+
+// MsgReorder decides whether transmission msgID is deliberately
+// delivered out of FIFO order relative to later sends on its link. The
+// fabric realizes a reorder as a bounded deterministic extra delay.
+func (m Model) MsgReorder(msgID uint64, src, dst int) bool {
+	if m.MsgReorderRate <= 0 {
+		return false
+	}
+	return unit(m.hash(domainMsgOrd, msgID, msgKey(src, dst), 0)) < m.MsgReorderRate
 }
 
 // StreamID derives a stable stream identifier from a name, for keying

@@ -1,9 +1,13 @@
 package faults
 
 import (
+	"bytes"
+	"context"
 	"math"
 	"math/bits"
 	"testing"
+
+	"repro/internal/parallel"
 )
 
 func TestZeroValueDisabled(t *testing.T) {
@@ -178,6 +182,211 @@ func TestFlipFloat32Stream(t *testing.T) {
 	w3 := append([]float64(nil), orig...)
 	if none.FlipFloat32Stream(w3, 11) != 0 {
 		t.Error("disabled model flipped words")
+	}
+}
+
+// msgSchedule renders every message-fault decision for n transmissions
+// into one byte string — the canonical form the determinism tests diff.
+func msgSchedule(m Model, n int) []byte {
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		id := uint64(i)
+		src, dst := i%7, (i+3)%7
+		if m.MsgDrop(id, src, dst) {
+			b.WriteByte('D')
+		}
+		if d := m.MsgDelay(id, src, dst); d > 0 {
+			fmtUint(&b, d)
+		}
+		if m.MsgDuplicate(id, src, dst) {
+			b.WriteByte('2')
+		}
+		if m.MsgReorder(id, src, dst) {
+			b.WriteByte('R')
+		}
+		b.WriteByte(';')
+	}
+	return b.Bytes()
+}
+
+func fmtUint(b *bytes.Buffer, v uint64) {
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	b.Write(tmp[i:])
+}
+
+// TestMsgFaultsZeroRateIsFaultFree pins the rate-0 contract for every
+// message fault kind: the zero model takes the no-op fast path.
+func TestMsgFaultsZeroRateIsFaultFree(t *testing.T) {
+	var m Model
+	for i := 0; i < 1000; i++ {
+		if m.MsgDrop(uint64(i), 0, 1) || m.MsgDuplicate(uint64(i), 0, 1) || m.MsgReorder(uint64(i), 0, 1) {
+			t.Fatal("zero model injected a message fault")
+		}
+		if m.MsgDelay(uint64(i), 0, 1) != 0 {
+			t.Fatal("zero model delayed a message")
+		}
+	}
+	if len(msgSchedule(m, 1000)) != 1000 { // just the separators
+		t.Fatal("zero model schedule not empty")
+	}
+}
+
+// TestMsgScheduleByteIdenticalAcrossWorkers pins the determinism
+// contract: the schedule is a pure function of (seed, rates, message
+// identity), so computing decisions from any number of goroutines in
+// any interleaving yields the byte-identical schedule.
+func TestMsgScheduleByteIdenticalAcrossWorkers(t *testing.T) {
+	m := Model{Seed: 2020, MsgDropRate: 0.1, MsgDelayRate: 0.2, MsgDupRate: 0.05, MsgReorderRate: 0.08, MsgDelayMax: 100}
+	const n = 4096
+	want := msgSchedule(m, n)
+	for _, workers := range []int{1, 2, 4, 16} {
+		// Each chunk recomputes its decisions concurrently; the assembled
+		// schedule must match the serial one byte for byte.
+		const chunk = 256
+		parts, err := parallel.Map(context.Background(), workers, n/chunk,
+			func(_ context.Context, ci int) ([]byte, error) {
+				var b bytes.Buffer
+				for i := ci * chunk; i < (ci+1)*chunk; i++ {
+					id := uint64(i)
+					src, dst := i%7, (i+3)%7
+					if m.MsgDrop(id, src, dst) {
+						b.WriteByte('D')
+					}
+					if d := m.MsgDelay(id, src, dst); d > 0 {
+						fmtUint(&b, d)
+					}
+					if m.MsgDuplicate(id, src, dst) {
+						b.WriteByte('2')
+					}
+					if m.MsgReorder(id, src, dst) {
+						b.WriteByte('R')
+					}
+					b.WriteByte(';')
+				}
+				return b.Bytes(), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []byte
+		for _, p := range parts {
+			got = append(got, p...)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("schedule differs at %d workers", workers)
+		}
+	}
+}
+
+// TestMsgFaultKindsIndependent: the four kinds draw from disjoint
+// domains, so e.g. every dropped message is not also doomed to be a
+// duplicate, and the endpoints key the decision.
+func TestMsgFaultKindsIndependent(t *testing.T) {
+	m := Model{Seed: 1, MsgDropRate: 0.5, MsgDupRate: 0.5, MsgDelayRate: 0.5, MsgReorderRate: 0.5}
+	agreeDropDup, agreeDropOrd := 0, 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if m.MsgDrop(uint64(i), 0, 1) == m.MsgDuplicate(uint64(i), 0, 1) {
+			agreeDropDup++
+		}
+		if m.MsgDrop(uint64(i), 0, 1) == m.MsgReorder(uint64(i), 0, 1) {
+			agreeDropOrd++
+		}
+	}
+	for name, agree := range map[string]int{"drop/dup": agreeDropDup, "drop/reorder": agreeDropOrd} {
+		if agree == n || agree == 0 {
+			t.Errorf("%s decisions perfectly correlated (%d/%d)", name, agree, n)
+		}
+	}
+	// Endpoints must matter: the same msgID on different links gets
+	// independent draws.
+	varies := false
+	for i := 0; i < 64 && !varies; i++ {
+		varies = m.MsgDrop(7, 0, i+1) != m.MsgDrop(7, 0, 1)
+	}
+	if !varies {
+		t.Error("endpoints ignored in message decisions")
+	}
+}
+
+// TestMsgDelayBounds: a fired delay is within [1, MsgDelayMax] and the
+// zero MsgDelayMax default applies.
+func TestMsgDelayBounds(t *testing.T) {
+	m := Model{Seed: 6, MsgDelayRate: 1, MsgDelayMax: 25}
+	seen := map[uint64]bool{}
+	for i := 0; i < 4096; i++ {
+		d := m.MsgDelay(uint64(i), 2, 3)
+		if d < 1 || d > 25 {
+			t.Fatalf("delay %d outside [1,25]", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 20 {
+		t.Errorf("delay values poorly distributed: %d of 25", len(seen))
+	}
+	m.MsgDelayMax = 0
+	for i := 0; i < 4096; i++ {
+		if d := m.MsgDelay(uint64(i), 2, 3); d < 1 || d > DefaultMsgDelayMax {
+			t.Fatalf("default-bound delay %d outside [1,%d]", d, DefaultMsgDelayMax)
+		}
+	}
+}
+
+// TestMsgRatesMeasured: the empirical rates track the configured ones.
+func TestMsgRatesMeasured(t *testing.T) {
+	const n = 20000
+	for _, rate := range []float64{0, 0.05, 0.5, 1} {
+		m := Model{Seed: 9, MsgDropRate: rate, MsgDupRate: rate}
+		drops, dups := 0, 0
+		for i := 0; i < n; i++ {
+			if m.MsgDrop(uint64(i), 0, 1) {
+				drops++
+			}
+			if m.MsgDuplicate(uint64(i), 0, 1) {
+				dups++
+			}
+		}
+		for name, hits := range map[string]int{"drop": drops, "dup": dups} {
+			got := float64(hits) / n
+			if rate == 0 && hits != 0 {
+				t.Errorf("%s rate 0 produced %d hits", name, hits)
+			}
+			if rate == 1 && hits != n {
+				t.Errorf("%s rate 1 produced %d/%d hits", name, hits, n)
+			}
+			if math.Abs(got-rate) > 0.02 {
+				t.Errorf("%s rate %v measured %v", name, rate, got)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadMsgRates(t *testing.T) {
+	for _, m := range []Model{
+		{MsgDropRate: -0.1},
+		{MsgDelayRate: 1.5},
+		{MsgDupRate: math.NaN()},
+		{MsgReorderRate: math.Inf(1)},
+	} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", m)
+		}
+	}
+	ok := Model{Seed: 7, MsgDropRate: 0.1, MsgDelayRate: 0.1, MsgDupRate: 0.1, MsgReorderRate: 0.1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Validate rejected a sound model: %v", err)
+	}
+	if !ok.Enabled() {
+		t.Error("message-fault model not enabled")
 	}
 }
 

@@ -2,7 +2,8 @@ package obs
 
 import (
 	"encoding/json"
-	"os"
+
+	"repro/internal/atomicio"
 )
 
 // Manifest is the self-describing record written alongside a run's
@@ -86,11 +87,13 @@ func (m *Manifest) Encode() ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// WriteFile writes the manifest to path.
+// WriteFile writes the manifest to path atomically: a manifest that
+// vouches for a run's reproducibility must never itself be a torn
+// write.
 func (m *Manifest) WriteFile(path string) error {
 	b, err := m.Encode()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, b, 0o644)
+	return atomicio.WriteFile(path, b, 0o644)
 }
