@@ -247,10 +247,11 @@ func main() {
 		"fig9":    runFig9,
 		"fig10":   runFig10,
 		"mixed":   runMixed,
+		"overlap": runOverlap,
 		"faults":  runFaults,
 		"cluster": runCluster,
 	}
-	order := []string{"table1", "table2", "fig2", "fig3", "fig9", "fig10", "table3", "mixed", "faults", "cluster"}
+	order := []string{"table1", "table2", "fig2", "fig3", "fig9", "fig10", "table3", "mixed", "overlap", "faults", "cluster"}
 
 	cp, err := loadCheckpoint(*checkpoint)
 	if err != nil {
@@ -618,6 +619,32 @@ func runMixed(opts experiments.Options) error {
 	}
 	return writeCSV("mixed", []string{"model", "config", "codec", "level", "budget",
 		"layers", "wcr", "accuracy", "cycles", "latency_norm", "energy_norm", "pareto"}, recs)
+}
+
+func runOverlap(opts experiments.Options) error {
+	pts, err := experiments.OverlapSweep(opts)
+	if err != nil {
+		return err
+	}
+	header("Overlap sweep: latency/energy vs compression ratio, serial vs streaming schedules")
+	fmt.Printf("%-14s %6s %7s %-13s %7s %10s %8s %10s %8s %7s\n",
+		"model", "delta", "cr", "mode", "rounds", "cycles", "stall", "energy(uJ)", "speedup", "pareto")
+	var recs [][]string
+	for _, p := range pts {
+		pareto := ""
+		if p.Pareto {
+			pareto = "*"
+		}
+		fmt.Printf("%-14s %6g %7.2f %-13s %7d %10d %8d %10.3f %8.3f %7s\n",
+			p.Model, p.Delta, p.CR, p.Mode, p.Rounds, p.Cycles, p.DecodeStall,
+			p.EnergyUJ, p.Speedup, pareto)
+		recs = append(recs, []string{p.Model, ftoa(p.Delta), ftoa(p.CR), p.Mode,
+			strconv.Itoa(p.Rounds), strconv.FormatUint(p.Cycles, 10),
+			strconv.FormatUint(p.DecodeStall, 10), ftoa(p.EnergyUJ),
+			ftoa(p.Speedup), strconv.FormatBool(p.Pareto)})
+	}
+	return writeCSV("overlap", []string{"model", "delta_pct", "cr", "mode", "rounds",
+		"cycles", "decode_stall", "energy_uj", "speedup", "pareto"}, recs)
 }
 
 func runFaults(opts experiments.Options) error {

@@ -43,6 +43,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/noc"
 	"repro/internal/obs"
+	"repro/internal/planner"
 	"repro/internal/tensor"
 )
 
@@ -69,6 +70,8 @@ func main() {
 		seed      = flag.Int64("seed", 2020, "model weight seed")
 		weights   = flag.String("weights", "", "load trained weights (.nnwt from cmd/trainer)")
 		perLayer  = flag.Bool("layers", false, "print per-layer results")
+		overlap   = flag.Bool("overlap", false, "streaming mode: overlap decompression with compute and pipeline DRAM bursts")
+		tile      = flag.Bool("tile", false, "run the overlap-aware tile-shape planner pass (implies -overlap)")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent layer simulations (output is identical for any value)")
 		timeout   = flag.Duration("timeout", 0, "abort the simulation after this long (0 = no deadline)")
 		faultSeed = flag.Int64("fault-seed", 2020, "seed for the deterministic fault injector")
@@ -154,6 +157,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cfg.Overlap = *overlap || *tile
+	if *tile {
+		tiled, plan, err := planner.PlanTiles(cfg, specs)
+		if err != nil {
+			fatal(err)
+		}
+		specs = tiled
+		for _, c := range plan.Choices {
+			if c.Rounds > c.BaseRounds {
+				fmt.Printf("tile pass: %s %d -> %d rounds (%d -> %d cycles)\n",
+					c.Layer, c.BaseRounds, c.Rounds, c.BaseCycles, c.Cycles)
+			}
+		}
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -175,8 +192,14 @@ func main() {
 		m.Name, clock/1e6, cfg.Mesh.Core)
 	fmt.Printf("latency: %d cycles (%.3f ms)\n", res.Cycles, res.Seconds(clock)*1e3)
 	lt := res.Latency
-	fmt.Printf("  memory %.1f%%  communication %.1f%%  computation %.1f%%\n",
-		pct(lt.Memory, lt.Total()), pct(lt.Communication, lt.Total()), pct(lt.Computation, lt.Total()))
+	if cfg.Overlap {
+		fmt.Printf("  memory %.1f%%  communication %.1f%%  computation %.1f%%  decode-stall %.1f%%\n",
+			pct(lt.Memory, lt.Total()), pct(lt.Communication, lt.Total()),
+			pct(lt.Computation, lt.Total()), pct(lt.DecodeStall, lt.Total()))
+	} else {
+		fmt.Printf("  memory %.1f%%  communication %.1f%%  computation %.1f%%\n",
+			pct(lt.Memory, lt.Total()), pct(lt.Communication, lt.Total()), pct(lt.Computation, lt.Total()))
+	}
 	e := res.Energy
 	fmt.Printf("energy: %.3f uJ\n", e.Total()/1e6)
 	fmt.Printf("  comm   dyn %8.3f uJ  leak %8.3f uJ\n", e.CommDyn/1e6, e.CommLeak/1e6)

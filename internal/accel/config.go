@@ -27,9 +27,20 @@ type Config struct {
 	LocalMemBytes int   // PE scratchpad capacity (paper: 8 KB)
 	MACLanes      int   // vector lanes per PE (paper: 8)
 	MACWidth      int   // dot-product width per lane (paper: 8)
-	DecompUnits   int   // decompressed weights per cycle per PE (one accumulator per multiplier)
+	DecompUnits   int   // decompression lanes per PE (one accumulator per multiplier)
 	MaxSimRounds  int   // tiling rounds simulated cycle-accurately before steady-state extrapolation
-	Energy        energy.Params
+	// Overlap enables the memory-wall streaming mode: double-buffered,
+	// tile-granular weight prefetch where the decompression unit refills
+	// the next tile while the MAC lanes consume the current one, the
+	// memory interface pipelines back-to-back DRAM requests (the fixed
+	// request latency hides behind the previous burst), and per-codec
+	// decode-rate models (core.DecodeModel) replace the uniform FSM
+	// costing. PEs stall only when decode bandwidth falls short of
+	// compute demand; those cycles surface as LatencyBreakdown.DecodeStall.
+	// Off (the default) reproduces the serial ship-then-compute schedule
+	// byte for byte.
+	Overlap bool
+	Energy  energy.Params
 }
 
 // DefaultConfig returns the paper's platform: 4x4 mesh at 1 GHz, 64-bit

@@ -45,30 +45,47 @@ func (e *EnergyBreakdown) scale(f float64) {
 }
 
 // LatencyBreakdown is the paper's three-component latency split: cycles
-// attributed to main memory, on-chip communication, and computation.
-// Every simulated cycle is attributed to exactly one component (priority:
-// memory over communication over computation), so the parts sum to Total.
+// attributed to main memory, on-chip communication, and computation —
+// plus, in streaming-overlap mode, decode-stall cycles. Every simulated
+// cycle is attributed to exactly one component, so the parts sum to
+// Total.
+//
+// In serial mode (Config.Overlap off) the priority is memory over
+// communication over computation — memory is the blocking resource in a
+// ship-then-compute schedule — and DecodeStall is always zero. In
+// overlap mode the priority inverts to computation over decode-stall
+// over memory over communication: a cycle where any MAC lane progresses
+// is compute, a cycle where MACs only wait on the decompression unit is
+// a decode stall, and memory/communication cycles are the *exposed*
+// transfer time the double buffering failed to hide.
 type LatencyBreakdown struct {
 	Memory        uint64
 	Communication uint64
 	Computation   uint64
+	// DecodeStall counts cycles where a tile had fully arrived but the
+	// decompression unit had not yet made it consumable, with every MAC
+	// lane idle — the signature of decode bandwidth falling short of
+	// compute demand. Zero in serial mode.
+	DecodeStall uint64
 }
 
 // Total returns the summed cycle count.
 func (l LatencyBreakdown) Total() uint64 {
-	return l.Memory + l.Communication + l.Computation
+	return l.Memory + l.Communication + l.Computation + l.DecodeStall
 }
 
 func (l *LatencyBreakdown) add(o LatencyBreakdown) {
 	l.Memory += o.Memory
 	l.Communication += o.Communication
 	l.Computation += o.Computation
+	l.DecodeStall += o.DecodeStall
 }
 
 func (l *LatencyBreakdown) scale(f float64) {
 	l.Memory = uint64(float64(l.Memory) * f)
 	l.Communication = uint64(float64(l.Communication) * f)
 	l.Computation = uint64(float64(l.Computation) * f)
+	l.DecodeStall = uint64(float64(l.DecodeStall) * f)
 }
 
 // Traffic counts the data movement of a layer or model run. Under fault

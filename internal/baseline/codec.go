@@ -175,4 +175,23 @@ func (c rleCodec) Validate(stream []byte) error {
 func init() {
 	core.MustRegisterCodec(HuffmanCodec())
 	core.MustRegisterCodec(RLECodec())
+	// Decode-rate models (see core.DecodeModel). The canonical Huffman
+	// decoder is bit-serial across symbol boundaries: the front end
+	// resolves ~one code per cycle, a byte of stream per cycle on these
+	// distributions (8 cycles per 64-bit word), and speculative
+	// multi-symbol decode recovers only half the lane width. Run-length
+	// expansion is the opposite extreme: runs unpack at full datapath
+	// width and the stream trickles in far below word rate.
+	core.MustRegisterDecodeModel(HuffmanCodecName, core.DecodeModel{
+		CyclesPerStreamWord: 8,
+		WeightsPerLaneCycle: 0.5,
+		StreamBitPJ:         0.30,
+		WeightPJ:            0.05,
+	})
+	core.MustRegisterDecodeModel(RLECodecName, core.DecodeModel{
+		CyclesPerStreamWord: 1,
+		WeightsPerLaneCycle: 1,
+		StreamBitPJ:         0.02,
+		WeightPJ:            0.05,
+	})
 }

@@ -55,4 +55,21 @@ func MaxAbsError(p quant.Params8, level int) float64 {
 func init() {
 	core.MustRegisterCodec(BitPlaneCodec())
 	core.MustRegisterCodec(QuantHuffCodec())
+	// Decode-rate models (see core.DecodeModel). Bit-plane unpacking is
+	// wide but touches each plane's bitmask serially, so the front end
+	// runs at half word rate; quant-huff inherits the canonical Huffman
+	// decoder's bit-serial front end plus a dequantization multiply per
+	// weight.
+	core.MustRegisterDecodeModel(BitPlaneCodecName, core.DecodeModel{
+		CyclesPerStreamWord: 2,
+		WeightsPerLaneCycle: 1,
+		StreamBitPJ:         0.05,
+		WeightPJ:            0.10,
+	})
+	core.MustRegisterDecodeModel(QuantHuffCodecName, core.DecodeModel{
+		CyclesPerStreamWord: 8,
+		WeightsPerLaneCycle: 0.5,
+		StreamBitPJ:         0.30,
+		WeightPJ:            0.12,
+	})
 }

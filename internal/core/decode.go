@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// DecodeModel is the cycle/energy cost model of a PE's decompression
+// unit for one codec. It replaces the one-size-fits-all FSM costing
+// (every codec charged the same weights-per-cycle throughput) with the
+// two rates a streaming decoder actually has:
+//
+//   - a front end that ingests the compressed stream, serialized at
+//     CyclesPerStreamWord cycles per 64-bit stream word — this is where
+//     entropy codecs pay for their bit-serial symbol boundaries, and
+//   - a back end that regenerates weights, WeightsPerLaneCycle weights
+//     per decompression lane per cycle — this is where wide, regular
+//     codecs (run-length, plane unpacking, the paper's segment
+//     accumulators) run at full datapath width.
+//
+// A tile's decode time is the larger of the two (the stages pipeline
+// against each other within a tile), so codec choice changes *when*
+// bytes become usable, not just how many there are: a Huffman stream
+// half the size of an RLE stream can still finish decoding later.
+//
+// Energy is charged per stream bit through the front end plus per
+// regenerated weight through the back end, both in picojoules.
+type DecodeModel struct {
+	// CyclesPerStreamWord is the front-end serialization cost per
+	// 64-bit word of compressed stream. 1 means the unit ingests a full
+	// word per cycle; 8 means one byte per cycle (a serial entropy
+	// decoder walking symbol boundaries).
+	CyclesPerStreamWord float64
+	// WeightsPerLaneCycle is the back-end regeneration throughput per
+	// decompression lane per cycle. The platform's lane count
+	// (Config.DecompUnits in internal/accel) multiplies this.
+	WeightsPerLaneCycle float64
+	// StreamBitPJ is the dynamic energy per compressed stream bit
+	// ingested by the front end.
+	StreamBitPJ float64
+	// WeightPJ is the dynamic energy per regenerated weight (table
+	// lookups, accumulator adds, dequantization).
+	WeightPJ float64
+}
+
+// Validate checks the model's rates are positive and finite.
+func (m DecodeModel) Validate() error {
+	switch {
+	case !(m.CyclesPerStreamWord > 0) || math.IsInf(m.CyclesPerStreamWord, 0):
+		return fmt.Errorf("core: decode model CyclesPerStreamWord %v out of range", m.CyclesPerStreamWord)
+	case !(m.WeightsPerLaneCycle > 0) || math.IsInf(m.WeightsPerLaneCycle, 0):
+		return fmt.Errorf("core: decode model WeightsPerLaneCycle %v out of range", m.WeightsPerLaneCycle)
+	case m.StreamBitPJ < 0 || m.WeightPJ < 0:
+		return fmt.Errorf("core: decode model negative energy coefficients")
+	}
+	return nil
+}
+
+// TileCycles returns the decompression-unit busy cycles to turn
+// streamBits of compressed stream into weights, with lanes parallel
+// regeneration lanes: the max of the front-end ingest time and the
+// back-end regeneration time, never below one cycle for non-empty
+// tiles.
+func (m DecodeModel) TileCycles(streamBits, weights uint64, lanes int) uint64 {
+	if streamBits == 0 && weights == 0 {
+		return 0
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	words := (streamBits + 63) / 64
+	front := uint64(math.Ceil(float64(words) * m.CyclesPerStreamWord))
+	back := uint64(math.Ceil(float64(weights) / (m.WeightsPerLaneCycle * float64(lanes))))
+	c := front
+	if back > c {
+		c = back
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// TileEnergyPJ returns the dynamic decode energy of a tile in
+// picojoules: stream bits through the front end plus regenerated
+// weights through the back end.
+func (m DecodeModel) TileEnergyPJ(streamBits, weights uint64) float64 {
+	return float64(streamBits)*m.StreamBitPJ + float64(weights)*m.WeightPJ
+}
+
+// DefaultDecodeModel matches the legacy FSM assumption the simulator
+// used for every codec before per-codec models existed: one weight per
+// lane per cycle, stream ingest at a full word per cycle, and the
+// 45 nm per-weight accumulator energy (energy.Params.DecompressPJ).
+// It is the fallback for codecs that register no model of their own.
+var DefaultDecodeModel = DecodeModel{
+	CyclesPerStreamWord: 1,
+	WeightsPerLaneCycle: 1,
+	StreamBitPJ:         0,
+	WeightPJ:            0.15,
+}
+
+var (
+	decodeMu       sync.RWMutex
+	decodeRegistry = map[string]DecodeModel{}
+)
+
+// RegisterDecodeModel adds a codec's decode model to the process-wide
+// registry, keyed by codec name. Registering an empty name, an invalid
+// model or a duplicate is an error.
+func RegisterDecodeModel(codec string, m DecodeModel) error {
+	if codec == "" {
+		return errors.New("core: registering decode model without a codec name")
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	decodeMu.Lock()
+	defer decodeMu.Unlock()
+	if _, dup := decodeRegistry[codec]; dup {
+		return fmt.Errorf("core: decode model for %q already registered", codec)
+	}
+	decodeRegistry[codec] = m
+	return nil
+}
+
+// MustRegisterDecodeModel is RegisterDecodeModel that panics on error;
+// for use from package init functions.
+func MustRegisterDecodeModel(codec string, m DecodeModel) {
+	if err := RegisterDecodeModel(codec, m); err != nil {
+		panic(err)
+	}
+}
+
+// LookupDecodeModel resolves a codec's decode model, falling back to
+// DefaultDecodeModel for unregistered (or empty) names so the
+// simulator never fails on a codec that predates per-codec models.
+func LookupDecodeModel(codec string) DecodeModel {
+	decodeMu.RLock()
+	defer decodeMu.RUnlock()
+	if m, ok := decodeRegistry[codec]; ok {
+		return m
+	}
+	return DefaultDecodeModel
+}
+
+// DecodeModelNames returns the codec names with registered decode
+// models, sorted.
+func DecodeModelNames() []string {
+	decodeMu.RLock()
+	defer decodeMu.RUnlock()
+	names := make([]string, 0, len(decodeRegistry))
+	for n := range decodeRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	// The paper's segment codec (Fig. 6): fixed 16-byte records parsed
+	// at stream rate, one accumulator add per regenerated weight, so
+	// both ends run at full width.
+	MustRegisterDecodeModel(SegmentCodecName, DecodeModel{
+		CyclesPerStreamWord: 1,
+		WeightsPerLaneCycle: 1,
+		StreamBitPJ:         0.01,
+		WeightPJ:            0.15,
+	})
+}

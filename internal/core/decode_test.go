@@ -1,0 +1,100 @@
+package core
+
+import "testing"
+
+func TestDecodeModelTileCycles(t *testing.T) {
+	m := DecodeModel{CyclesPerStreamWord: 1, WeightsPerLaneCycle: 1}
+	if got := m.TileCycles(0, 0, 64); got != 0 {
+		t.Fatalf("empty tile: got %d cycles, want 0", got)
+	}
+	// 128 bits = 2 words front end; 100 weights over 64 lanes = 2 cycles
+	// back end; max is 2.
+	if got := m.TileCycles(128, 100, 64); got != 2 {
+		t.Fatalf("balanced tile: got %d cycles, want 2", got)
+	}
+	// Front-end bound: a serial entropy decoder at 8 cy/word dominates.
+	serial := DecodeModel{CyclesPerStreamWord: 8, WeightsPerLaneCycle: 1}
+	if got := serial.TileCycles(640, 10, 64); got != 80 {
+		t.Fatalf("front-end bound: got %d cycles, want 80", got)
+	}
+	// Back-end bound: many weights from a tiny stream.
+	if got := m.TileCycles(64, 1000, 64); got != 16 {
+		t.Fatalf("back-end bound: got %d cycles, want 16", got)
+	}
+	// Partial stream words round up; non-empty tiles cost at least 1.
+	if got := m.TileCycles(1, 0, 64); got != 1 {
+		t.Fatalf("partial word: got %d cycles, want 1", got)
+	}
+	// Lane clamp: lanes < 1 behaves as one lane.
+	if got := m.TileCycles(0, 5, 0); got != 5 {
+		t.Fatalf("lane clamp: got %d cycles, want 5", got)
+	}
+}
+
+func TestDecodeModelTileEnergy(t *testing.T) {
+	m := DecodeModel{CyclesPerStreamWord: 1, WeightsPerLaneCycle: 1, StreamBitPJ: 0.5, WeightPJ: 2}
+	if got := m.TileEnergyPJ(100, 10); got != 70 {
+		t.Fatalf("tile energy: got %v pJ, want 70", got)
+	}
+}
+
+func TestDecodeModelRegistry(t *testing.T) {
+	// The segment codec registers in init; unknown names fall back.
+	seg := LookupDecodeModel(SegmentCodecName)
+	if seg == DefaultDecodeModel {
+		t.Fatalf("segment decode model not registered (got the default)")
+	}
+	if got := LookupDecodeModel("no-such-codec"); got != DefaultDecodeModel {
+		t.Fatalf("unknown codec: got %+v, want DefaultDecodeModel", got)
+	}
+	if got := LookupDecodeModel(""); got != DefaultDecodeModel {
+		t.Fatalf("empty codec: got %+v, want DefaultDecodeModel", got)
+	}
+	if err := RegisterDecodeModel("", DefaultDecodeModel); err == nil {
+		t.Fatalf("registering an empty name should fail")
+	}
+	if err := RegisterDecodeModel(SegmentCodecName, DefaultDecodeModel); err == nil {
+		t.Fatalf("duplicate registration should fail")
+	}
+	if err := RegisterDecodeModel("bad", DecodeModel{CyclesPerStreamWord: 0, WeightsPerLaneCycle: 1}); err == nil {
+		t.Fatalf("invalid model should fail validation")
+	}
+	names := DecodeModelNames()
+	found := false
+	for _, n := range names {
+		if n == SegmentCodecName {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("DecodeModelNames %v missing %q", names, SegmentCodecName)
+	}
+}
+
+// BenchmarkDecodeModelTileCycles measures the per-tile decode costing
+// across every registered model — this runs once per (layer, round) in
+// overlap mode, so it must stay trivially cheap.
+func BenchmarkDecodeModelTileCycles(b *testing.B) {
+	names := DecodeModelNames()
+	if len(names) == 0 {
+		b.Fatal("no decode models registered")
+	}
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dm := LookupDecodeModel(names[i%len(names)])
+		sink += dm.TileCycles(58976, 7372, 64)
+	}
+	_ = sink
+}
+
+// BenchmarkDecodeModelTileEnergy is the energy-side companion.
+func BenchmarkDecodeModelTileEnergy(b *testing.B) {
+	dm := LookupDecodeModel(SegmentCodecName)
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += dm.TileEnergyPJ(58976, 7372)
+	}
+	_ = sink
+}

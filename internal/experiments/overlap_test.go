@@ -1,0 +1,50 @@
+package experiments
+
+import "testing"
+
+func TestOverlapSweepDeterministic(t *testing.T) {
+	assertDeterministic(t, OverlapSweep, FastOptions())
+}
+
+// TestOverlapSweepProperties checks the sweep's structural invariants on
+// the fast grid: serial rows define the baseline (speedup exactly 1, no
+// decode stalls), streaming rows never lose to serial, and the tile pass
+// never loses to plain overlap.
+func TestOverlapSweepProperties(t *testing.T) {
+	pts, err := OverlapSweep(FastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("empty sweep")
+	}
+	byMode := func(model string, delta float64, mode string) *OverlapPoint {
+		for i := range pts {
+			p := &pts[i]
+			if p.Model == model && p.Delta == delta && p.Mode == mode {
+				return p
+			}
+		}
+		t.Fatalf("missing point %s delta=%v mode=%s", model, delta, mode)
+		return nil
+	}
+	for _, p := range pts {
+		if p.Mode != "serial" {
+			continue
+		}
+		if p.Speedup != 1 {
+			t.Errorf("%s delta=%v serial: speedup %v != 1", p.Model, p.Delta, p.Speedup)
+		}
+		if p.DecodeStall != 0 {
+			t.Errorf("%s delta=%v serial: %d decode-stall cycles", p.Model, p.Delta, p.DecodeStall)
+		}
+		ov := byMode(p.Model, p.Delta, "overlap")
+		if ov.Cycles > p.Cycles {
+			t.Errorf("%s delta=%v: overlap %d cycles > serial %d", p.Model, p.Delta, ov.Cycles, p.Cycles)
+		}
+		tl := byMode(p.Model, p.Delta, "overlap+tile")
+		if tl.Cycles > ov.Cycles {
+			t.Errorf("%s delta=%v: overlap+tile %d cycles > overlap %d", p.Model, p.Delta, tl.Cycles, ov.Cycles)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package planner
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+)
+
+// tileMultiples is the candidate grid of the tile-shape search: each
+// layer's capacity-derived round count is scaled by these factors and
+// the cheapest schedule wins. The grid is small because the latency
+// curve over tile count is unimodal in practice — finer tiles shrink
+// the per-tile decode and fetch time the double buffer must hide, but
+// add per-burst DRAM request overhead and pipeline fill; past the
+// sweet spot every extra split only adds overhead.
+var tileMultiples = []int{1, 2, 3, 4, 6, 8}
+
+// TileChoice records the tile-shape decision for one layer.
+type TileChoice struct {
+	Layer string
+	// BaseRounds is the capacity-derived tiling (the fewest rounds whose
+	// working set fits the scratchpad double buffer); Rounds is the
+	// chosen tiling, >= BaseRounds.
+	BaseRounds int
+	Rounds     int
+	// BaseCycles and Cycles are the overlap-mode layer latencies at
+	// BaseRounds and Rounds.
+	BaseCycles uint64
+	Cycles     uint64
+}
+
+// TilePlan is the result of the overlap-aware tile pass.
+type TilePlan struct {
+	Choices []TileChoice
+	// BaseCycles and Cycles sum the per-layer latencies before and after
+	// the pass (layer-sequential, like accel.Result.Cycles).
+	BaseCycles uint64
+	Cycles     uint64
+}
+
+// PlanTiles is the overlap-aware tile-shape pass: for every layer it
+// searches round counts at and above the scratchpad-capacity minimum —
+// the shapes that fit within the LocalMemBytes double-buffer slack —
+// simulating each candidate in streaming-overlap mode and keeping the
+// cheapest. Ties go to the coarsest tiling (fewer rounds means fewer
+// DRAM bursts and less extrapolation error).
+//
+// The returned specs are the inputs with RoundsOverride set to each
+// layer's winning tile count; feed them to a Simulator with
+// Config.Overlap enabled. The search itself is exact simulation, not a
+// model, so it inherits the simulator's determinism.
+func PlanTiles(cfg accel.Config, specs []accel.LayerSpec) ([]accel.LayerSpec, *TilePlan, error) {
+	cfg.Overlap = true
+	sim, err := accel.NewSimulator(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("planner: tile pass: %w", err)
+	}
+	out := make([]accel.LayerSpec, len(specs))
+	plan := &TilePlan{Choices: make([]TileChoice, 0, len(specs))}
+	for i, spec := range specs {
+		spec.RoundsOverride = 0
+		base, err := sim.SimulateLayer(spec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("planner: tile pass on %s: %w", spec.Name, err)
+		}
+		choice := TileChoice{
+			Layer:      spec.Name,
+			BaseRounds: base.Rounds,
+			Rounds:     base.Rounds,
+			BaseCycles: base.Cycles,
+			Cycles:     base.Cycles,
+		}
+		for _, mult := range tileMultiples[1:] {
+			spec.RoundsOverride = base.Rounds * mult
+			lr, err := sim.SimulateLayer(spec)
+			if err != nil {
+				return nil, nil, fmt.Errorf("planner: tile pass on %s x%d: %w", spec.Name, mult, err)
+			}
+			if lr.Cycles < choice.Cycles {
+				choice.Rounds = lr.Rounds
+				choice.Cycles = lr.Cycles
+			}
+		}
+		spec.RoundsOverride = 0
+		if choice.Rounds > choice.BaseRounds {
+			spec.RoundsOverride = choice.Rounds
+		}
+		out[i] = spec
+		plan.Choices = append(plan.Choices, choice)
+		plan.BaseCycles += choice.BaseCycles
+		plan.Cycles += choice.Cycles
+	}
+	return out, plan, nil
+}

@@ -1,0 +1,114 @@
+package planner
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+func tileSpecs(t *testing.T, delta float64) []accel.LayerSpec {
+	t.Helper()
+	m, err := models.LeNet5(2020)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compressed map[string]*core.Compressed
+	if delta >= 0 {
+		w, _ := m.SelectedWeights()
+		c, err := core.CompressPct(w, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compressed = map[string]*core.Compressed{m.SelectedLayer: c}
+	}
+	specs, err := accel.SpecsFromModel(m, compressed, core.DefaultStorage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
+// TestPlanTilesNeverRegresses: every per-layer choice must cost at most
+// the capacity-derived baseline — the baseline itself is in the
+// candidate grid, so the search can always keep it.
+func TestPlanTilesNeverRegresses(t *testing.T) {
+	specs := tileSpecs(t, 15)
+	tiled, plan, err := PlanTiles(accel.DefaultConfig(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiled) != len(specs) || len(plan.Choices) != len(specs) {
+		t.Fatalf("tile pass dropped layers: %d specs, %d tiled, %d choices",
+			len(specs), len(tiled), len(plan.Choices))
+	}
+	for _, c := range plan.Choices {
+		if c.Cycles > c.BaseCycles {
+			t.Errorf("layer %s: chosen tiling %d rounds costs %d cycles > baseline %d",
+				c.Layer, c.Rounds, c.Cycles, c.BaseCycles)
+		}
+		if c.Rounds < c.BaseRounds {
+			t.Errorf("layer %s: chose %d rounds below the capacity minimum %d",
+				c.Layer, c.Rounds, c.BaseRounds)
+		}
+	}
+	if plan.Cycles > plan.BaseCycles {
+		t.Errorf("plan total %d cycles > baseline %d", plan.Cycles, plan.BaseCycles)
+	}
+}
+
+// TestPlanTilesEndToEnd: simulating the tiled specs in overlap mode
+// reproduces the plan's predicted total — the pass is exact simulation,
+// not a detached cost model.
+func TestPlanTilesEndToEnd(t *testing.T) {
+	specs := tileSpecs(t, 15)
+	tiled, plan, err := PlanTiles(accel.DefaultConfig(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := accel.DefaultConfig()
+	cfg.Overlap = true
+	sim, err := accel.NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.SimulateModel("LeNet-5", tiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != plan.Cycles {
+		t.Errorf("simulated tiled model: %d cycles, plan predicted %d", res.Cycles, plan.Cycles)
+	}
+}
+
+// TestPlanTilesDeterministic: two runs over the same inputs produce the
+// same plan.
+func TestPlanTilesDeterministic(t *testing.T) {
+	specs := tileSpecs(t, 15)
+	_, a, err := PlanTiles(accel.DefaultConfig(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := PlanTiles(accel.DefaultConfig(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("tile pass not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestPlanTilesDoesNotMutateInput: the pass returns fresh specs and
+// leaves its inputs untouched.
+func TestPlanTilesDoesNotMutateInput(t *testing.T) {
+	specs := tileSpecs(t, 15)
+	orig := append([]accel.LayerSpec(nil), specs...)
+	if _, _, err := PlanTiles(accel.DefaultConfig(), specs); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(specs, orig) {
+		t.Error("tile pass mutated its input specs")
+	}
+}

@@ -10,14 +10,18 @@
 // auto-selected — fused multiply-add performs one rounding where the
 // reference performs two, so results differ in the last bit; it is only
 // reachable through the explicit VECMM=fma opt-in or SetMatMulKernel.
-// On other architectures the portable Go kernel runs.
+// On arm64 the NEON kernels are always selected (Advanced SIMD is part
+// of the ARMv8-A baseline and the kernels use unfused multiply+add, so
+// they are bit-identical). On other architectures the portable Go
+// kernel runs.
 //
 // The VECMM environment variable overrides the automatic choice:
 //
 //	VECMM=off   (or generic)  portable Go kernel
-//	VECMM=sse2                SSE2 saxpy kernels
-//	VECMM=avx2                AVX2 saxpy kernels
+//	VECMM=sse2                SSE2 saxpy kernels (amd64)
+//	VECMM=avx2                AVX2 saxpy kernels (amd64)
 //	VECMM=fma   (or avx2fma)  AVX2+FMA kernels (relaxed identity!)
+//	VECMM=neon                NEON saxpy kernels (arm64)
 //
 // An unsupported or unknown value is ignored and the automatic choice
 // stands (a forced binary must not crash on older hardware).
@@ -35,6 +39,7 @@ const (
 	KernelSSE2    = "sse2"    // 4-wide SSE2, bit-identical
 	KernelAVX2    = "avx2"    // 8-wide AVX2, bit-identical
 	KernelFMA     = "avx2fma" // 8-wide AVX2+FMA, single rounding per term — opt-in only
+	KernelNEON    = "neon"    // 4-wide NEON (arm64 baseline), bit-identical
 )
 
 // The dispatched inner kernels. matMulBlocked snapshots these at entry,
